@@ -1,0 +1,92 @@
+//! End-to-end benchmarks backing Figure 14's "completes within seconds"
+//! claim: trace extrapolation plus full simulation, per parallelism.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn end_to_end(c: &mut Criterion) {
+    let trace = Tracer::new(GpuModel::A100).trace(&ModelId::ResNet50.build(128));
+    let platform = Platform::p2(4);
+
+    let mut group = c.benchmark_group("simulate_resnet50_p2");
+    group.sample_size(20);
+    for (name, parallelism, batch) in [
+        ("ddp", Parallelism::DataParallel { overlap: true }, 512u64),
+        ("dp", Parallelism::DataParallel { overlap: false }, 512),
+        ("tp", Parallelism::TensorParallel, 128),
+        ("pp4", Parallelism::Pipeline { chunks: 4 }, 128),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = SimBuilder::new(&trace, &platform)
+                    .parallelism(parallelism)
+                    .global_batch(batch)
+                    .run();
+                black_box(report.total_time_s())
+            })
+        });
+    }
+    group.finish();
+
+    let gpt2 = Tracer::new(GpuModel::A100).trace(&ModelId::Gpt2.build(32));
+    let mut group = c.benchmark_group("simulate_gpt2_p2");
+    group.sample_size(20);
+    group.bench_function("ddp", |b| {
+        b.iter(|| {
+            let report = SimBuilder::new(&gpt2, &platform)
+                .parallelism(Parallelism::DataParallel { overlap: true })
+                .global_batch(128)
+                .run();
+            black_box(report.total_time_s())
+        })
+    });
+    group.finish();
+
+    // Hybrid and scale-out configurations.
+    let mut group = c.benchmark_group("simulate_scaleout");
+    group.sample_size(10);
+    let ring16 = Platform::ring(
+        triosim_trace::GpuModel::A100,
+        16,
+        triosim_trace::LinkKind::NvLink3,
+        "ring16",
+    );
+    group.bench_function("resnet50_hybrid_4x4", |b| {
+        b.iter(|| {
+            let report = SimBuilder::new(&trace, &ring16)
+                .parallelism(Parallelism::Hybrid { dp_groups: 4, chunks: 4 })
+                .global_batch(512)
+                .run();
+            black_box(report.total_time_s())
+        })
+    });
+    group.bench_function("resnet50_ddp_ring16", |b| {
+        b.iter(|| {
+            let report = SimBuilder::new(&trace, &ring16)
+                .parallelism(Parallelism::DataParallel { overlap: true })
+                .global_batch(16 * 128)
+                .run();
+            black_box(report.total_time_s())
+        })
+    });
+    group.finish();
+
+    // Extrapolation alone (graph construction, no execution).
+    let mut group = c.benchmark_group("extrapolate_only");
+    group.sample_size(20);
+    group.bench_function("resnet50_ddp_p2", |b| {
+        b.iter(|| {
+            let g = SimBuilder::new(&trace, &platform)
+                .parallelism(Parallelism::DataParallel { overlap: true })
+                .global_batch(512)
+                .build_graph();
+            black_box(g.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

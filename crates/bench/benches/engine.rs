@@ -1,0 +1,42 @@
+//! Microbenchmark: event-queue throughput of the simulation engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use triosim_des::{EventQueue, VirtualTime};
+
+fn engine_benches(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                // Pseudo-random but deterministic times.
+                let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                q.schedule(VirtualTime::from_femtos(t + 1_000_000), i);
+            }
+            let mut count = 0u64;
+            while let Some((_, e)) = q.pop() {
+                count += black_box(e) & 1;
+            }
+            count
+        })
+    });
+
+    c.bench_function("event_queue_cancel_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule(VirtualTime::from_femtos(i + 1), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

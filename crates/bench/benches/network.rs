@@ -1,0 +1,53 @@
+//! Microbenchmarks: flow-network allocation and collective schedule
+//! generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use triosim_collectives::ring_all_reduce;
+use triosim_des::VirtualTime;
+use triosim_network::{FlowNetwork, NetworkModel, NodeId, Topology};
+
+fn network_benches(c: &mut Criterion) {
+    c.bench_function("flow_ring84_concurrent_rotation", |b| {
+        // One full ring rotation: 84 concurrent flows, then drain.
+        b.iter(|| {
+            let topo = Topology::ring(84, 100e9, 0.3e-6);
+            let mut net = FlowNetwork::new(topo);
+            let t0 = VirtualTime::ZERO;
+            let mut flows = Vec::new();
+            for i in 0..84 {
+                let (f, _) = net.send(t0, NodeId(i), NodeId((i + 1) % 84), 1 << 20);
+                flows.push(f);
+            }
+            // Drain in schedule order (all symmetric: same finish time).
+            let done = VirtualTime::from_seconds(1.0);
+            for f in flows {
+                net.deliver(f, done);
+            }
+            black_box(net.flows_completed())
+        })
+    });
+
+    c.bench_function("flow_maxmin_cross_traffic", |b| {
+        // 4x4 mesh with flows crossing shared links: stresses the
+        // progressive-filling allocator.
+        b.iter(|| {
+            let topo = Topology::mesh2d(4, 4, 50e9, 0.3e-6);
+            let mut net = FlowNetwork::new(topo);
+            let t0 = VirtualTime::ZERO;
+            for i in 0..16usize {
+                let j = 15 - i;
+                if i != j {
+                    net.send(t0, NodeId(i), NodeId(j), 8 << 20);
+                }
+            }
+            black_box(net.in_flight())
+        })
+    });
+
+    c.bench_function("ring_allreduce_schedule_84", |b| {
+        b.iter(|| black_box(ring_all_reduce(84, 500_000_000)).total_bytes())
+    });
+}
+
+criterion_group!(benches, network_benches);
+criterion_main!(benches);

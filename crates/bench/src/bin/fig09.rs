@@ -1,0 +1,39 @@
+//! Figure 9: tensor parallelism on P1 and P2.
+//!
+//! Splittable layers shard their weights across GPUs and gather partial
+//! outputs at layer boundaries. The paper reports 4.54% (P1) and 11.24%
+//! (P2) average errors.
+
+use triosim::{Parallelism, Platform};
+use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_trace::GpuModel;
+
+fn main() {
+    for (platform, gpu, paper) in [
+        (Platform::p1(), GpuModel::A40, 4.54),
+        (Platform::p2(4), GpuModel::A100, 11.24),
+    ] {
+        let rows: Vec<Row> = figure_models("all")
+            .into_iter()
+            .map(|model| {
+                validation_row(
+                    model,
+                    gpu,
+                    &platform,
+                    Parallelism::TensorParallel,
+                    trace_batch(model),
+                )
+            })
+            .collect();
+        let avg = triosim_bench::print_table(
+            &format!(
+                "Figure 9: tensor parallelism on {} ({}x {})",
+                platform.name(),
+                platform.gpu_count(),
+                gpu
+            ),
+            &rows,
+        );
+        println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 10: pipeline parallelism (GPipe) on 2 and 4 A100 GPUs with 1,
+//! 2, and 4 micro-batch chunks.
+//!
+//! The paper reports average errors of 6.82% / 6.58% / 15.10% (2 GPUs,
+//! chunks 1/2/4) and 5.14% / 8.96% / 8.18% (4 GPUs).
+
+use triosim::{Parallelism, Platform};
+use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_trace::GpuModel;
+
+fn main() {
+    for gpus in [2usize, 4] {
+        let platform = Platform::p2(gpus);
+        for chunks in [1u64, 2, 4] {
+            let rows: Vec<Row> = figure_models("pipeline")
+                .into_iter()
+                .map(|model| {
+                    validation_row(
+                        model,
+                        GpuModel::A100,
+                        &platform,
+                        Parallelism::Pipeline { chunks },
+                        trace_batch(model),
+                    )
+                })
+                .collect();
+            let avg = triosim_bench::print_table(
+                &format!("Figure 10: GPipe on {gpus}x A100, {chunks} chunk(s)"),
+                &rows,
+            );
+            let paper = match (gpus, chunks) {
+                (2, 1) => 6.82,
+                (2, 2) => 6.58,
+                (2, 4) => 15.10,
+                (4, 1) => 5.14,
+                (4, 2) => 8.96,
+                _ => 8.18,
+            };
+            println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+        }
+    }
+}

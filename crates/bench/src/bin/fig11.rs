@@ -1,0 +1,87 @@
+//! Figure 11: new-GPU validation on P3 (8x H100), batch size 256.
+//!
+//! Case 1: input traces from a single A40 and a single A100 at batch 128
+//! (cross-GPU prediction through Li's Model). Case 2: input trace from a
+//! single H100 at batch 256 (same-GPU prediction). The paper reports
+//! Case 1 averages of 9.09% (DP), 9.07% (TP), 5.65%/16.28% (PP 1/2
+//! chunks) and Case 2 averages of 6.69% / 9.09% / 4.20% / 13.76%.
+
+use triosim::{Fidelity, Parallelism, Platform, SimBuilder};
+use triosim_bench::figure_models;
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn global_batch(parallelism: Parallelism, gpus: u64) -> u64 {
+    match parallelism {
+        Parallelism::DataParallel { .. } => 256 * gpus,
+        _ => 256,
+    }
+}
+
+fn main() {
+    let platform = Platform::p3();
+    let parallelisms = [
+        Parallelism::DataParallel { overlap: true },
+        Parallelism::TensorParallel,
+        Parallelism::Pipeline { chunks: 1 },
+        Parallelism::Pipeline { chunks: 2 },
+    ];
+
+    for parallelism in parallelisms {
+        println!("\n== Figure 11: {parallelism} on P3 (8x H100), BS256 ==");
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>12}",
+            "model", "truth(s)", "case1-A40%", "case1-A100%", "case2-H100%"
+        );
+        let mut sums = [0.0f64; 3];
+        let models: Vec<ModelId> = figure_models("image");
+        for &model in &models {
+            let batch = global_batch(parallelism, 8);
+            // Ground truth: reference simulation of the H100 platform.
+            let h100_trace = Tracer::new(GpuModel::H100).trace(&model.build(256));
+            let truth = SimBuilder::new(&h100_trace, &platform)
+                .parallelism(parallelism)
+                .global_batch(batch)
+                .fidelity(Fidelity::Reference)
+                .run()
+                .total_time_s();
+
+            let mut errors = [0.0f64; 3];
+            for (i, (gpu, tb)) in [
+                (GpuModel::A40, 128u64),
+                (GpuModel::A100, 128),
+                (GpuModel::H100, 256),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let trace = Tracer::new(gpu).trace(&model.build(tb));
+                let pred = SimBuilder::new(&trace, &platform)
+                    .parallelism(parallelism)
+                    .global_batch(batch)
+                    .run()
+                    .total_time_s();
+                errors[i] = 100.0 * (pred - truth).abs() / truth;
+                sums[i] += errors[i];
+            }
+            println!(
+                "{:<12} {:>10.4} {:>11.2}% {:>11.2}% {:>11.2}%",
+                model.figure_label(),
+                truth,
+                errors[0],
+                errors[1],
+                errors[2]
+            );
+        }
+        let n = models.len() as f64;
+        println!(
+            "{:<12} {:>10} {:>11.2}% {:>11.2}% {:>11.2}%",
+            "average",
+            "",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n
+        );
+    }
+    println!("\n(case 1 = cross-GPU traces at BS128; case 2 = same-GPU trace at BS256)");
+}

@@ -1,0 +1,69 @@
+//! Figure 12: comparing DP, TP, and PP on P2 with a fixed total batch of
+//! 128 across 4 GPUs (pipeline micro-batch 64, i.e. 2 chunks).
+//!
+//! The claim under test is *relative* accuracy: TrioSim must rank the
+//! three parallelisms the same way the hardware (reference) does — the
+//! paper finds data parallelism always wins at constant total workload.
+
+use triosim::{Parallelism, Platform};
+use triosim_bench::{figure_models, paper_trace, predict_and_truth};
+use triosim_trace::GpuModel;
+
+fn main() {
+    let platform = Platform::p2(4);
+    let total_batch = 128u64;
+    let strategies = [
+        ("DP", Parallelism::DataParallel { overlap: true }),
+        ("TP", Parallelism::TensorParallel),
+        ("PP", Parallelism::Pipeline { chunks: 2 }),
+    ];
+
+    println!("== Figure 12: DP vs TP vs PP on P2 (4x A100), total batch 128 ==");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}  {:>7} {:>7}",
+        "model", "DP-hw", "TP-hw", "PP-hw", "DP-sim", "TP-sim", "PP-sim", "hw-best", "sim-best"
+    );
+    let mut order_agreements = 0usize;
+    let models = figure_models("all");
+    for &model in &models {
+        let trace = paper_trace(model, GpuModel::A100);
+        let mut truth_times = Vec::new();
+        let mut pred_times = Vec::new();
+        for (_, p) in strategies {
+            let (pred, truth) = predict_and_truth(&trace, &platform, p, total_batch);
+            truth_times.push(truth.total_time_s());
+            pred_times.push(pred.total_time_s());
+        }
+        let best = |v: &[f64]| {
+            strategies[v
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0]
+                .0
+        };
+        let hw_best = best(&truth_times);
+        let sim_best = best(&pred_times);
+        if hw_best == sim_best {
+            order_agreements += 1;
+        }
+        println!(
+            "{:<12} {:>9.4} {:>9.4} {:>9.4}   {:>9.4} {:>9.4} {:>9.4}  {:>7} {:>7}",
+            model.figure_label(),
+            truth_times[0],
+            truth_times[1],
+            truth_times[2],
+            pred_times[0],
+            pred_times[1],
+            pred_times[2],
+            hw_best,
+            sim_best
+        );
+    }
+    println!(
+        "\nbest-strategy agreement: {order_agreements}/{} models",
+        models.len()
+    );
+    println!("paper finds DP is always the most efficient at constant total workload");
+}

@@ -1,0 +1,49 @@
+//! Figure 13: communication/computation time breakdown for tensor
+//! parallelism and DDP on P1.
+//!
+//! The paper's observation: the communication-time share is higher under
+//! tensor parallelism than under distributed data parallelism on P1.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_bench::{figure_models, paper_trace, trace_batch};
+use triosim_trace::GpuModel;
+
+fn main() {
+    let platform = Platform::p1();
+    println!("== Figure 13: comm/comp ratio on P1 (2x A40, PCIe) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}",
+        "model", "TP-comp(s)", "TP-comm(s)", "TP-comm%", "DDP-comp", "DDP-comm", "DDP-comm%"
+    );
+    let mut tp_higher = 0usize;
+    let models = figure_models("all");
+    for &model in &models {
+        let trace = paper_trace(model, GpuModel::A40);
+        let tp = SimBuilder::new(&trace, &platform)
+            .parallelism(Parallelism::TensorParallel)
+            .global_batch(trace_batch(model))
+            .run();
+        let ddp = SimBuilder::new(&trace, &platform)
+            .parallelism(Parallelism::DataParallel { overlap: true })
+            .global_batch(trace_batch(model) * 2)
+            .run();
+        if tp.comm_ratio() > ddp.comm_ratio() {
+            tp_higher += 1;
+        }
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>8.1}%   {:>10.4} {:>10.4} {:>8.1}%",
+            model.figure_label(),
+            tp.compute_time_s(),
+            tp.comm_time_s(),
+            100.0 * tp.comm_ratio(),
+            ddp.compute_time_s(),
+            ddp.comm_time_s(),
+            100.0 * ddp.comm_ratio(),
+        );
+    }
+    println!(
+        "\nTP comm share exceeds DDP comm share on {tp_higher}/{} models \
+         (paper: TP's communication ratio is higher than DP's on P1)",
+        models.len()
+    );
+}

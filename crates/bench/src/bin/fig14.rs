@@ -1,0 +1,40 @@
+//! Figure 14: the simulator's own execution time (wall clock) when
+//! modeling DDP on P2 — the "completes within seconds" claim.
+//!
+//! Reports trace size, task count, and wall-clock seconds per model. The
+//! Criterion bench `end_to_end` in `benches/` measures the same quantity
+//! with statistical rigor.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_bench::{figure_models, paper_trace, time_it, trace_batch};
+use triosim_trace::GpuModel;
+
+fn main() {
+    let platform = Platform::p2(4);
+    println!("== Figure 14: simulator wall-clock time, DDP on P2 (4x A100) ==");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14}",
+        "model", "trace ops", "tasks", "sim time (s)"
+    );
+    let mut total = 0.0;
+    for model in figure_models("all") {
+        let trace = paper_trace(model, GpuModel::A100);
+        let batch = trace_batch(model) * 4;
+        let (report, wall) = time_it(|| {
+            SimBuilder::new(&trace, &platform)
+                .parallelism(Parallelism::DataParallel { overlap: true })
+                .global_batch(batch)
+                .run()
+        });
+        total += wall;
+        println!(
+            "{:<12} {:>12} {:>10} {:>14.4}",
+            model.figure_label(),
+            trace.entries().len(),
+            report.tasks_executed(),
+            wall
+        );
+    }
+    println!("\ntotal wall-clock for all {} simulations: {total:.2} s", figure_models("all").len());
+    println!("paper claim: TrioSim completes simulations within seconds");
+}

@@ -1,0 +1,242 @@
+//! Shared harness for regenerating every table and figure of the TrioSim
+//! paper.
+//!
+//! Each `fig*` binary in `src/bin/` reproduces one figure: it builds the
+//! paper's workloads, runs the TrioSim prediction *and* the reference
+//! ground-truth simulation (the hardware stand-in — see `DESIGN.md` §2),
+//! and prints the same rows the paper plots, including the per-model and
+//! average errors. Criterion micro-benchmarks under `benches/` back the
+//! performance claims (Figure 14's "completes within seconds").
+//!
+//! Everything is seeded and deterministic; binaries accept
+//! `--seed <n>` where randomness is involved (Figure 16).
+
+use std::time::Instant;
+
+use triosim::{Fidelity, Parallelism, Platform, SimBuilder, SimReport};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Trace, Tracer};
+
+/// One row of a validation figure: predicted vs ground truth.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (usually the model's figure label).
+    pub label: String,
+    /// Ground-truth time in seconds (reference simulation).
+    pub truth_s: f64,
+    /// TrioSim-predicted time in seconds.
+    pub pred_s: f64,
+}
+
+impl Row {
+    /// Relative error |pred - truth| / truth, as a percentage.
+    pub fn error_pct(&self) -> f64 {
+        if self.truth_s == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.pred_s - self.truth_s).abs() / self.truth_s
+        }
+    }
+}
+
+/// Prints a validation table in the paper's style and returns the average
+/// error percentage.
+pub fn print_table(title: &str, rows: &[Row]) -> f64 {
+    println!("\n== {title} ==");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "model", "hardware(s)*", "predicted(s)", "error%"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>14.4} {:>14.4} {:>8.2}%",
+            r.label,
+            r.truth_s,
+            r.pred_s,
+            r.error_pct()
+        );
+    }
+    let avg = average_error_pct(rows);
+    println!("{:<12} {:>14} {:>14} {:>8.2}%", "average", "", "", avg);
+    println!("(*hardware = high-fidelity reference simulation; see DESIGN.md)");
+    avg
+}
+
+/// Average error percentage across rows.
+pub fn average_error_pct(rows: &[Row]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(Row::error_pct).sum::<f64>() / rows.len() as f64
+}
+
+/// The per-GPU batch size the paper traces at for a model (128, except
+/// Llama at 16 to avoid out-of-memory on real hardware).
+pub fn trace_batch(model: ModelId) -> u64 {
+    match model {
+        ModelId::Llama32_1B => 16,
+        _ => 128,
+    }
+}
+
+/// Collects the single-GPU trace of `model` on `gpu` at the paper's
+/// batch size.
+pub fn paper_trace(model: ModelId, gpu: GpuModel) -> Trace {
+    Tracer::new(gpu).trace(&model.build(trace_batch(model)))
+}
+
+/// Runs the TrioSim prediction and the reference ground truth for the
+/// same configuration, returning `(prediction, truth)`.
+pub fn predict_and_truth(
+    trace: &Trace,
+    platform: &Platform,
+    parallelism: Parallelism,
+    global_batch: u64,
+) -> (SimReport, SimReport) {
+    let pred = SimBuilder::new(trace, platform)
+        .parallelism(parallelism)
+        .global_batch(global_batch)
+        .run();
+    let truth = SimBuilder::new(trace, platform)
+        .parallelism(parallelism)
+        .global_batch(global_batch)
+        .fidelity(Fidelity::Reference)
+        .run();
+    (pred, truth)
+}
+
+/// Convenience: a validation row for one model under one configuration.
+pub fn validation_row(
+    model: ModelId,
+    gpu: GpuModel,
+    platform: &Platform,
+    parallelism: Parallelism,
+    global_batch: u64,
+) -> Row {
+    let trace = paper_trace(model, gpu);
+    let (pred, truth) = predict_and_truth(&trace, platform, parallelism, global_batch);
+    Row {
+        label: model.figure_label().to_string(),
+        truth_s: truth.total_time_s(),
+        pred_s: pred.total_time_s(),
+    }
+}
+
+/// Parses `--<name> <value>` from argv, with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                return v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --{name}: {v}; using {default}");
+                    default
+                });
+            }
+        }
+    }
+    default
+}
+
+/// Wall-clock measurement helper (Figure 14).
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The subset of models a figure uses, by name, so binaries stay
+/// consistent with the paper's sets.
+pub fn figure_models(set: &str) -> Vec<ModelId> {
+    match set {
+        "image" => ModelId::IMAGE_CLASSIFICATION.to_vec(),
+        "transformer" => ModelId::TRANSFORMERS.to_vec(),
+        "all" => ModelId::ALL.to_vec(),
+        // Pipeline figures: the models the paper could run through
+        // torch.distributed pipelining without code changes.
+        "pipeline" => vec![
+            ModelId::ResNet18,
+            ModelId::ResNet34,
+            ModelId::ResNet50,
+            ModelId::ResNet101,
+            ModelId::ResNet152,
+            ModelId::DenseNet121,
+            ModelId::DenseNet161,
+            ModelId::DenseNet169,
+            ModelId::DenseNet201,
+            ModelId::Vgg16,
+            ModelId::Gpt2,
+            ModelId::BertBase,
+        ],
+        // Wafer-scale case study: a representative cross-section.
+        "wafer" => vec![
+            ModelId::ResNet50,
+            ModelId::DenseNet169,
+            ModelId::Vgg19,
+            ModelId::Gpt2,
+            ModelId::BertBase,
+            ModelId::Llama32_1B,
+        ],
+        other => panic!("unknown figure model set `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_error() {
+        let r = Row {
+            label: "x".into(),
+            truth_s: 2.0,
+            pred_s: 2.2,
+        };
+        assert!((r.error_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_error_over_rows() {
+        let rows = vec![
+            Row {
+                label: "a".into(),
+                truth_s: 1.0,
+                pred_s: 1.1,
+            },
+            Row {
+                label: "b".into(),
+                truth_s: 1.0,
+                pred_s: 0.7,
+            },
+        ];
+        assert!((average_error_pct(&rows) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llama_traces_at_sixteen() {
+        assert_eq!(trace_batch(ModelId::Llama32_1B), 16);
+        assert_eq!(trace_batch(ModelId::ResNet50), 128);
+    }
+
+    #[test]
+    fn figure_sets_resolve() {
+        assert_eq!(figure_models("image").len(), 13);
+        assert_eq!(figure_models("all").len(), 18);
+        assert!(!figure_models("pipeline").is_empty());
+        assert!(!figure_models("wafer").is_empty());
+    }
+
+    #[test]
+    fn validation_row_end_to_end_small() {
+        // Smoke: one small model on P1.
+        let row = validation_row(
+            ModelId::ResNet18,
+            GpuModel::A40,
+            &Platform::p1(),
+            Parallelism::DataParallel { overlap: true },
+            2 * trace_batch(ModelId::ResNet18),
+        );
+        assert!(row.truth_s > 0.0 && row.pred_s > 0.0);
+        assert!(row.error_pct() < 30.0, "error {}", row.error_pct());
+    }
+}

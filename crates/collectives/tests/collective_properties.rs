@@ -1,0 +1,93 @@
+//! Property tests: semantic completeness of every AllReduce schedule.
+//!
+//! An AllReduce is correct only if, after the schedule runs, every rank
+//! has (transitively) incorporated every other rank's contribution. We
+//! verify that with knowledge-set propagation: each rank starts knowing
+//! only itself; each transfer unions the sender's knowledge into the
+//! receiver; steps are synchronous (knowledge snapshots per step).
+
+use proptest::prelude::*;
+use triosim_collectives::{
+    halving_doubling_all_reduce, ring_all_reduce, ring_all_reduce_unsegmented,
+    tree_all_reduce, CollectiveSchedule, Rank,
+};
+
+/// Runs knowledge propagation over a schedule and returns per-rank
+/// knowledge bitmasks.
+fn propagate(schedule: &CollectiveSchedule) -> Vec<u64> {
+    let n = schedule.ranks();
+    assert!(n <= 64, "bitmask propagation supports up to 64 ranks");
+    let mut know: Vec<u64> = (0..n).map(|r| 1u64 << r).collect();
+    for step in schedule.steps() {
+        let snapshot = know.clone();
+        for t in step {
+            know[t.dst.0] |= snapshot[t.src.0];
+        }
+    }
+    know
+}
+
+fn all_known(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+proptest! {
+    /// Segmented ring AllReduce: everyone hears from everyone.
+    #[test]
+    fn ring_is_complete(n in 2usize..33, bytes in 1u64..1_000_000) {
+        let know = propagate(&ring_all_reduce(n, bytes));
+        prop_assert!(know.iter().all(|&k| k == all_known(n)));
+    }
+
+    /// Unsegmented ring: same completeness.
+    #[test]
+    fn unsegmented_ring_is_complete(n in 2usize..33, bytes in 1u64..1_000_000) {
+        let know = propagate(&ring_all_reduce_unsegmented(n, bytes));
+        prop_assert!(know.iter().all(|&k| k == all_known(n)));
+    }
+
+    /// Binomial tree: everyone hears from everyone, including
+    /// non-power-of-two groups.
+    #[test]
+    fn tree_is_complete(n in 2usize..33, bytes in 1u64..1_000_000) {
+        let know = propagate(&tree_all_reduce(n, bytes));
+        prop_assert!(know.iter().all(|&k| k == all_known(n)),
+            "n={n}: {know:?}");
+    }
+
+    /// Halving-doubling on power-of-two groups.
+    #[test]
+    fn halving_doubling_is_complete(log_n in 1u32..6, bytes in 1u64..1_000_000) {
+        let n = 1usize << log_n;
+        let know = propagate(&halving_doubling_all_reduce(n, bytes));
+        prop_assert!(know.iter().all(|&k| k == all_known(n)));
+    }
+
+    /// Ring AllReduce volume identity: every rank sends exactly
+    /// `2 (n-1) ceil(B/n)` bytes.
+    #[test]
+    fn ring_volume_identity(n in 2usize..17, bytes in 1u64..10_000_000) {
+        let s = ring_all_reduce(n, bytes);
+        let per_rank = 2 * (n as u64 - 1) * bytes.div_ceil(n as u64).max(1);
+        for r in 0..n {
+            prop_assert_eq!(s.bytes_sent_by(Rank(r)), per_rank);
+        }
+    }
+
+    /// The segmented ring never moves more total bytes than the
+    /// unsegmented one, and the tree sits between ring-segmented and
+    /// n times ring for plausible group sizes.
+    #[test]
+    fn volume_orderings(n in 2usize..17, bytes in 1_000u64..10_000_000) {
+        let seg = ring_all_reduce(n, bytes).total_bytes();
+        let unseg = ring_all_reduce_unsegmented(n, bytes).total_bytes();
+        let tree = tree_all_reduce(n, bytes).total_bytes();
+        prop_assert!(seg <= unseg);
+        prop_assert!(tree <= unseg, "tree {tree} vs unseg {unseg}");
+        prop_assert!(tree >= bytes, "tree must move at least one buffer");
+    }
+}

@@ -1,0 +1,66 @@
+//! Lightweight monitoring counters.
+//!
+//! The original TrioSim advertises real-time monitoring through AkitaRTM.
+//! We keep the same spirit with a zero-cost counter block that every
+//! [`EventQueue`](crate::EventQueue) maintains; higher layers (the
+//! `triosim` crate's reporting module) surface these in their run summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters describing event-queue activity.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_des::{EventQueue, VirtualTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(VirtualTime::from_seconds(1.0), ());
+/// q.pop();
+/// assert_eq!(q.stats().scheduled(), 1);
+/// assert_eq!(q.stats().delivered(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    scheduled: u64,
+    delivered: u64,
+    cancelled: u64,
+    max_pending: usize,
+}
+
+impl QueueStats {
+    /// Total events ever scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events delivered by `pop`.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total events cancelled before delivery.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// High-water mark of the pending-event count.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    pub(crate) fn record_scheduled(&mut self, pending: usize) {
+        self.scheduled += 1;
+        if pending > self.max_pending {
+            self.max_pending = pending;
+        }
+    }
+
+    pub(crate) fn record_delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn record_cancelled(&mut self) {
+        self.cancelled += 1;
+    }
+}

@@ -1,0 +1,195 @@
+//! Periodic ticking, Akita-style.
+//!
+//! Akita components that poll state (progress monitors, AkitaRTM's
+//! real-time view) are *ticking* components: they re-schedule themselves
+//! at a fixed period until told to stop. [`Ticker`] packages that pattern
+//! for [`EventQueue`]-based simulators: it hands out the next tick time
+//! and knows when to stop, leaving event delivery to the owning loop.
+
+use crate::queue::EventQueue;
+use crate::time::{TimeSpan, VirtualTime};
+
+/// A fixed-period tick source.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_des::{EventQueue, TimeSpan, Ticker, VirtualTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev {
+///     Tick,
+///     Done,
+/// }
+///
+/// let mut q = EventQueue::new();
+/// let mut ticker = Ticker::new(TimeSpan::from_millis(10.0));
+/// q.schedule(ticker.first_tick(VirtualTime::ZERO), Ev::Tick);
+/// q.schedule(VirtualTime::from_millis(35.0), Ev::Done);
+///
+/// let mut ticks = 0;
+/// while let Some((now, ev)) = q.pop() {
+///     match ev {
+///         Ev::Tick => {
+///             ticks += 1;
+///             if let Some(next) = ticker.next_tick(now) {
+///                 q.schedule(next, Ev::Tick);
+///             }
+///         }
+///         Ev::Done => ticker.stop(),
+///     }
+/// }
+/// assert_eq!(ticks, 4, "ticks at 10, 20, 30, 40 ms; stopped after Done");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ticker {
+    period: TimeSpan,
+    stopped: bool,
+    ticks: u64,
+}
+
+impl Ticker {
+    /// Creates a ticker with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero (it would flood the queue).
+    pub fn new(period: TimeSpan) -> Self {
+        assert!(!period.is_zero(), "tick period must be positive");
+        Ticker {
+            period,
+            stopped: false,
+            ticks: 0,
+        }
+    }
+
+    /// The tick period.
+    pub fn period(&self) -> TimeSpan {
+        self.period
+    }
+
+    /// Number of ticks issued so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The first tick time after `now`.
+    pub fn first_tick(&mut self, now: VirtualTime) -> VirtualTime {
+        self.ticks += 1;
+        now + self.period
+    }
+
+    /// The next tick time, or `None` once stopped.
+    pub fn next_tick(&mut self, now: VirtualTime) -> Option<VirtualTime> {
+        if self.stopped {
+            return None;
+        }
+        self.ticks += 1;
+        Some(now + self.period)
+    }
+
+    /// Stops the ticker; subsequent [`next_tick`](Ticker::next_tick)
+    /// calls return `None`.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// True once stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+}
+
+/// Drives a closure at a fixed period over an existing queue until the
+/// queue runs dry or the closure returns `false` — a convenience for
+/// monitors that sample simulation state.
+///
+/// Returns the number of ticks delivered.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_des::{tick_while, EventQueue, TimeSpan, VirtualTime};
+///
+/// let mut samples = Vec::new();
+/// let n = tick_while(TimeSpan::from_millis(5.0), VirtualTime::from_millis(18.0), |t| {
+///     samples.push(t.as_millis());
+///     true
+/// });
+/// assert_eq!(n, 3); // 5, 10, 15 ms
+/// assert_eq!(samples, vec![5.0, 10.0, 15.0]);
+/// ```
+pub fn tick_while(
+    period: TimeSpan,
+    until: VirtualTime,
+    mut on_tick: impl FnMut(VirtualTime) -> bool,
+) -> u64 {
+    let mut queue: EventQueue<()> = EventQueue::new();
+    let mut ticker = Ticker::new(period);
+    let first = ticker.first_tick(VirtualTime::ZERO);
+    if first <= until {
+        queue.schedule(first, ());
+    }
+    let mut delivered = 0;
+    while let Some((now, ())) = queue.pop() {
+        delivered += 1;
+        if !on_tick(now) {
+            break;
+        }
+        if let Some(next) = ticker.next_tick(now) {
+            if next <= until {
+                queue.schedule(next, ());
+            }
+        }
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_count_and_stop() {
+        let mut t = Ticker::new(TimeSpan::from_seconds(1.0));
+        let t1 = t.first_tick(VirtualTime::ZERO);
+        assert_eq!(t1, VirtualTime::from_seconds(1.0));
+        assert_eq!(t.next_tick(t1), Some(VirtualTime::from_seconds(2.0)));
+        assert_eq!(t.ticks(), 2);
+        t.stop();
+        assert!(t.is_stopped());
+        assert_eq!(t.next_tick(t1), None);
+        assert_eq!(t.ticks(), 2, "stopped ticker issues no ticks");
+    }
+
+    #[test]
+    fn tick_while_respects_deadline() {
+        let mut count = 0;
+        let n = tick_while(
+            TimeSpan::from_seconds(1.0),
+            VirtualTime::from_seconds(3.5),
+            |_| {
+                count += 1;
+                true
+            },
+        );
+        assert_eq!(n, 3);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn tick_while_early_exit() {
+        let n = tick_while(
+            TimeSpan::from_seconds(1.0),
+            VirtualTime::from_seconds(100.0),
+            |t| t < VirtualTime::from_seconds(2.5),
+        );
+        assert_eq!(n, 3, "stops on the tick where the closure says no");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = Ticker::new(TimeSpan::ZERO);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the event queue's ordering guarantees.
+
+use proptest::prelude::*;
+use triosim_des::{EventQueue, VirtualTime};
+
+proptest! {
+    /// Events always come out sorted by time; equal times preserve
+    /// scheduling order (stable FIFO).
+    #[test]
+    fn pops_are_totally_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(VirtualTime::from_femtos(t), i);
+        }
+        let mut prev: Option<(VirtualTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((pt, pidx)) = prev {
+                prop_assert!(t >= pt, "time went backwards");
+                if t == pt {
+                    prop_assert!(idx > pidx, "FIFO violated for simultaneous events");
+                }
+            }
+            prev = Some((t, idx));
+        }
+    }
+
+    /// Every scheduled event is delivered exactly once (no loss, no dup).
+    #[test]
+    fn conservation_of_events(times in prop::collection::vec(0u64..1_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(VirtualTime::from_femtos(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some((_, idx)) = q.pop() {
+            prop_assert!(!seen[idx], "event delivered twice");
+            seen[idx] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "event lost");
+    }
+
+    /// Cancelled events are never delivered; everything else still is.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(VirtualTime::from_femtos(t), i))
+            .collect();
+        let mut cancelled = vec![false; times.len()];
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*id);
+                cancelled[i] = true;
+            }
+        }
+        let mut delivered = vec![false; times.len()];
+        while let Some((_, idx)) = q.pop() {
+            delivered[idx] = true;
+        }
+        for i in 0..times.len() {
+            prop_assert_eq!(delivered[i], !cancelled[i], "event {} wrong fate", i);
+        }
+    }
+
+    /// `peek_time` always equals the time of the next `pop`.
+    #[test]
+    fn peek_agrees_with_pop(times in prop::collection::vec(0u64..1_000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(VirtualTime::from_femtos(t), i);
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (popped, _) = q.pop().unwrap();
+            prop_assert_eq!(peeked, popped);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,506 @@
+//! Convolutional architectures from the paper's evaluation: ResNet,
+//! DenseNet, and VGG families (torchvision configurations, 224x224 input,
+//! 1000-way ImageNet classifier).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{GraphBuilder, Layer, LayerKind, ModelGraph};
+use crate::op::Operator;
+use crate::shapes::TensorShape;
+
+/// ResNet depths evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResNetVariant {
+    /// ResNet-18 (basic blocks, [2, 2, 2, 2]).
+    R18,
+    /// ResNet-34 (basic blocks, [3, 4, 6, 3]).
+    R34,
+    /// ResNet-50 (bottleneck blocks, [3, 4, 6, 3]).
+    R50,
+    /// ResNet-101 (bottleneck blocks, [3, 4, 23, 3]).
+    R101,
+    /// ResNet-152 (bottleneck blocks, [3, 8, 36, 3]).
+    R152,
+}
+
+impl ResNetVariant {
+    fn blocks(self) -> [u64; 4] {
+        match self {
+            ResNetVariant::R18 => [2, 2, 2, 2],
+            ResNetVariant::R34 | ResNetVariant::R50 => [3, 4, 6, 3],
+            ResNetVariant::R101 => [3, 4, 23, 3],
+            ResNetVariant::R152 => [3, 8, 36, 3],
+        }
+    }
+
+    fn bottleneck(self) -> bool {
+        matches!(
+            self,
+            ResNetVariant::R50 | ResNetVariant::R101 | ResNetVariant::R152
+        )
+    }
+
+    fn depth(self) -> u32 {
+        match self {
+            ResNetVariant::R18 => 18,
+            ResNetVariant::R34 => 34,
+            ResNetVariant::R50 => 50,
+            ResNetVariant::R101 => 101,
+            ResNetVariant::R152 => 152,
+        }
+    }
+}
+
+/// Builds a ResNet graph at the given batch size.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::{resnet, ResNetVariant};
+///
+/// let m = resnet(ResNetVariant::R18, 64);
+/// assert_eq!(m.name(), "resnet18");
+/// ```
+pub fn resnet(variant: ResNetVariant, batch: u64) -> ModelGraph {
+    let n = batch;
+    let input = TensorShape::from([n, 3, 224, 224]);
+    let name = format!("resnet{}", variant.depth());
+    let mut b = GraphBuilder::new(name, batch, input.clone());
+
+    // Stem: 7x7/2 conv -> BN -> ReLU -> 3x3/2 max-pool.
+    let conv1 = Operator::conv2d("conv1", &input, 64, 7, 112, 112);
+    let s1 = conv1.output.clone();
+    let pool = Operator::pool("maxpool", &s1, 3, 56, 56);
+    b.push(Layer::new(
+        "stem",
+        LayerKind::Conv,
+        vec![
+            conv1,
+            Operator::batch_norm("bn1", &s1),
+            Operator::activation("relu1", &s1),
+            pool,
+        ],
+    ));
+
+    let expansion: u64 = if variant.bottleneck() { 4 } else { 1 };
+    let stage_planes = [64u64, 128, 256, 512];
+    let stage_size = [56u64, 28, 14, 7];
+    let mut in_ch = 64u64;
+
+    for (stage, &planes) in stage_planes.iter().enumerate() {
+        let blocks = variant.blocks()[stage];
+        let size = stage_size[stage];
+        for block in 0..blocks {
+            let first = block == 0;
+            // All stages except the first downsample on their first block.
+            let in_size = if first && stage > 0 { size * 2 } else { size };
+            let prefix = format!("layer{}.{}", stage + 1, block);
+            let in_shape = TensorShape::from([n, in_ch, in_size, in_size]);
+            let out_ch = planes * expansion;
+            let mut ops = Vec::new();
+
+            if variant.bottleneck() {
+                let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, planes, 1, in_size, in_size);
+                let s1 = c1.output.clone();
+                ops.push(c1);
+                ops.push(Operator::batch_norm(format!("{prefix}.bn1"), &s1));
+                ops.push(Operator::activation(format!("{prefix}.relu1"), &s1));
+                let c2 = Operator::conv2d(format!("{prefix}.conv2"), &s1, planes, 3, size, size);
+                let s2 = c2.output.clone();
+                ops.push(c2);
+                ops.push(Operator::batch_norm(format!("{prefix}.bn2"), &s2));
+                ops.push(Operator::activation(format!("{prefix}.relu2"), &s2));
+                let c3 = Operator::conv2d(format!("{prefix}.conv3"), &s2, out_ch, 1, size, size);
+                let s3 = c3.output.clone();
+                ops.push(c3);
+                ops.push(Operator::batch_norm(format!("{prefix}.bn3"), &s3));
+            } else {
+                let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, planes, 3, size, size);
+                let s1 = c1.output.clone();
+                ops.push(c1);
+                ops.push(Operator::batch_norm(format!("{prefix}.bn1"), &s1));
+                ops.push(Operator::activation(format!("{prefix}.relu1"), &s1));
+                let c2 = Operator::conv2d(format!("{prefix}.conv2"), &s1, out_ch, 3, size, size);
+                let s2 = c2.output.clone();
+                ops.push(c2);
+                ops.push(Operator::batch_norm(format!("{prefix}.bn2"), &s2));
+            }
+
+            let out_shape = TensorShape::from([n, out_ch, size, size]);
+            if first && (in_ch != out_ch || stage > 0) {
+                let ds = Operator::conv2d(
+                    format!("{prefix}.downsample"),
+                    &in_shape,
+                    out_ch,
+                    1,
+                    size,
+                    size,
+                );
+                ops.push(ds);
+                ops.push(Operator::batch_norm(format!("{prefix}.downsample_bn"), &out_shape));
+            }
+            ops.push(Operator::elementwise(format!("{prefix}.add"), &out_shape));
+            ops.push(Operator::activation(format!("{prefix}.relu_out"), &out_shape));
+
+            b.push(Layer::new(prefix, LayerKind::Conv, ops));
+            in_ch = out_ch;
+        }
+    }
+
+    finish_classifier(&mut b, n, in_ch, 7);
+    b.build()
+}
+
+/// DenseNet configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DenseNetVariant {
+    /// DenseNet-121: growth 32, blocks [6, 12, 24, 16].
+    D121,
+    /// DenseNet-161: growth 48, blocks [6, 12, 36, 24], 96-wide stem.
+    D161,
+    /// DenseNet-169: growth 32, blocks [6, 12, 32, 32].
+    D169,
+    /// DenseNet-201: growth 32, blocks [6, 12, 48, 32].
+    D201,
+}
+
+impl DenseNetVariant {
+    fn config(self) -> (u64, u64, [u64; 4]) {
+        // (growth, stem channels, per-block layer counts)
+        match self {
+            DenseNetVariant::D121 => (32, 64, [6, 12, 24, 16]),
+            DenseNetVariant::D161 => (48, 96, [6, 12, 36, 24]),
+            DenseNetVariant::D169 => (32, 64, [6, 12, 32, 32]),
+            DenseNetVariant::D201 => (32, 64, [6, 12, 48, 32]),
+        }
+    }
+
+    fn depth(self) -> u32 {
+        match self {
+            DenseNetVariant::D121 => 121,
+            DenseNetVariant::D161 => 161,
+            DenseNetVariant::D169 => 169,
+            DenseNetVariant::D201 => 201,
+        }
+    }
+}
+
+/// Builds a DenseNet graph at the given batch size.
+pub fn densenet(variant: DenseNetVariant, batch: u64) -> ModelGraph {
+    let n = batch;
+    let (growth, stem_ch, block_layers) = variant.config();
+    let bn_size = 4u64; // bottleneck width multiplier, as in torchvision
+    let input = TensorShape::from([n, 3, 224, 224]);
+    let name = format!("densenet{}", variant.depth());
+    let mut b = GraphBuilder::new(name, batch, input.clone());
+
+    let conv0 = Operator::conv2d("conv0", &input, stem_ch, 7, 112, 112);
+    let s0 = conv0.output.clone();
+    let pool0 = Operator::pool("pool0", &s0, 3, 56, 56);
+    b.push(Layer::new(
+        "stem",
+        LayerKind::Conv,
+        vec![
+            conv0,
+            Operator::batch_norm("norm0", &s0),
+            Operator::activation("relu0", &s0),
+            pool0,
+        ],
+    ));
+
+    let mut channels = stem_ch;
+    let mut size = 56u64;
+    for (bi, &layers) in block_layers.iter().enumerate() {
+        for li in 0..layers {
+            let prefix = format!("denseblock{}.denselayer{}", bi + 1, li + 1);
+            let in_shape = TensorShape::from([n, channels, size, size]);
+            let c1 = Operator::conv2d(
+                format!("{prefix}.conv1"),
+                &in_shape,
+                bn_size * growth,
+                1,
+                size,
+                size,
+            );
+            let mid = c1.output.clone();
+            let c2 = Operator::conv2d(format!("{prefix}.conv2"), &mid, growth, 3, size, size);
+            channels += growth;
+            let concat_shape = TensorShape::from([n, channels, size, size]);
+            let ops = vec![
+                Operator::batch_norm(format!("{prefix}.norm1"), &in_shape),
+                Operator::activation(format!("{prefix}.relu1"), &in_shape),
+                c1,
+                Operator::batch_norm(format!("{prefix}.norm2"), &mid),
+                Operator::activation(format!("{prefix}.relu2"), &mid),
+                c2,
+                // Concatenation is a memory copy of the grown activation.
+                Operator::elementwise(format!("{prefix}.concat"), &concat_shape),
+            ];
+            b.push(Layer::new(prefix, LayerKind::Conv, ops));
+        }
+        if bi < block_layers.len() - 1 {
+            // Transition: 1x1 conv halving channels, then 2x2 avg-pool.
+            let prefix = format!("transition{}", bi + 1);
+            let in_shape = TensorShape::from([n, channels, size, size]);
+            channels /= 2;
+            let conv = Operator::conv2d(format!("{prefix}.conv"), &in_shape, channels, 1, size, size);
+            let mid = conv.output.clone();
+            size /= 2;
+            let pool = Operator::pool(format!("{prefix}.pool"), &mid, 2, size, size);
+            b.push(Layer::new(
+                prefix.clone(),
+                LayerKind::Conv,
+                vec![
+                    Operator::batch_norm(format!("{prefix}.norm"), &in_shape),
+                    Operator::activation(format!("{prefix}.relu"), &in_shape),
+                    conv,
+                    pool,
+                ],
+            ));
+        }
+    }
+
+    // Final norm, then classifier.
+    let final_shape = TensorShape::from([n, channels, size, size]);
+    b.push(Layer::new(
+        "norm5",
+        LayerKind::Norm,
+        vec![
+            Operator::batch_norm("norm5", &final_shape),
+            Operator::activation("relu5", &final_shape),
+        ],
+    ));
+    finish_classifier(&mut b, n, channels, size);
+    b.build()
+}
+
+/// VGG configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VggVariant {
+    /// VGG-11 (configuration "A").
+    V11,
+    /// VGG-13 (configuration "B").
+    V13,
+    /// VGG-16 (configuration "D").
+    V16,
+    /// VGG-19 (configuration "E").
+    V19,
+}
+
+impl VggVariant {
+    /// Convolution channel plan; `0` denotes a 2x2 max-pool.
+    fn plan(self) -> &'static [u64] {
+        match self {
+            VggVariant::V11 => &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+            VggVariant::V13 => &[64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+            VggVariant::V16 => &[
+                64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+            ],
+            VggVariant::V19 => &[
+                64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512,
+                512, 512, 0,
+            ],
+        }
+    }
+
+    fn depth(self) -> u32 {
+        match self {
+            VggVariant::V11 => 11,
+            VggVariant::V13 => 13,
+            VggVariant::V16 => 16,
+            VggVariant::V19 => 19,
+        }
+    }
+}
+
+/// Builds a VGG graph at the given batch size.
+pub fn vgg(variant: VggVariant, batch: u64) -> ModelGraph {
+    let n = batch;
+    let input = TensorShape::from([n, 3, 224, 224]);
+    let name = format!("vgg{}", variant.depth());
+    let mut b = GraphBuilder::new(name, batch, input);
+
+    let mut size = 224u64;
+    let mut conv_idx = 0u32;
+    for &step in variant.plan() {
+        if step == 0 {
+            let shape = b.current().clone();
+            size /= 2;
+            let pool = Operator::pool(format!("pool{conv_idx}"), &shape, 2, size, size);
+            b.push_op(LayerKind::Pool, pool);
+        } else {
+            conv_idx += 1;
+            let in_shape = b.current().clone();
+            let conv = Operator::conv2d(format!("conv{conv_idx}"), &in_shape, step, 3, size, size);
+            let out = conv.output.clone();
+            b.push(Layer::new(
+                format!("features{conv_idx}"),
+                LayerKind::Conv,
+                vec![conv, Operator::activation(format!("relu{conv_idx}"), &out)],
+            ));
+        }
+    }
+
+    // Classifier: 512*7*7 -> 4096 -> 4096 -> 1000.
+    let flat = 512 * size * size;
+    let fc1 = Operator::linear("classifier.0", n, flat, 4096);
+    let a1 = fc1.output.clone();
+    b.push(Layer::new(
+        "classifier.0",
+        LayerKind::Linear,
+        vec![fc1, Operator::activation("classifier.relu1", &a1)],
+    ));
+    let fc2 = Operator::linear("classifier.3", n, 4096, 4096);
+    let a2 = fc2.output.clone();
+    b.push(Layer::new(
+        "classifier.3",
+        LayerKind::Linear,
+        vec![fc2, Operator::activation("classifier.relu2", &a2)],
+    ));
+    b.push_op(LayerKind::Linear, Operator::linear("classifier.6", n, 4096, 1000));
+    b.push_op(LayerKind::Loss, Operator::loss("cross_entropy", n, 1000));
+    b.build()
+}
+
+/// Appends global average pooling, the 1000-way FC head, and the loss.
+fn finish_classifier(b: &mut GraphBuilder, n: u64, channels: u64, spatial: u64) {
+    let in_shape = TensorShape::from([n, channels, spatial, spatial]);
+    let gap = Operator::pool("avgpool", &in_shape, spatial, 1, 1);
+    b.push_op(LayerKind::Pool, gap);
+    b.push_op(LayerKind::Linear, Operator::linear("fc", n, channels, 1000));
+    b.push_op(LayerKind::Loss, Operator::loss("cross_entropy", n, 1000));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published torchvision parameter counts (weights only; we add conv
+    /// biases, so allow ~1% slack above).
+    fn assert_params(m: &ModelGraph, published_millions: f64) {
+        let params = m.param_count() as f64 / 1e6;
+        let lo = published_millions * 0.99;
+        let hi = published_millions * 1.02;
+        assert!(
+            params > lo && params < hi,
+            "{}: {params:.2} M params, published {published_millions} M",
+            m.name()
+        );
+    }
+
+    #[test]
+    fn resnet18_params() {
+        assert_params(&resnet(ResNetVariant::R18, 2), 11.69);
+    }
+
+    #[test]
+    fn resnet34_params() {
+        assert_params(&resnet(ResNetVariant::R34, 2), 21.80);
+    }
+
+    #[test]
+    fn resnet50_params() {
+        assert_params(&resnet(ResNetVariant::R50, 2), 25.56);
+    }
+
+    #[test]
+    fn resnet101_params() {
+        assert_params(&resnet(ResNetVariant::R101, 2), 44.55);
+    }
+
+    #[test]
+    fn resnet152_params() {
+        assert_params(&resnet(ResNetVariant::R152, 2), 60.19);
+    }
+
+    #[test]
+    fn densenet121_params() {
+        assert_params(&densenet(DenseNetVariant::D121, 2), 7.98);
+    }
+
+    #[test]
+    fn densenet161_params() {
+        assert_params(&densenet(DenseNetVariant::D161, 2), 28.68);
+    }
+
+    #[test]
+    fn densenet169_params() {
+        assert_params(&densenet(DenseNetVariant::D169, 2), 14.15);
+    }
+
+    #[test]
+    fn densenet201_params() {
+        assert_params(&densenet(DenseNetVariant::D201, 2), 20.01);
+    }
+
+    #[test]
+    fn vgg_params() {
+        assert_params(&vgg(VggVariant::V11, 2), 132.86);
+        assert_params(&vgg(VggVariant::V13, 2), 133.05);
+        assert_params(&vgg(VggVariant::V16, 2), 138.36);
+        assert_params(&vgg(VggVariant::V19, 2), 143.67);
+    }
+
+    #[test]
+    fn resnet50_forward_flops() {
+        // ResNet-50 forward is ~4.1 GFLOPs/image (counting MACs x2).
+        let m = resnet(ResNetVariant::R50, 1);
+        let gf = m.total_flops() / 1e9;
+        assert!((7.0..9.5).contains(&gf), "got {gf} GFLOPs");
+        // ^ includes BN/activation/loss overhead beyond the conv-only 4.1
+        //   GMACs = 8.2 GFLOPs convention.
+    }
+
+    #[test]
+    fn vgg16_flops_dwarf_resnet18() {
+        let v = vgg(VggVariant::V16, 8).total_flops();
+        let r = resnet(ResNetVariant::R18, 8).total_flops();
+        assert!(v > 5.0 * r);
+    }
+
+    #[test]
+    fn resnet_layer_chain_shapes_connect() {
+        let m = resnet(ResNetVariant::R50, 4);
+        // Output of the network is the loss over 4 samples.
+        let last = m.layers().last().unwrap();
+        assert_eq!(last.output.dims(), &[4]);
+        // Stage boundaries halve the spatial size: find layer3.0 input.
+        let stem = &m.layers()[0];
+        assert_eq!(stem.output.dims(), &[4, 64, 56, 56]);
+    }
+
+    #[test]
+    fn densenet_channel_growth() {
+        let m = densenet(DenseNetVariant::D121, 2);
+        // Final features: 1024 channels at 7x7 for DenseNet-121.
+        let norm5 = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "norm5")
+            .expect("norm5 exists");
+        assert_eq!(norm5.output.dims(), &[2, 1024, 7, 7]);
+    }
+
+    #[test]
+    fn vgg_spatial_plan() {
+        let m = vgg(VggVariant::V16, 2);
+        // 5 pools: 224 -> 7.
+        let pools = m
+            .layers()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Pool)
+            .count();
+        assert_eq!(pools, 5);
+    }
+
+    #[test]
+    fn models_end_with_loss() {
+        for m in [
+            resnet(ResNetVariant::R18, 2),
+            densenet(DenseNetVariant::D121, 2),
+            vgg(VggVariant::V11, 2),
+        ] {
+            assert_eq!(m.layers().last().unwrap().kind, LayerKind::Loss);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Layer-granularity model graphs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Operator;
+use crate::shapes::{DType, TensorShape};
+
+/// Coarse role of a layer within a model.
+///
+/// Pipeline-parallel stage assignment balances stages by FLOPs; layer kind
+/// is used by tensor parallelism to decide which layers are splittable
+/// (the paper splits convolution, linear, and embedding layers, matching
+/// what PyTorch parallelizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolutional stem / block.
+    Conv,
+    /// Fully connected layer or MLP block.
+    Linear,
+    /// Token/position embedding.
+    Embedding,
+    /// Transformer block (attention + MLP).
+    TransformerBlock,
+    /// Pooling / reshaping glue.
+    Pool,
+    /// Normalization-only layer.
+    Norm,
+    /// Loss head.
+    Loss,
+}
+
+impl LayerKind {
+    /// True if tensor parallelism can split this layer across GPUs.
+    pub const fn tp_splittable(self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv | LayerKind::Linear | LayerKind::Embedding | LayerKind::TransformerBlock
+        )
+    }
+}
+
+/// One model layer: the pipeline-parallel unit of placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name, e.g. `layer2.1`.
+    pub name: String,
+    /// Coarse role.
+    pub kind: LayerKind,
+    /// Forward operators, in execution order.
+    pub ops: Vec<Operator>,
+    /// Shape of the activation this layer hands to its successor.
+    pub output: TensorShape,
+}
+
+impl Layer {
+    /// Creates a layer; its output shape is that of its last operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(name: impl Into<String>, kind: LayerKind, ops: Vec<Operator>) -> Self {
+        assert!(!ops.is_empty(), "a layer must contain at least one operator");
+        let output = ops.last().expect("non-empty").output.clone();
+        Layer {
+            name: name.into(),
+            kind,
+            ops,
+            output,
+        }
+    }
+
+    /// Total forward FLOPs of the layer.
+    pub fn flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Total parameter bytes (== gradient bytes for AllReduce).
+    pub fn param_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.weight_bytes).sum()
+    }
+
+    /// Bytes of the activation sent to the next pipeline stage.
+    pub fn output_bytes(&self) -> u64 {
+        self.output.bytes(DType::F32)
+    }
+
+    /// True if tensor parallelism can split this layer.
+    pub fn tp_splittable(&self) -> bool {
+        self.kind.tp_splittable()
+    }
+}
+
+/// A complete model: an ordered chain of layers plus workload metadata.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::ModelId;
+///
+/// let m = ModelId::Vgg16.build(32);
+/// assert!(m.layer_count() > 10);
+/// assert!(m.total_flops() > 1e11); // VGG-16 fwd @ batch 32 is ~1 TFLOP
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    name: String,
+    batch: u64,
+    layers: Vec<Layer>,
+}
+
+impl ModelGraph {
+    /// Creates a graph from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `batch` is zero.
+    pub fn new(name: impl Into<String>, batch: u64, layers: Vec<Layer>) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(!layers.is_empty(), "a model must have at least one layer");
+        ModelGraph {
+            name: name.into(),
+            batch,
+            layers,
+        }
+    }
+
+    /// Model name, e.g. `resnet50`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The (mini-)batch size the graph was built for.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// The layer chain.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total forward FLOPs across all layers.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(Layer::flops).sum()
+    }
+
+    /// Total parameter count (elements).
+    pub fn param_count(&self) -> u64 {
+        self.param_bytes() / DType::F32.size_bytes()
+    }
+
+    /// Total parameter bytes — the AllReduce volume of one DP iteration.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::param_bytes).sum()
+    }
+
+    /// Rebuilds the same architecture at a different batch size by
+    /// rescaling every operator (see [`Operator::with_batch_scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_batch` is zero.
+    pub fn with_batch(&self, new_batch: u64) -> ModelGraph {
+        assert!(new_batch > 0, "batch size must be positive");
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let ops = l
+                    .ops
+                    .iter()
+                    .map(|o| o.with_batch_scaled(self.batch, new_batch))
+                    .collect();
+                Layer::new(l.name.clone(), l.kind, ops)
+            })
+            .collect();
+        ModelGraph::new(self.name.clone(), new_batch, layers)
+    }
+}
+
+impl fmt::Display for ModelGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (batch {}, {} layers, {:.2} GFLOPs fwd, {:.1} M params)",
+            self.name,
+            self.batch,
+            self.layer_count(),
+            self.total_flops() / 1e9,
+            self.param_count() as f64 / 1e6
+        )
+    }
+}
+
+/// Incremental builder used by the architecture definitions.
+///
+/// Tracks the "current" activation shape flowing through the network so
+/// each added layer can derive its input from the previous output.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    batch: u64,
+    layers: Vec<Layer>,
+    current: TensorShape,
+}
+
+impl GraphBuilder {
+    /// Starts a model whose first layer consumes `input`.
+    pub fn new(name: impl Into<String>, batch: u64, input: TensorShape) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            batch,
+            layers: Vec::new(),
+            current: input,
+        }
+    }
+
+    /// The activation shape produced by the most recent layer.
+    pub fn current(&self) -> &TensorShape {
+        &self.current
+    }
+
+    /// Appends a layer and advances the current shape to its output.
+    pub fn push(&mut self, layer: Layer) -> &mut Self {
+        self.current = layer.output.clone();
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a single-operator layer.
+    pub fn push_op(&mut self, kind: LayerKind, op: Operator) -> &mut Self {
+        let name = op.name.clone();
+        self.push(Layer::new(name, kind, vec![op]))
+    }
+
+    /// Finishes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer was pushed.
+    pub fn build(self) -> ModelGraph {
+        ModelGraph::new(self.name, self.batch, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpClass, Operator};
+
+    fn tiny_model(batch: u64) -> ModelGraph {
+        let input = TensorShape::from([batch, 3, 8, 8]);
+        let mut b = GraphBuilder::new("tiny", batch, input.clone());
+        let conv = Operator::conv2d("conv", &input, 16, 3, 8, 8);
+        let shape = conv.output.clone();
+        b.push(Layer::new(
+            "stem",
+            LayerKind::Conv,
+            vec![conv, Operator::activation("relu", &shape)],
+        ));
+        let n = b.current().batch();
+        b.push_op(LayerKind::Linear, Operator::linear("fc", n, 16 * 64, 10));
+        b.build()
+    }
+
+    #[test]
+    fn builder_threads_shapes() {
+        let m = tiny_model(4);
+        assert_eq!(m.layer_count(), 2);
+        assert_eq!(m.layers()[0].output, TensorShape::from([4, 16, 8, 8]));
+        assert_eq!(m.layers()[1].output, TensorShape::from([4, 10]));
+    }
+
+    #[test]
+    fn aggregates_sum_over_layers() {
+        let m = tiny_model(4);
+        let manual_flops: f64 = m.layers().iter().flat_map(|l| &l.ops).map(|o| o.flops).sum();
+        assert_eq!(m.total_flops(), manual_flops);
+        assert!(m.param_bytes() > 0);
+    }
+
+    #[test]
+    fn rebatch_scales_flops_linearly() {
+        let m4 = tiny_model(4);
+        let m8 = m4.with_batch(8);
+        assert_eq!(m8.batch(), 8);
+        assert!((m8.total_flops() / m4.total_flops() - 2.0).abs() < 1e-9);
+        assert_eq!(m8.param_bytes(), m4.param_bytes());
+    }
+
+    #[test]
+    fn layer_flops_excludes_weightless_ops_from_params() {
+        let m = tiny_model(2);
+        let stem = &m.layers()[0];
+        let conv_params: u64 = stem
+            .ops
+            .iter()
+            .filter(|o| o.class == OpClass::Conv2d)
+            .map(|o| o.weight_bytes)
+            .sum();
+        assert_eq!(stem.param_bytes(), conv_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operator")]
+    fn empty_layer_rejected() {
+        let _ = Layer::new("empty", LayerKind::Conv, vec![]);
+    }
+
+    #[test]
+    fn display_mentions_name_and_batch() {
+        let m = tiny_model(4);
+        let s = m.to_string();
+        assert!(s.contains("tiny") && s.contains("batch 4"));
+    }
+
+    #[test]
+    fn tp_splittable_by_kind() {
+        assert!(LayerKind::Conv.tp_splittable());
+        assert!(LayerKind::TransformerBlock.tp_splittable());
+        assert!(!LayerKind::Pool.tp_splittable());
+        assert!(!LayerKind::Loss.tp_splittable());
+    }
+}

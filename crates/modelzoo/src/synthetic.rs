@@ -1,0 +1,202 @@
+//! Synthetic workload generation.
+//!
+//! The paper's evaluation uses a fixed set of published architectures;
+//! a simulator meant for *design-space exploration* also needs workloads
+//! that don't exist yet. This module generates random-but-plausible
+//! CNNs and transformers from a seed: layer counts, widths, and depths
+//! vary, while every shape invariant of the zoo (positive dims, matching
+//! layer chains, GEMM-dominated FLOPs) holds by construction. The
+//! workspace property tests fuzz the whole tracer→extrapolator→executor
+//! pipeline with these.
+
+use crate::graph::{GraphBuilder, Layer, LayerKind, ModelGraph};
+use crate::op::Operator;
+use crate::shapes::TensorShape;
+use crate::transformer::{transformer, TransformerConfig};
+
+/// A tiny deterministic PRNG (xorshift64*), so the zoo stays free of
+/// external dependencies and generation is reproducible from the seed.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[(self.next() % options.len() as u64) as usize]
+    }
+}
+
+/// Generates a random CNN: a conv stem, 2–6 stages of residual-style
+/// blocks with growing channels and shrinking spatial size, and a
+/// classifier head.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::random_cnn;
+///
+/// let a = random_cnn(7, 4);
+/// let b = random_cnn(7, 4);
+/// assert_eq!(a, b, "same seed, same model");
+/// assert!(a.layer_count() >= 4);
+/// ```
+pub fn random_cnn(seed: u64, batch: u64) -> ModelGraph {
+    assert!(batch > 0, "batch must be positive");
+    let mut rng = Rng::new(seed);
+    let n = batch;
+    let mut size: u64 = *rng.pick(&[64, 112, 224]);
+    let mut channels: u64 = *rng.pick(&[16, 32, 64]);
+
+    let input = TensorShape::from([n, 3, size, size]);
+    let mut b = GraphBuilder::new(format!("synthetic-cnn-{seed}"), batch, input.clone());
+
+    // Stem.
+    size /= 2;
+    let conv = Operator::conv2d("stem.conv", &input, channels, 7, size, size);
+    let s0 = conv.output.clone();
+    b.push(Layer::new(
+        "stem",
+        LayerKind::Conv,
+        vec![
+            conv,
+            Operator::batch_norm("stem.bn", &s0),
+            Operator::activation("stem.relu", &s0),
+        ],
+    ));
+
+    let stages = rng.range(2, 6);
+    for stage in 0..stages {
+        let blocks = rng.range(1, 4);
+        let widen = rng.range(0, 1) == 1 || stage == 0;
+        if widen {
+            channels = (channels * 2).min(1024);
+        }
+        for block in 0..blocks {
+            let prefix = format!("s{stage}.b{block}");
+            let in_shape = b.current().clone();
+            let in_ch = in_shape.dims()[1];
+            let kernel = *rng.pick(&[1u64, 3]);
+            let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, channels, kernel, size, size);
+            let s1 = c1.output.clone();
+            let c2 = Operator::conv2d(format!("{prefix}.conv2"), &s1, channels, 3, size, size);
+            let s2 = c2.output.clone();
+            let mut ops = vec![
+                c1,
+                Operator::batch_norm(format!("{prefix}.bn1"), &s1),
+                Operator::activation(format!("{prefix}.relu1"), &s1),
+                c2,
+                Operator::batch_norm(format!("{prefix}.bn2"), &s2),
+            ];
+            if in_ch == channels {
+                ops.push(Operator::elementwise(format!("{prefix}.residual"), &s2));
+            }
+            ops.push(Operator::activation(format!("{prefix}.relu2"), &s2));
+            b.push(Layer::new(prefix, LayerKind::Conv, ops));
+        }
+        if size > 7 {
+            let shape = b.current().clone();
+            size /= 2;
+            b.push_op(
+                LayerKind::Pool,
+                Operator::pool(format!("s{stage}.pool"), &shape, 2, size, size),
+            );
+        }
+    }
+
+    // Head.
+    let shape = b.current().clone();
+    let gap = Operator::pool("head.gap", &shape, size, 1, 1);
+    b.push_op(LayerKind::Pool, gap);
+    let classes = *rng.pick(&[10u64, 100, 1000]);
+    b.push_op(LayerKind::Linear, Operator::linear("head.fc", n, channels, classes));
+    b.push_op(LayerKind::Loss, Operator::loss("head.loss", n, classes));
+    b.build()
+}
+
+/// Generates a random decoder-only transformer: 2–12 blocks, widths from
+/// 256 to 2048, optionally gated MLPs and grouped-query attention.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::random_transformer;
+///
+/// let m = random_transformer(3, 2);
+/// assert!(m.param_count() > 1_000_000);
+/// ```
+pub fn random_transformer(seed: u64, batch: u64) -> ModelGraph {
+    assert!(batch > 0, "batch must be positive");
+    let mut rng = Rng::new(seed ^ 0x5EED);
+    let d_model = *rng.pick(&[256u64, 512, 768, 1024, 2048]);
+    let heads = *rng.pick(&[4u64, 8, 16]);
+    let kv_heads = if rng.range(0, 1) == 1 { heads } else { heads / 2 };
+    let gated = rng.range(0, 1) == 1;
+    let cfg = TransformerConfig {
+        name: format!("synthetic-tf-{seed}"),
+        vocab: rng.range(8, 64) * 1000,
+        seq: *rng.pick(&[64u64, 128, 256, 512]),
+        d_model,
+        heads,
+        kv_heads: kv_heads.max(1),
+        d_ff: d_model * if gated { 3 } else { 4 },
+        encoder_blocks: 0,
+        decoder_blocks: rng.range(2, 12),
+        gated_mlp: gated,
+        tied_lm_head: rng.range(0, 1) == 1,
+        learned_positions: rng.range(0, 1) == 1,
+    };
+    transformer(&cfg, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(random_cnn(seed, 4), random_cnn(seed, 4));
+            assert_eq!(random_transformer(seed, 4), random_transformer(seed, 4));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_cnn(1, 4), random_cnn(2, 4));
+        assert_ne!(random_transformer(1, 4), random_transformer(2, 4));
+    }
+
+    #[test]
+    fn generated_models_satisfy_zoo_invariants() {
+        for seed in 0..20u64 {
+            for m in [random_cnn(seed, 4), random_transformer(seed, 4)] {
+                assert!(m.layer_count() >= 4, "{}", m.name());
+                assert!(m.total_flops() > 0.0);
+                assert!(m.param_bytes() > 0);
+                for layer in m.layers() {
+                    assert_eq!(&layer.ops.last().unwrap().output, &layer.output);
+                }
+                // Rebatching still works.
+                let doubled = m.with_batch(8);
+                assert!((doubled.total_flops() / m.total_flops() - 2.0).abs() < 1e-9);
+            }
+        }
+    }
+}

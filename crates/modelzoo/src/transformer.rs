@@ -1,0 +1,371 @@
+//! Transformer architectures from the paper's evaluation: GPT-2, BERT-Base,
+//! T5-Small, FLAN-T5-Small, and Llama-3.2-1B (HuggingFace configurations).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{GraphBuilder, Layer, LayerKind, ModelGraph};
+use crate::op::Operator;
+use crate::shapes::TensorShape;
+
+/// Architectural hyper-parameters of a transformer model.
+///
+/// One config describes decoder-only (GPT/Llama), encoder-only (BERT), and
+/// encoder–decoder (T5) models; [`transformer`] expands it into a layer
+/// graph.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::TransformerConfig;
+///
+/// let cfg = TransformerConfig::gpt2();
+/// assert_eq!(cfg.d_model, 768);
+/// assert_eq!(cfg.decoder_blocks, 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Model name for reporting.
+    pub name: String,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Sequence length used when tracing.
+    pub seq: u64,
+    /// Hidden width.
+    pub d_model: u64,
+    /// Attention head count.
+    pub heads: u64,
+    /// Key/value head count (`heads` unless grouped-query attention).
+    pub kv_heads: u64,
+    /// Feed-forward inner width.
+    pub d_ff: u64,
+    /// Number of encoder blocks (0 for decoder-only models).
+    pub encoder_blocks: u64,
+    /// Number of decoder blocks (0 for encoder-only models).
+    pub decoder_blocks: u64,
+    /// Whether the MLP is gated (SwiGLU: gate+up+down) as in Llama/T5-v1.1.
+    pub gated_mlp: bool,
+    /// Whether the LM head shares weights with the input embedding (then
+    /// it contributes no extra parameters).
+    pub tied_lm_head: bool,
+    /// Whether the model has learned absolute position embeddings.
+    pub learned_positions: bool,
+}
+
+impl TransformerConfig {
+    /// GPT-2 (124 M): 12 decoder blocks, d=768, 12 heads, vocab 50257.
+    pub fn gpt2() -> Self {
+        TransformerConfig {
+            name: "gpt2".into(),
+            vocab: 50257,
+            seq: 512,
+            d_model: 768,
+            heads: 12,
+            kv_heads: 12,
+            d_ff: 3072,
+            encoder_blocks: 0,
+            decoder_blocks: 12,
+            gated_mlp: false,
+            tied_lm_head: true,
+            learned_positions: true,
+        }
+    }
+
+    /// BERT-Base-Uncased (110 M): 12 encoder blocks, d=768, vocab 30522.
+    pub fn bert_base() -> Self {
+        TransformerConfig {
+            name: "bert-base".into(),
+            vocab: 30522,
+            seq: 128,
+            d_model: 768,
+            heads: 12,
+            kv_heads: 12,
+            d_ff: 3072,
+            encoder_blocks: 12,
+            decoder_blocks: 0,
+            gated_mlp: false,
+            tied_lm_head: true,
+            learned_positions: true,
+        }
+    }
+
+    /// T5-Small (60 M): 6 encoder + 6 decoder blocks, d=512, vocab 32128.
+    pub fn t5_small() -> Self {
+        TransformerConfig {
+            name: "t5-small".into(),
+            vocab: 32128,
+            seq: 128,
+            d_model: 512,
+            heads: 8,
+            kv_heads: 8,
+            d_ff: 2048,
+            encoder_blocks: 6,
+            decoder_blocks: 6,
+            gated_mlp: false,
+            tied_lm_head: true,
+            learned_positions: false,
+        }
+    }
+
+    /// FLAN-T5-Small (77 M): the T5-v1.1 recipe — 8+8 blocks, gated-GELU
+    /// MLP with d_ff=1024, untied LM head.
+    pub fn flan_t5_small() -> Self {
+        TransformerConfig {
+            name: "flan-t5-small".into(),
+            d_ff: 1024,
+            gated_mlp: true,
+            d_model: 512,
+            heads: 6,
+            kv_heads: 6,
+            encoder_blocks: 8,
+            decoder_blocks: 8,
+            tied_lm_head: false,
+            ..TransformerConfig::t5_small()
+        }
+    }
+
+    /// Llama-3.2-1B (1.24 B): 16 decoder blocks, d=2048, GQA 32/8 heads,
+    /// SwiGLU d_ff=8192, vocab 128256, tied embeddings.
+    pub fn llama_3_2_1b() -> Self {
+        TransformerConfig {
+            name: "llama-3.2-1b".into(),
+            vocab: 128_256,
+            seq: 512,
+            d_model: 2048,
+            heads: 32,
+            kv_heads: 8,
+            d_ff: 8192,
+            encoder_blocks: 0,
+            decoder_blocks: 16,
+            gated_mlp: true,
+            tied_lm_head: true,
+            learned_positions: false,
+        }
+    }
+
+    fn head_dim(&self) -> u64 {
+        self.d_model / self.heads
+    }
+}
+
+/// Builds the full training graph for a transformer config.
+///
+/// Decoder-only and encoder-only models are a straight chain of blocks;
+/// encoder–decoder models chain the encoder, then decoder blocks that each
+/// carry an extra cross-attention group.
+pub fn transformer(cfg: &TransformerConfig, batch: u64) -> ModelGraph {
+    let n = batch;
+    let (d, s) = (cfg.d_model, cfg.seq);
+    let hidden = TensorShape::from([n, s, d]);
+    let mut b = GraphBuilder::new(cfg.name.clone(), batch, TensorShape::from([n, s]));
+
+    // Embeddings.
+    let mut emb_ops = vec![Operator::embedding("wte", n, s, cfg.vocab, d)];
+    if cfg.learned_positions {
+        let mut wpe = Operator::embedding("wpe", n, s, s.max(512), d);
+        wpe.name = "wpe".into();
+        emb_ops.push(wpe);
+        emb_ops.push(Operator::elementwise("embed_add", &hidden));
+    }
+    b.push(Layer::new("embedding", LayerKind::Embedding, emb_ops));
+
+    for i in 0..cfg.encoder_blocks {
+        b.push(attention_block(cfg, n, &format!("encoder.{i}"), false));
+    }
+    for i in 0..cfg.decoder_blocks {
+        let cross = cfg.encoder_blocks > 0;
+        b.push(attention_block(cfg, n, &format!("decoder.{i}"), cross));
+    }
+
+    // Final norm + LM head + loss.
+    let mut head_ops = vec![Operator::layer_norm("final_norm", &hidden)];
+    let mut lm_head = Operator::linear("lm_head", n * s, d, cfg.vocab);
+    if cfg.tied_lm_head {
+        // Weight tying: the projection reuses the embedding table, so it
+        // contributes no additional parameters (and no extra gradient
+        // AllReduce volume beyond the embedding's own).
+        lm_head.weight_bytes = 0;
+    }
+    head_ops.push(lm_head);
+    b.push(Layer::new("lm_head", LayerKind::Linear, head_ops));
+    b.push_op(LayerKind::Loss, Operator::loss("cross_entropy", n * s, cfg.vocab));
+    b.build()
+}
+
+/// One transformer block: self-attention (+ optional cross-attention) and
+/// the MLP, with residuals and norms, as a single pipeline-assignable
+/// layer.
+fn attention_block(cfg: &TransformerConfig, n: u64, prefix: &str, cross_attention: bool) -> Layer {
+    let (d, s, h) = (cfg.d_model, cfg.seq, cfg.heads);
+    let hd = cfg.head_dim();
+    let kv_out = cfg.kv_heads * hd;
+    let hidden = TensorShape::from([n, s, d]);
+    let scores = TensorShape::from([n * h, s, s]);
+    let mut ops = Vec::new();
+
+    let push_attention = |ops: &mut Vec<Operator>, tag: &str| {
+        ops.push(Operator::layer_norm(format!("{prefix}.{tag}.norm"), &hidden));
+        ops.push(Operator::linear(format!("{prefix}.{tag}.q"), n * s, d, d));
+        ops.push(Operator::linear(format!("{prefix}.{tag}.k"), n * s, d, kv_out));
+        ops.push(Operator::linear(format!("{prefix}.{tag}.v"), n * s, d, kv_out));
+        // Scores: per query head, [s, hd] x [hd, s].
+        ops.push(Operator::matmul(format!("{prefix}.{tag}.qk"), n * h, s, hd, s));
+        ops.push(Operator::softmax(format!("{prefix}.{tag}.softmax"), &scores));
+        ops.push(Operator::matmul(format!("{prefix}.{tag}.ctx"), n * h, s, s, hd));
+        ops.push(Operator::linear(format!("{prefix}.{tag}.o"), n * s, d, d));
+        ops.push(Operator::elementwise(format!("{prefix}.{tag}.residual"), &hidden));
+    };
+
+    push_attention(&mut ops, "self_attn");
+    if cross_attention {
+        push_attention(&mut ops, "cross_attn");
+    }
+
+    // MLP.
+    ops.push(Operator::layer_norm(format!("{prefix}.mlp.norm"), &hidden));
+    if cfg.gated_mlp {
+        ops.push(Operator::linear(format!("{prefix}.mlp.gate"), n * s, d, cfg.d_ff));
+        ops.push(Operator::linear(format!("{prefix}.mlp.up"), n * s, d, cfg.d_ff));
+        let inner = TensorShape::from([n, s, cfg.d_ff]);
+        ops.push(Operator::activation(format!("{prefix}.mlp.silu"), &inner));
+        ops.push(Operator::elementwise(format!("{prefix}.mlp.gate_mul"), &inner));
+        ops.push(Operator::linear(format!("{prefix}.mlp.down"), n * s, cfg.d_ff, d));
+    } else {
+        ops.push(Operator::linear(format!("{prefix}.mlp.fc1"), n * s, d, cfg.d_ff));
+        let inner = TensorShape::from([n, s, cfg.d_ff]);
+        ops.push(Operator::activation(format!("{prefix}.mlp.gelu"), &inner));
+        ops.push(Operator::linear(format!("{prefix}.mlp.fc2"), n * s, cfg.d_ff, d));
+    }
+    ops.push(Operator::elementwise(format!("{prefix}.mlp.residual"), &hidden));
+    // Blocks end on the hidden shape: make that explicit for the chain.
+    let mut layer = Layer::new(prefix, LayerKind::TransformerBlock, ops);
+    layer.output = hidden;
+    layer
+}
+
+/// GPT-2 at the given batch size.
+pub fn gpt2(batch: u64) -> ModelGraph {
+    transformer(&TransformerConfig::gpt2(), batch)
+}
+
+/// BERT-Base-Uncased at the given batch size.
+pub fn bert_base(batch: u64) -> ModelGraph {
+    transformer(&TransformerConfig::bert_base(), batch)
+}
+
+/// T5-Small at the given batch size.
+pub fn t5_small(batch: u64) -> ModelGraph {
+    transformer(&TransformerConfig::t5_small(), batch)
+}
+
+/// FLAN-T5-Small at the given batch size.
+pub fn flan_t5_small(batch: u64) -> ModelGraph {
+    transformer(&TransformerConfig::flan_t5_small(), batch)
+}
+
+/// Llama-3.2-1B at the given batch size.
+pub fn llama_3_2_1b(batch: u64) -> ModelGraph {
+    transformer(&TransformerConfig::llama_3_2_1b(), batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_m(m: &ModelGraph) -> f64 {
+        m.param_count() as f64 / 1e6
+    }
+
+    #[test]
+    fn gpt2_parameter_count() {
+        let m = gpt2(2);
+        let p = params_m(&m);
+        // Published: 124 M (tied head). We include biases: allow 120-130.
+        assert!((118.0..132.0).contains(&p), "gpt2 has {p} M params");
+    }
+
+    #[test]
+    fn bert_parameter_count() {
+        let m = bert_base(2);
+        let p = params_m(&m);
+        // Published: ~110 M.
+        assert!((102.0..116.0).contains(&p), "bert has {p} M params");
+    }
+
+    #[test]
+    fn t5_small_parameter_count() {
+        let m = t5_small(2);
+        let p = params_m(&m);
+        // Published: ~60.5 M.
+        assert!((55.0..66.0).contains(&p), "t5-small has {p} M params");
+    }
+
+    #[test]
+    fn llama_1b_parameter_count() {
+        let m = llama_3_2_1b(2);
+        let p = params_m(&m);
+        // Published: 1.24 B.
+        assert!((1180.0..1300.0).contains(&p), "llama has {p} M params");
+    }
+
+    #[test]
+    fn decoder_only_has_no_cross_attention() {
+        let m = gpt2(2);
+        let has_cross = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .any(|o| o.name.contains("cross_attn"));
+        assert!(!has_cross);
+    }
+
+    #[test]
+    fn t5_decoder_has_cross_attention() {
+        let m = t5_small(2);
+        let cross_blocks = m
+            .layers()
+            .iter()
+            .filter(|l| l.ops.iter().any(|o| o.name.contains("cross_attn")))
+            .count();
+        assert_eq!(cross_blocks, 6);
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_projections() {
+        let llama = llama_3_2_1b(2);
+        let block = &llama.layers()[1];
+        let q = block.ops.iter().find(|o| o.name.ends_with(".q")).unwrap();
+        let k = block.ops.iter().find(|o| o.name.ends_with(".k")).unwrap();
+        assert_eq!(q.weight_bytes / k.weight_bytes, 4, "32 heads vs 8 kv heads");
+    }
+
+    #[test]
+    fn tied_head_contributes_no_params() {
+        let m = gpt2(2);
+        let head = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .find(|o| o.name == "lm_head")
+            .unwrap();
+        assert_eq!(head.weight_bytes, 0);
+        assert!(head.flops > 0.0, "tied head still computes the projection");
+    }
+
+    #[test]
+    fn block_count_matches_config() {
+        let m = t5_small(2);
+        let blocks = m
+            .layers()
+            .iter()
+            .filter(|l| l.kind == LayerKind::TransformerBlock)
+            .count();
+        assert_eq!(blocks, 12);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let m1 = gpt2(1);
+        let m4 = gpt2(4);
+        assert!((m4.total_flops() / m1.total_flops() - 4.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,253 @@
+//! The model registry: every workload the paper evaluates, by id.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cnn::{densenet, resnet, vgg, DenseNetVariant, ResNetVariant, VggVariant};
+use crate::graph::ModelGraph;
+use crate::transformer::{bert_base, flan_t5_small, gpt2, llama_3_2_1b, t5_small};
+
+/// Identifier for every model in the paper's experiment set.
+///
+/// The figure labels of the paper (RN-18, DN-121, …) are available via
+/// [`ModelId::figure_label`]; `Display`/`FromStr` use the lowercase long
+/// names (`resnet18`, …) for CLI use.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_modelzoo::ModelId;
+///
+/// let id: ModelId = "resnet50".parse()?;
+/// assert_eq!(id.figure_label(), "RN-50");
+/// let graph = id.build(16);
+/// assert_eq!(graph.name(), "resnet50");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelId {
+    ResNet18,
+    ResNet34,
+    ResNet50,
+    ResNet101,
+    ResNet152,
+    DenseNet121,
+    DenseNet161,
+    DenseNet169,
+    DenseNet201,
+    Vgg11,
+    Vgg13,
+    Vgg16,
+    Vgg19,
+    Gpt2,
+    BertBase,
+    T5Small,
+    FlanT5Small,
+    Llama32_1B,
+}
+
+impl ModelId {
+    /// All models in the paper's experiment set, in figure order.
+    pub const ALL: [ModelId; 18] = [
+        ModelId::ResNet18,
+        ModelId::ResNet34,
+        ModelId::ResNet50,
+        ModelId::ResNet101,
+        ModelId::ResNet152,
+        ModelId::DenseNet121,
+        ModelId::DenseNet161,
+        ModelId::DenseNet169,
+        ModelId::DenseNet201,
+        ModelId::Vgg11,
+        ModelId::Vgg13,
+        ModelId::Vgg16,
+        ModelId::Vgg19,
+        ModelId::Gpt2,
+        ModelId::BertBase,
+        ModelId::T5Small,
+        ModelId::FlanT5Small,
+        ModelId::Llama32_1B,
+    ];
+
+    /// The image-classification subset (figures that exclude transformers,
+    /// e.g. the pipeline-parallelism and new-GPU validations).
+    pub const IMAGE_CLASSIFICATION: [ModelId; 13] = [
+        ModelId::ResNet18,
+        ModelId::ResNet34,
+        ModelId::ResNet50,
+        ModelId::ResNet101,
+        ModelId::ResNet152,
+        ModelId::DenseNet121,
+        ModelId::DenseNet161,
+        ModelId::DenseNet169,
+        ModelId::DenseNet201,
+        ModelId::Vgg11,
+        ModelId::Vgg13,
+        ModelId::Vgg16,
+        ModelId::Vgg19,
+    ];
+
+    /// The transformer subset.
+    pub const TRANSFORMERS: [ModelId; 5] = [
+        ModelId::Gpt2,
+        ModelId::BertBase,
+        ModelId::T5Small,
+        ModelId::FlanT5Small,
+        ModelId::Llama32_1B,
+    ];
+
+    /// Builds the model's operator graph at the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn build(self, batch: u64) -> ModelGraph {
+        match self {
+            ModelId::ResNet18 => resnet(ResNetVariant::R18, batch),
+            ModelId::ResNet34 => resnet(ResNetVariant::R34, batch),
+            ModelId::ResNet50 => resnet(ResNetVariant::R50, batch),
+            ModelId::ResNet101 => resnet(ResNetVariant::R101, batch),
+            ModelId::ResNet152 => resnet(ResNetVariant::R152, batch),
+            ModelId::DenseNet121 => densenet(DenseNetVariant::D121, batch),
+            ModelId::DenseNet161 => densenet(DenseNetVariant::D161, batch),
+            ModelId::DenseNet169 => densenet(DenseNetVariant::D169, batch),
+            ModelId::DenseNet201 => densenet(DenseNetVariant::D201, batch),
+            ModelId::Vgg11 => vgg(VggVariant::V11, batch),
+            ModelId::Vgg13 => vgg(VggVariant::V13, batch),
+            ModelId::Vgg16 => vgg(VggVariant::V16, batch),
+            ModelId::Vgg19 => vgg(VggVariant::V19, batch),
+            ModelId::Gpt2 => gpt2(batch),
+            ModelId::BertBase => bert_base(batch),
+            ModelId::T5Small => t5_small(batch),
+            ModelId::FlanT5Small => flan_t5_small(batch),
+            ModelId::Llama32_1B => llama_3_2_1b(batch),
+        }
+    }
+
+    /// The abbreviated label the paper's figures use (RN-18, DN-121, …).
+    pub fn figure_label(self) -> &'static str {
+        match self {
+            ModelId::ResNet18 => "RN-18",
+            ModelId::ResNet34 => "RN-34",
+            ModelId::ResNet50 => "RN-50",
+            ModelId::ResNet101 => "RN-101",
+            ModelId::ResNet152 => "RN-152",
+            ModelId::DenseNet121 => "DN-121",
+            ModelId::DenseNet161 => "DN-161",
+            ModelId::DenseNet169 => "DN-169",
+            ModelId::DenseNet201 => "DN-201",
+            ModelId::Vgg11 => "VGG-11",
+            ModelId::Vgg13 => "VGG-13",
+            ModelId::Vgg16 => "VGG-16",
+            ModelId::Vgg19 => "VGG-19",
+            ModelId::Gpt2 => "GPT-2",
+            ModelId::BertBase => "BERT",
+            ModelId::T5Small => "T5",
+            ModelId::FlanT5Small => "FLAN-T5",
+            ModelId::Llama32_1B => "Llama",
+        }
+    }
+
+    /// True for the transformer models.
+    pub fn is_transformer(self) -> bool {
+        Self::TRANSFORMERS.contains(&self)
+    }
+
+    fn long_name(self) -> &'static str {
+        match self {
+            ModelId::ResNet18 => "resnet18",
+            ModelId::ResNet34 => "resnet34",
+            ModelId::ResNet50 => "resnet50",
+            ModelId::ResNet101 => "resnet101",
+            ModelId::ResNet152 => "resnet152",
+            ModelId::DenseNet121 => "densenet121",
+            ModelId::DenseNet161 => "densenet161",
+            ModelId::DenseNet169 => "densenet169",
+            ModelId::DenseNet201 => "densenet201",
+            ModelId::Vgg11 => "vgg11",
+            ModelId::Vgg13 => "vgg13",
+            ModelId::Vgg16 => "vgg16",
+            ModelId::Vgg19 => "vgg19",
+            ModelId::Gpt2 => "gpt2",
+            ModelId::BertBase => "bert-base",
+            ModelId::T5Small => "t5-small",
+            ModelId::FlanT5Small => "flan-t5-small",
+            ModelId::Llama32_1B => "llama-3.2-1b",
+        }
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.long_name())
+    }
+}
+
+impl FromStr for ModelId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelId::ALL
+            .into_iter()
+            .find(|m| m.long_name() == s)
+            .ok_or_else(|| format!("unknown model `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build() {
+        for id in ModelId::ALL {
+            let m = id.build(2);
+            assert!(m.layer_count() > 3, "{id} too shallow");
+            assert!(m.total_flops() > 0.0);
+            assert!(m.param_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn build_name_matches_display() {
+        for id in ModelId::ALL {
+            assert_eq!(id.build(2).name(), id.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for id in ModelId::ALL {
+            let parsed: ModelId = id.to_string().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        assert!("resnet999".parse::<ModelId>().is_err());
+    }
+
+    #[test]
+    fn subsets_partition_all() {
+        let mut union: Vec<ModelId> = ModelId::IMAGE_CLASSIFICATION.to_vec();
+        union.extend(ModelId::TRANSFORMERS);
+        union.sort();
+        let mut all = ModelId::ALL.to_vec();
+        all.sort();
+        assert_eq!(union, all);
+    }
+
+    #[test]
+    fn figure_labels_unique() {
+        let mut labels: Vec<_> = ModelId::ALL.iter().map(|m| m.figure_label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), ModelId::ALL.len());
+    }
+
+    #[test]
+    fn transformer_flag() {
+        assert!(ModelId::Gpt2.is_transformer());
+        assert!(!ModelId::ResNet50.is_transformer());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests over the whole model zoo.
+
+use proptest::prelude::*;
+use triosim_modelzoo::{ModelId, OpClass};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parameter counts are a property of the architecture: invariant in
+    /// batch size.
+    #[test]
+    fn params_are_batch_invariant(idx in 0usize..18, b1 in 1u64..9, b2 in 9u64..17) {
+        let id = ModelId::ALL[idx];
+        prop_assert_eq!(id.build(b1).param_bytes(), id.build(b2).param_bytes());
+    }
+
+    /// Rebatching round-trips: b -> 2b -> b restores the FLOP totals.
+    #[test]
+    fn rebatch_round_trips(idx in 0usize..18, batch in 1u64..9) {
+        let id = ModelId::ALL[idx];
+        let m = id.build(batch);
+        let back = m.with_batch(batch * 2).with_batch(batch);
+        prop_assert!((back.total_flops() / m.total_flops() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(back.param_bytes(), m.param_bytes());
+    }
+
+    /// Every layer chain is shape-consistent: each layer's ops end on the
+    /// layer's declared output, and no operator has zero cost features
+    /// unless weightless-and-free is plausible.
+    #[test]
+    fn layers_are_well_formed(idx in 0usize..18, batch in 1u64..5) {
+        let m = ModelId::ALL[idx].build(batch);
+        for layer in m.layers() {
+            let last = layer.ops.last().unwrap();
+            prop_assert_eq!(&last.output, &layer.output, "{}", layer.name);
+            for op in &layer.ops {
+                prop_assert!(op.flops > 0.0, "{} has zero flops", op.name);
+                prop_assert!(op.bytes_in > 0, "{} reads nothing", op.name);
+                prop_assert!(op.bytes_out > 0, "{} writes nothing", op.name);
+            }
+        }
+    }
+
+    /// The compute-bound classes dominate every model's FLOPs (GEMMs are
+    /// where DNN arithmetic lives).
+    #[test]
+    fn gemms_dominate_flops(idx in 0usize..18) {
+        let m = ModelId::ALL[idx].build(4);
+        let total = m.total_flops();
+        let gemm: f64 = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .filter(|o| o.class.is_compute_bound())
+            .map(|o| o.flops)
+            .sum();
+        prop_assert!(gemm / total > 0.80, "{}: gemm share {}", m.name(), gemm / total);
+    }
+
+    /// Gradient volume (weight bytes) is consistent between the layer
+    /// aggregate and the per-operator sum.
+    #[test]
+    fn gradient_volume_consistent(idx in 0usize..18, batch in 1u64..5) {
+        let m = ModelId::ALL[idx].build(batch);
+        let per_op: u64 = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .map(|o| o.weight_bytes)
+            .sum();
+        prop_assert_eq!(per_op, m.param_bytes());
+    }
+
+    /// Optimizer ops never appear in forward graphs (they are generated
+    /// by the tracer, not the architecture).
+    #[test]
+    fn architectures_contain_no_optimizer_ops(idx in 0usize..18) {
+        let m = ModelId::ALL[idx].build(2);
+        let any_opt = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .any(|o| o.class == OpClass::Optimizer);
+        prop_assert!(!any_opt);
+    }
+}

@@ -1,0 +1,552 @@
+//! The packet-switching flow network (§4.5 of the paper).
+
+use std::collections::BTreeMap;
+
+use triosim_des::{TimeSpan, VirtualTime};
+
+use crate::model::{FlowId, NetCommand, NetworkModel};
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Fidelity knobs of the flow network.
+///
+/// With the default (all-zero) configuration the model is exactly the
+/// paper's lightweight network model: route latency plus bytes over
+/// fair-shared bandwidth, nothing else. The non-zero knobs add the
+/// protocol-level effects the paper explicitly *excludes* ("TrioSim does
+/// not model communication protocols or … data transfer unit sizes");
+/// [`FlowNetworkConfig::reference`] enables them, turning the same engine
+/// into the high-fidelity ground-truth network of this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowNetworkConfig {
+    /// Fixed protocol overhead paid once per message, in seconds.
+    pub per_message_overhead_s: f64,
+    /// Transfer-unit size in bytes; each full-or-partial chunk pays
+    /// [`chunk_overhead_s`](FlowNetworkConfig::chunk_overhead_s). Zero
+    /// disables chunking.
+    pub chunk_bytes: u64,
+    /// Per-chunk protocol overhead, in seconds.
+    pub chunk_overhead_s: f64,
+    /// Bandwidth ramp: a message of `B` bytes drains as if it were
+    /// `B + ramp` bytes, derating small transfers (protocol slow-start,
+    /// per-transfer setup DMA work).
+    pub bandwidth_ramp_bytes: f64,
+}
+
+impl Default for FlowNetworkConfig {
+    fn default() -> Self {
+        FlowNetworkConfig {
+            per_message_overhead_s: 0.0,
+            chunk_bytes: 0,
+            chunk_overhead_s: 0.0,
+            bandwidth_ramp_bytes: 0.0,
+        }
+    }
+}
+
+impl FlowNetworkConfig {
+    /// The high-fidelity reference configuration used as ground truth:
+    /// NCCL-like 4 MiB transfer units with a small per-chunk cost, a
+    /// per-message protocol overhead, and a small-message bandwidth ramp.
+    pub fn reference() -> Self {
+        FlowNetworkConfig {
+            per_message_overhead_s: 5.0e-6,
+            chunk_bytes: 4 << 20,
+            chunk_overhead_s: 1.5e-6,
+            bandwidth_ramp_bytes: 256.0 * 1024.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    route: Vec<LinkId>,
+    /// Bytes (including ramp) still to drain.
+    remaining: f64,
+    /// Currently allocated rate in bytes/s.
+    rate: f64,
+    /// Draining starts only after the latency + protocol overhead phase.
+    drain_start: VirtualTime,
+    last_update: VirtualTime,
+}
+
+/// Cumulative per-link activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Payload bytes that crossed this link.
+    pub bytes: f64,
+    /// Seconds during which at least one flow was draining through it.
+    pub busy_s: f64,
+}
+
+/// The paper's lightweight packet-switching network model.
+///
+/// Message transfer follows the 4-step process of Figure 5: shortest-path
+/// routing, fair bandwidth allocation, scheduling a potential delivery
+/// event, and — on any flow start or completion — recomputation of all
+/// allocations and rescheduling of all in-transit deliveries.
+///
+/// Bandwidth sharing is *max-min fair* (progressive filling): concurrent
+/// flows through a link split it evenly unless bottlenecked elsewhere.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_des::VirtualTime;
+/// use triosim_network::{FlowNetwork, NetCommand, NetworkModel, NodeId, Topology};
+///
+/// // Two flows sharing one 10 GB/s link: each gets 5 GB/s.
+/// let mut topo = Topology::new(2);
+/// topo.add_duplex(NodeId(0), NodeId(1), 10e9, 0.0);
+/// let mut net = FlowNetwork::new(topo);
+///
+/// let (_f1, cmds1) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 10_000_000_000);
+/// let NetCommand::Schedule { at: alone, .. } = cmds1[0] else { panic!() };
+/// assert!((alone.as_seconds() - 1.0).abs() < 1e-9, "1 s alone");
+///
+/// let (_f2, cmds2) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 10_000_000_000);
+/// // Both flows now finish at 2 s.
+/// for cmd in cmds2 {
+///     let NetCommand::Schedule { at, .. } = cmd else { panic!() };
+///     assert!((at.as_seconds() - 2.0).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FlowNetwork {
+    topo: Topology,
+    config: FlowNetworkConfig,
+    flows: BTreeMap<FlowId, ActiveFlow>,
+    next_flow: u64,
+    bytes_delivered: u64,
+    flows_completed: u64,
+    link_stats: Vec<LinkStats>,
+    last_progress: VirtualTime,
+}
+
+impl FlowNetwork {
+    /// Creates the model over a topology with the clean (paper-default)
+    /// configuration.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_config(topo, FlowNetworkConfig::default())
+    }
+
+    /// Creates the model with explicit fidelity knobs.
+    pub fn with_config(topo: Topology, config: FlowNetworkConfig) -> Self {
+        let links = topo.link_count();
+        FlowNetwork {
+            topo,
+            config,
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            bytes_delivered: 0,
+            flows_completed: 0,
+            link_stats: vec![LinkStats::default(); links],
+            last_progress: VirtualTime::ZERO,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (used to inject Hop-style slowdowns between
+    /// simulations; do not mutate while flows are in flight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if flows are currently in flight.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        assert!(
+            self.flows.is_empty(),
+            "cannot mutate the topology while flows are in flight"
+        );
+        &mut self.topo
+    }
+
+    /// Total payload bytes delivered so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Total flows completed so far.
+    pub fn flows_completed(&self) -> u64 {
+        self.flows_completed
+    }
+
+    /// Source, destination, and size of an in-flight flow.
+    pub fn flow(&self, id: FlowId) -> Option<(NodeId, NodeId, u64)> {
+        self.flows.get(&id).map(|f| (f.src, f.dst, f.bytes))
+    }
+
+    /// The current fair-share rate of an in-flight flow, bytes/s.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Protocol overhead for a message under the current config.
+    fn message_overhead_s(&self, bytes: u64) -> f64 {
+        let mut o = self.config.per_message_overhead_s;
+        if self.config.chunk_bytes > 0 {
+            let chunks = bytes.div_ceil(self.config.chunk_bytes).max(1);
+            o += chunks as f64 * self.config.chunk_overhead_s;
+        }
+        o
+    }
+
+    /// Advances every flow's drained-bytes accounting to `now`, crediting
+    /// per-link byte and busy-time counters along the way.
+    fn update_progress(&mut self, now: VirtualTime) {
+        let mut busy: Vec<bool> = vec![false; self.link_stats.len()];
+        for f in self.flows.values_mut() {
+            let from = f.last_update.max(f.drain_start);
+            if now > from && f.rate > 0.0 {
+                let dt = (now - from).as_seconds();
+                let drained = (f.rate * dt).min(f.remaining);
+                f.remaining -= drained;
+                for &l in &f.route {
+                    self.link_stats[l.0].bytes += drained;
+                    busy[l.0] = true;
+                }
+            }
+            f.last_update = now;
+        }
+        if now > self.last_progress {
+            let dt = (now - self.last_progress).as_seconds();
+            for (stat, was_busy) in self.link_stats.iter_mut().zip(&busy) {
+                if *was_busy {
+                    stat.busy_s += dt;
+                }
+            }
+            self.last_progress = now;
+        }
+    }
+
+    /// Cumulative activity counters for one link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.link_stats[link.0]
+    }
+
+    /// The `k` busiest links by bytes carried, descending.
+    pub fn hottest_links(&self, k: usize) -> Vec<(LinkId, LinkStats)> {
+        let mut v: Vec<(LinkId, LinkStats)> = self
+            .link_stats
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (LinkId(i), s))
+            .collect();
+        v.sort_by(|a, b| b.1.bytes.partial_cmp(&a.1.bytes).expect("finite"));
+        v.truncate(k);
+        v
+    }
+
+    /// Recomputes max-min fair rates and returns a `Schedule` command for
+    /// every active flow.
+    fn reallocate(&mut self, now: VirtualTime) -> Vec<NetCommand> {
+        // Progressive filling: all unfrozen flows grow at the same rate;
+        // each iteration saturates at least one link and freezes its
+        // flows.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
+        let mut unfrozen: Vec<FlowId> = ids
+            .iter()
+            .copied()
+            .filter(|id| !self.flows[id].route.is_empty())
+            .collect();
+        let mut cap: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for id in &unfrozen {
+            for &l in &self.flows[id].route {
+                cap.entry(l).or_insert_with(|| self.topo.bandwidth(l));
+            }
+        }
+        let mut level = 0.0f64;
+        while !unfrozen.is_empty() {
+            // Count unfrozen flows per link.
+            let mut count: BTreeMap<LinkId, usize> = BTreeMap::new();
+            for id in &unfrozen {
+                for &l in &self.flows[id].route {
+                    *count.entry(l).or_insert(0) += 1;
+                }
+            }
+            // Uniform headroom until the tightest link saturates.
+            let delta = count
+                .iter()
+                .map(|(l, &c)| cap[l] / c as f64)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(delta.is_finite() && delta >= 0.0);
+            level += delta;
+            // Drain capacity and find saturated links.
+            let mut saturated: Vec<LinkId> = Vec::new();
+            for (&l, &c) in &count {
+                let e = cap.get_mut(&l).expect("capacity tracked");
+                *e -= delta * c as f64;
+                if *e <= 1e-6 * self.topo.bandwidth(l) {
+                    *e = 0.0;
+                    saturated.push(l);
+                }
+            }
+            // Freeze every unfrozen flow passing a saturated link.
+            let (now_frozen, rest): (Vec<FlowId>, Vec<FlowId>) =
+                unfrozen.into_iter().partition(|id| {
+                    self.flows[id].route.iter().any(|l| saturated.contains(l))
+                });
+            debug_assert!(
+                !now_frozen.is_empty(),
+                "progressive filling must freeze at least one flow per round"
+            );
+            for id in now_frozen {
+                frozen.insert(id, level);
+            }
+            unfrozen = rest;
+        }
+
+        let mut cmds = Vec::with_capacity(ids.len());
+        for id in ids {
+            let f = self.flows.get_mut(&id).expect("flow exists");
+            f.rate = frozen.get(&id).copied().unwrap_or(0.0);
+            let base = now.max(f.drain_start);
+            let at = if f.remaining <= 0.0 {
+                base
+            } else if f.rate > 0.0 {
+                base + TimeSpan::from_seconds(f.remaining / f.rate)
+            } else {
+                // Local (src == dst) flows have empty routes and zero
+                // remaining; any other rate-0 case is a config bug.
+                unreachable!("a routed flow always receives bandwidth")
+            };
+            cmds.push(NetCommand::Schedule { flow: id, at });
+        }
+        cmds
+    }
+}
+
+impl NetworkModel for FlowNetwork {
+    fn send(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (FlowId, Vec<NetCommand>) {
+        let route = self
+            .topo
+            .route(src, dst)
+            .expect("send endpoints must be connected");
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+
+        let latency = self.topo.route_latency(&route) + self.message_overhead_s(bytes);
+        let remaining = if route.is_empty() {
+            0.0 // local copy: modeled as instantaneous (same-device data)
+        } else {
+            bytes as f64 + self.config.bandwidth_ramp_bytes
+        };
+        self.update_progress(now);
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                src,
+                dst,
+                bytes,
+                route,
+                remaining,
+                rate: 0.0,
+                drain_start: now + TimeSpan::from_seconds(latency),
+                last_update: now,
+            },
+        );
+        (id, self.reallocate(now))
+    }
+
+    fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand> {
+        self.update_progress(now);
+        let f = self
+            .flows
+            .remove(&flow)
+            .expect("delivered flow must be in flight");
+        debug_assert!(
+            f.remaining <= 1.0,
+            "flow {flow} delivered with {} bytes left",
+            f.remaining
+        );
+        self.bytes_delivered += f.bytes;
+        self.flows_completed += 1;
+        self.reallocate(now)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched_time(cmds: &[NetCommand], flow: FlowId) -> VirtualTime {
+        cmds.iter()
+            .find_map(|c| match c {
+                NetCommand::Schedule { flow: f, at } if *f == flow => Some(*at),
+                _ => None,
+            })
+            .expect("flow scheduled")
+    }
+
+    fn one_link_net(bw: f64, latency: f64) -> FlowNetwork {
+        let mut topo = Topology::new(2);
+        topo.add_duplex(NodeId(0), NodeId(1), bw, latency);
+        FlowNetwork::new(topo)
+    }
+
+    #[test]
+    fn single_flow_is_latency_plus_bandwidth() {
+        let mut net = one_link_net(1e9, 5e-6);
+        let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let at = sched_time(&cmds, f);
+        assert!((at.as_seconds() - (5e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_flows_halve_bandwidth() {
+        let mut net = one_link_net(1e9, 0.0);
+        let t0 = VirtualTime::ZERO;
+        let (f1, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let (f2, cmds) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        assert!((sched_time(&cmds, f1).as_seconds() - 2e-3).abs() < 1e-9);
+        assert!((sched_time(&cmds, f2).as_seconds() - 2e-3).abs() < 1e-9);
+        assert_eq!(net.in_flight(), 2);
+    }
+
+    #[test]
+    fn completion_restores_bandwidth() {
+        let mut net = one_link_net(1e9, 0.0);
+        let t0 = VirtualTime::ZERO;
+        // Flow 1: 1 MB; flow 2: 2 MB. Shared until f1 finishes at 2 ms
+        // (0.5 GB/s each), then f2 drains its remaining 1 MB at 1 GB/s,
+        // finishing at 3 ms.
+        let (f1, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let (f2, cmds) = net.send(t0, NodeId(0), NodeId(1), 2_000_000);
+        let f1_done = sched_time(&cmds, f1);
+        assert!((f1_done.as_seconds() - 2e-3).abs() < 1e-9);
+        let cmds = net.deliver(f1, f1_done);
+        let f2_done = sched_time(&cmds, f2);
+        assert!(
+            (f2_done.as_seconds() - 3e-3).abs() < 1e-9,
+            "got {}",
+            f2_done.as_seconds()
+        );
+        net.deliver(f2, f2_done);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.bytes_delivered(), 3_000_000);
+        assert_eq!(net.flows_completed(), 2);
+    }
+
+    #[test]
+    fn reverse_direction_does_not_share() {
+        // Full duplex: 0->1 and 1->0 are independent links.
+        let mut net = one_link_net(1e9, 0.0);
+        let t0 = VirtualTime::ZERO;
+        let (f1, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let (f2, cmds) = net.send(t0, NodeId(1), NodeId(0), 1_000_000);
+        assert!((sched_time(&cmds, f1).as_seconds() - 1e-3).abs() < 1e-9);
+        assert!((sched_time(&cmds, f2).as_seconds() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_respects_bottleneck() {
+        // 0 -> 1 -> 2 chain, flow A crosses both links, flow B only the
+        // second. Both share link 1->2 equally; A's rate on 0->1 is
+        // limited to its bottleneck share.
+        let topo = Topology::chain(3, 1e9, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        let t0 = VirtualTime::ZERO;
+        let (fa, _) = net.send(t0, NodeId(0), NodeId(2), 10_000_000);
+        let (fb, _) = net.send(t0, NodeId(1), NodeId(2), 10_000_000);
+        assert!((net.flow_rate(fa).unwrap() - 0.5e9).abs() < 1.0);
+        assert!((net.flow_rate(fb).unwrap() - 0.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unbottlenecked_flow_gets_leftover() {
+        // Flows A, B share link L1; flow C alone on link L2 gets full bw.
+        let mut topo = Topology::new(4);
+        topo.add_duplex(NodeId(0), NodeId(1), 1e9, 0.0);
+        topo.add_duplex(NodeId(2), NodeId(3), 1e9, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        let t0 = VirtualTime::ZERO;
+        let (fa, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let (fb, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let (fc, _) = net.send(t0, NodeId(2), NodeId(3), 1_000_000);
+        assert!((net.flow_rate(fa).unwrap() - 0.5e9).abs() < 1.0);
+        assert!((net.flow_rate(fb).unwrap() - 0.5e9).abs() < 1.0);
+        assert!((net.flow_rate(fc).unwrap() - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn local_transfer_is_instantaneous() {
+        let mut net = one_link_net(1e9, 1e-6);
+        let (f, cmds) = net.send(VirtualTime::from_seconds(1.0), NodeId(0), NodeId(0), 123);
+        assert_eq!(sched_time(&cmds, f), VirtualTime::from_seconds(1.0));
+    }
+
+    #[test]
+    fn reference_config_is_slower_than_clean() {
+        let mut topo_a = Topology::new(2);
+        topo_a.add_duplex(NodeId(0), NodeId(1), 1e9, 1e-6);
+        let topo_b = topo_a.clone();
+        let mut clean = FlowNetwork::new(topo_a);
+        let mut reference = FlowNetwork::with_config(topo_b, FlowNetworkConfig::reference());
+        let bytes = 64_000_000;
+        let (fc, c1) = clean.send(VirtualTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let (fr, c2) = reference.send(VirtualTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let t_clean = sched_time(&c1, fc);
+        let t_ref = sched_time(&c2, fr);
+        assert!(t_ref > t_clean);
+        // But not wildly slower: within ~10% for a 64 MB message.
+        let ratio = t_ref.as_seconds() / t_clean.as_seconds();
+        assert!(ratio < 1.10, "ratio {ratio}");
+    }
+
+    #[test]
+    fn staggered_start_progress_accounting() {
+        // f1 runs alone for 1 ms (drains 1 MB of its 2 MB), then f2
+        // joins; both at 0.5 GB/s. f1 has 1 MB left -> 2 ms more.
+        let mut net = one_link_net(1e9, 0.0);
+        let (f1, _) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 2_000_000);
+        let t1 = VirtualTime::from_seconds(1e-3);
+        let (_f2, cmds) = net.send(t1, NodeId(0), NodeId(1), 2_000_000);
+        let f1_done = sched_time(&cmds, f1);
+        assert!(
+            (f1_done.as_seconds() - 3e-3).abs() < 1e-9,
+            "got {}",
+            f1_done.as_seconds()
+        );
+    }
+
+    #[test]
+    fn link_stats_track_bytes_and_busy_time() {
+        let mut net = one_link_net(1e9, 0.0);
+        let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 2_000_000);
+        let done = sched_time(&cmds, f);
+        net.deliver(f, done);
+        let route = net.topology().route(NodeId(0), NodeId(1)).unwrap();
+        let stats = net.link_stats(route[0]);
+        assert!((stats.bytes - 2_000_000.0).abs() < 1.0, "bytes {}", stats.bytes);
+        assert!((stats.busy_s - 2e-3).abs() < 1e-9, "busy {}", stats.busy_s);
+        // The reverse link carried nothing.
+        let back = net.topology().route(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(net.link_stats(back[0]).bytes, 0.0);
+        let hottest = net.hottest_links(1);
+        assert_eq!(hottest[0].0, route[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "while flows are in flight")]
+    fn topology_mutation_guarded() {
+        let mut net = one_link_net(1e9, 0.0);
+        net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1);
+        let _ = net.topology_mut();
+    }
+}

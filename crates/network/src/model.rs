@@ -1,0 +1,94 @@
+//! The pluggable network-model interface.
+//!
+//! The paper emphasizes that a TrioSim network model "only requires
+//! implementing the Send and Deliver functions". [`NetworkModel`] is that
+//! contract. Because network models cannot own the simulator's event
+//! queue (the simulator does), every operation returns a list of
+//! [`NetCommand`]s — schedule or cancel delivery events — that the caller
+//! applies to its queue. Deterministic and allocation-light.
+
+use std::fmt;
+
+use triosim_des::VirtualTime;
+
+use crate::topology::NodeId;
+
+/// Identifier of one in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// An instruction from the network model to the simulation loop.
+///
+/// `Schedule` means: (re-)arm the delivery event of `flow` at `at`,
+/// cancelling any previously armed delivery for the same flow. `Cancel`
+/// means: disarm it without a replacement (the flow's finish time is
+/// currently unknown, e.g. it is queued behind a busy photonic circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetCommand {
+    /// Arm (or re-arm) the delivery event for a flow.
+    Schedule {
+        /// The flow whose delivery fires.
+        flow: FlowId,
+        /// Absolute virtual time of delivery under current allocations.
+        at: VirtualTime,
+    },
+    /// Disarm the delivery event for a flow.
+    Cancel {
+        /// The flow whose delivery is disarmed.
+        flow: FlowId,
+    },
+}
+
+/// A network performance model that the simulator can drive.
+///
+/// The protocol:
+///
+/// 1. The simulator calls [`send`](NetworkModel::send) when a transfer
+///    starts, obtaining a [`FlowId`] and commands to apply.
+/// 2. When a scheduled delivery event fires, the simulator calls
+///    [`deliver`](NetworkModel::deliver); the flow is complete, and the
+///    returned commands re-arm other flows whose rates changed.
+pub trait NetworkModel: fmt::Debug {
+    /// Starts a transfer of `bytes` from `src` to `dst` at time `now`.
+    ///
+    /// Returns the new flow's id and the event commands to apply (always
+    /// including a `Schedule` for the new flow, possibly preceded by
+    /// re-schedules of existing flows).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `src`/`dst` are unknown or
+    /// disconnected — a configuration bug, not a runtime condition.
+    fn send(&mut self, now: VirtualTime, src: NodeId, dst: NodeId, bytes: u64)
+        -> (FlowId, Vec<NetCommand>);
+
+    /// Completes `flow` at time `now` (its armed delivery event fired).
+    ///
+    /// Returns commands re-arming the remaining flows.
+    fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand>;
+
+    /// Number of flows currently in flight.
+    fn in_flight(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_compare() {
+        let a = NetCommand::Schedule {
+            flow: FlowId(1),
+            at: VirtualTime::from_seconds(1.0),
+        };
+        let b = NetCommand::Cancel { flow: FlowId(1) };
+        assert_ne!(a, b);
+        assert_eq!(format!("{}", FlowId(3)), "flow3");
+    }
+}

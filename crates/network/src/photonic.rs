@@ -1,0 +1,374 @@
+//! The circuit-switching photonic network model (case study §7.1).
+//!
+//! Models Lightmatter Passage-style wafer-scale photonic interconnects:
+//! before data can move between two chiplets, a *logical circuit* must be
+//! established (configurable setup latency); once established, the
+//! circuit delivers a fixed high bandwidth with distance-independent,
+//! near-zero propagation latency. Each node has a limited number of
+//! photonic ports; when a new circuit is needed on a fully occupied node,
+//! the least-recently-used idle circuit is torn down — exactly the
+//! behaviour described in the paper's "Photonic network model
+//! implementation".
+
+use std::collections::BTreeMap;
+
+use triosim_des::{TimeSpan, VirtualTime};
+
+use crate::model::{FlowId, NetCommand, NetworkModel};
+use crate::topology::NodeId;
+
+/// Parameters of the photonic interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhotonicConfig {
+    /// Photonic ports per chiplet (each live circuit occupies one port at
+    /// each endpoint).
+    pub ports_per_node: usize,
+    /// Bandwidth of one established circuit, bytes/s.
+    pub circuit_bandwidth: f64,
+    /// Time to establish a new logical circuit, seconds.
+    pub setup_latency_s: f64,
+    /// Propagation latency once established (distance-independent on the
+    /// wafer), seconds.
+    pub propagation_latency_s: f64,
+}
+
+impl PhotonicConfig {
+    /// The paper's case-study configuration: 484 GB/s across 8 links per
+    /// GPU and a 20 ms link-establishment latency.
+    pub fn passage() -> Self {
+        PhotonicConfig {
+            ports_per_node: 8,
+            circuit_bandwidth: 484.0e9 / 8.0,
+            setup_latency_s: 20.0e-3,
+            propagation_latency_s: 0.05e-6,
+        }
+    }
+}
+
+impl Default for PhotonicConfig {
+    fn default() -> Self {
+        Self::passage()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Circuit {
+    /// When the circuit finishes establishment.
+    ready_at: VirtualTime,
+    /// Transfers on a circuit serialize; this is when the last one ends.
+    busy_until: VirtualTime,
+    /// LRU key for eviction.
+    last_used: VirtualTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PhotonicFlow {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+}
+
+/// Circuit-switching photonic network (any chiplet to any chiplet).
+///
+/// Unlike [`FlowNetwork`](crate::FlowNetwork), circuits do not share
+/// bandwidth — transfers on the same circuit serialize, and distinct
+/// circuits are independent — so `send` never needs to reschedule other
+/// flows' deliveries.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_des::VirtualTime;
+/// use triosim_network::{NetCommand, NetworkModel, NodeId, PhotonicConfig, PhotonicNetwork};
+///
+/// let mut net = PhotonicNetwork::new(84, PhotonicConfig::passage());
+/// let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(41), 1 << 20);
+/// let NetCommand::Schedule { at, .. } = cmds[0] else { panic!() };
+/// // First transfer pays the 20 ms circuit-establishment latency.
+/// assert!(at.as_seconds() > 20e-3);
+/// # let _ = f;
+/// ```
+#[derive(Debug)]
+pub struct PhotonicNetwork {
+    nodes: usize,
+    config: PhotonicConfig,
+    circuits: BTreeMap<(NodeId, NodeId), Circuit>,
+    flows: BTreeMap<FlowId, PhotonicFlow>,
+    next_flow: u64,
+    circuits_established: u64,
+    circuits_evicted: u64,
+    bytes_delivered: u64,
+    /// Nodes reached over a plain electrical side channel instead of
+    /// photonic circuits (the host's PCIe uplink on a wafer system).
+    bypass: BTreeMap<NodeId, (f64, f64)>,
+}
+
+impl PhotonicNetwork {
+    /// Creates a wafer of `nodes` chiplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the config has no ports.
+    pub fn new(nodes: usize, config: PhotonicConfig) -> Self {
+        assert!(nodes > 0, "need at least one chiplet");
+        assert!(config.ports_per_node > 0, "need at least one port per node");
+        PhotonicNetwork {
+            nodes,
+            config,
+            circuits: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            circuits_established: 0,
+            circuits_evicted: 0,
+            bytes_delivered: 0,
+            bypass: BTreeMap::new(),
+        }
+    }
+
+    /// Routes every flow touching `node` over a dedicated electrical side
+    /// channel (`bandwidth` bytes/s, `latency` seconds) instead of a
+    /// photonic circuit. Wafer-scale systems keep the host's PCIe uplink
+    /// electrical; only chiplet-to-chiplet traffic is photonic.
+    pub fn set_electrical_bypass(&mut self, node: NodeId, bandwidth: f64, latency: f64) {
+        assert!(bandwidth > 0.0 && latency >= 0.0, "invalid bypass parameters");
+        self.bypass.insert(node, (bandwidth, latency));
+    }
+
+    /// Total circuits ever established.
+    pub fn circuits_established(&self) -> u64 {
+        self.circuits_established
+    }
+
+    /// Total circuits torn down to free ports.
+    pub fn circuits_evicted(&self) -> u64 {
+        self.circuits_evicted
+    }
+
+    /// Total payload bytes delivered.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Number of currently established circuits.
+    pub fn live_circuits(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Source, destination, and size of an in-flight flow.
+    pub fn flow(&self, id: FlowId) -> Option<(NodeId, NodeId, u64)> {
+        self.flows.get(&id).map(|f| (f.src, f.dst, f.bytes))
+    }
+
+    fn ports_in_use(&self, node: NodeId) -> usize {
+        self.circuits
+            .keys()
+            .filter(|(a, b)| *a == node || *b == node)
+            .count()
+    }
+
+    /// Frees one port on `node` by evicting its least-recently-used idle
+    /// circuit. Returns the time the port becomes free (immediately for an
+    /// idle victim; after `busy_until` when every circuit is busy).
+    fn free_port(&mut self, node: NodeId, now: VirtualTime) -> VirtualTime {
+        let mine: Vec<(NodeId, NodeId)> = self
+            .circuits
+            .keys()
+            .filter(|(a, b)| *a == node || *b == node)
+            .copied()
+            .collect();
+        // Prefer idle circuits, LRU first; fall back to the one that
+        // frees up soonest.
+        let victim = mine
+            .iter()
+            .filter(|k| self.circuits[k].busy_until <= now)
+            .min_by_key(|k| (self.circuits[k].last_used, **k))
+            .or_else(|| mine.iter().min_by_key(|k| (self.circuits[k].busy_until, **k)))
+            .copied()
+            .expect("a full node always has circuits to evict");
+        let free_at = self.circuits[&victim].busy_until.max(now);
+        self.circuits.remove(&victim);
+        self.circuits_evicted += 1;
+        free_at
+    }
+}
+
+impl NetworkModel for PhotonicNetwork {
+    fn send(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (FlowId, Vec<NetCommand>) {
+        assert!(src.0 < self.nodes && dst.0 < self.nodes, "unknown chiplet");
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(id, PhotonicFlow { src, dst, bytes });
+
+        if src == dst {
+            return (id, vec![NetCommand::Schedule { flow: id, at: now }]);
+        }
+
+        // Electrical side channels (host uplinks) skip circuit switching.
+        for endpoint in [src, dst] {
+            if let Some(&(bw, lat)) = self.bypass.get(&endpoint) {
+                let done = now + TimeSpan::from_seconds(lat + bytes as f64 / bw);
+                return (id, vec![NetCommand::Schedule { flow: id, at: done }]);
+            }
+        }
+
+        let key = (src, dst);
+        if !self.circuits.contains_key(&key) {
+            // Establish a new circuit, freeing ports if necessary.
+            let mut establish_from = now;
+            if self.ports_in_use(src) >= self.config.ports_per_node {
+                establish_from = establish_from.max(self.free_port(src, now));
+            }
+            if self.ports_in_use(dst) >= self.config.ports_per_node {
+                establish_from = establish_from.max(self.free_port(dst, now));
+            }
+            let ready_at =
+                establish_from + TimeSpan::from_seconds(self.config.setup_latency_s);
+            self.circuits.insert(
+                key,
+                Circuit {
+                    ready_at,
+                    busy_until: ready_at,
+                    last_used: now,
+                },
+            );
+            self.circuits_established += 1;
+        }
+
+        let circuit = self.circuits.get_mut(&key).expect("just ensured");
+        let start = now.max(circuit.ready_at).max(circuit.busy_until);
+        let transfer = self.config.propagation_latency_s
+            + bytes as f64 / self.config.circuit_bandwidth;
+        let done = start + TimeSpan::from_seconds(transfer);
+        circuit.busy_until = done;
+        circuit.last_used = done;
+
+        (id, vec![NetCommand::Schedule { flow: id, at: done }])
+    }
+
+    fn deliver(&mut self, flow: FlowId, _now: VirtualTime) -> Vec<NetCommand> {
+        let f = self
+            .flows
+            .remove(&flow)
+            .expect("delivered flow must be in flight");
+        self.bytes_delivered += f.bytes;
+        Vec::new()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_of(cmds: &[NetCommand]) -> VirtualTime {
+        match cmds[0] {
+            NetCommand::Schedule { at, .. } => at,
+            NetCommand::Cancel { .. } => panic!("expected schedule"),
+        }
+    }
+
+    #[test]
+    fn first_transfer_pays_setup() {
+        let cfg = PhotonicConfig::passage();
+        let mut net = PhotonicNetwork::new(4, cfg);
+        let (_, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 60_500_000);
+        let t = at_of(&cmds).as_seconds();
+        let expected = 20e-3 + 0.05e-6 + 60_500_000.0 / cfg.circuit_bandwidth;
+        assert!((t - expected).abs() < 1e-9, "got {t}, want {expected}");
+        assert_eq!(net.circuits_established(), 1);
+    }
+
+    #[test]
+    fn reused_circuit_skips_setup() {
+        let cfg = PhotonicConfig::passage();
+        let mut net = PhotonicNetwork::new(4, cfg);
+        let (f1, c1) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1 << 20);
+        let t1 = at_of(&c1);
+        net.deliver(f1, t1);
+        let (_, c2) = net.send(t1, NodeId(0), NodeId(1), 1 << 20);
+        let dt = (at_of(&c2) - t1).as_seconds();
+        let expected = 0.05e-6 + (1u64 << 20) as f64 / cfg.circuit_bandwidth;
+        assert!((dt - expected).abs() < 1e-9, "reuse cost {dt}");
+        assert_eq!(net.circuits_established(), 1, "no new circuit");
+    }
+
+    #[test]
+    fn same_circuit_serializes_transfers() {
+        let cfg = PhotonicConfig::passage();
+        let mut net = PhotonicNetwork::new(4, cfg);
+        let (_, c1) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1 << 20);
+        let (_, c2) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1 << 20);
+        let per = (1u64 << 20) as f64 / cfg.circuit_bandwidth + 0.05e-6;
+        let gap = (at_of(&c2) - at_of(&c1)).as_seconds();
+        assert!((gap - per).abs() < 1e-9, "second waits for first");
+    }
+
+    #[test]
+    fn distinct_circuits_run_in_parallel() {
+        let cfg = PhotonicConfig::passage();
+        let mut net = PhotonicNetwork::new(4, cfg);
+        let (_, c1) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1 << 20);
+        let (_, c2) = net.send(VirtualTime::ZERO, NodeId(2), NodeId(3), 1 << 20);
+        assert_eq!(at_of(&c1), at_of(&c2));
+    }
+
+    #[test]
+    fn port_exhaustion_evicts_lru() {
+        let cfg = PhotonicConfig {
+            ports_per_node: 2,
+            ..PhotonicConfig::passage()
+        };
+        let mut net = PhotonicNetwork::new(4, cfg);
+        let t = |s: f64| VirtualTime::from_seconds(s);
+        // Node 0 talks to 1 and 2 (both ports used), then to 3.
+        let (f1, c1) = net.send(t(0.0), NodeId(0), NodeId(1), 1024);
+        net.deliver(f1, at_of(&c1));
+        let (f2, c2) = net.send(t(1.0), NodeId(0), NodeId(2), 1024);
+        net.deliver(f2, at_of(&c2));
+        assert_eq!(net.live_circuits(), 2);
+        let (_, _c3) = net.send(t(2.0), NodeId(0), NodeId(3), 1024);
+        assert_eq!(net.circuits_evicted(), 1);
+        assert_eq!(net.live_circuits(), 2, "evicted one, added one");
+        // The LRU victim was (0,1); talking to 1 again re-establishes.
+        let before = net.circuits_established();
+        net.send(t(3.0), NodeId(0), NodeId(2), 1024);
+        assert_eq!(net.circuits_established(), before, "(0,2) survived");
+    }
+
+    #[test]
+    fn local_transfer_immediate() {
+        let mut net = PhotonicNetwork::new(2, PhotonicConfig::passage());
+        let (_, cmds) = net.send(VirtualTime::from_seconds(5.0), NodeId(1), NodeId(1), 1 << 30);
+        assert_eq!(at_of(&cmds), VirtualTime::from_seconds(5.0));
+    }
+
+    #[test]
+    fn electrical_bypass_skips_circuits() {
+        let mut net = PhotonicNetwork::new(4, PhotonicConfig::passage());
+        net.set_electrical_bypass(NodeId(0), 20e9, 1e-6);
+        let (_, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(2), 20_000_000);
+        let t = at_of(&cmds).as_seconds();
+        assert!((t - (1e-6 + 1e-3)).abs() < 1e-9, "no 20 ms setup, got {t}");
+        assert_eq!(net.circuits_established(), 0);
+    }
+
+    #[test]
+    fn delivery_accounting() {
+        let mut net = PhotonicNetwork::new(2, PhotonicConfig::passage());
+        let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 777);
+        assert_eq!(net.in_flight(), 1);
+        let out = net.deliver(f, at_of(&cmds));
+        assert!(out.is_empty());
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.bytes_delivered(), 777);
+    }
+}

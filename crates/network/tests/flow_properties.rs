@@ -1,0 +1,93 @@
+//! Property tests for the flow network's max-min fairness invariants.
+
+use proptest::prelude::*;
+use triosim_des::VirtualTime;
+use triosim_network::{FlowId, FlowNetwork, LinkId, NetworkModel, NodeId, Topology};
+
+/// Builds one of the standard topology families from a selector.
+fn topology(kind: u8, n: usize) -> Topology {
+    match kind % 3 {
+        0 => Topology::ring(n.max(2), 1e9, 1e-6),
+        1 => Topology::switch(n.max(2), 1e9, 1e-6),
+        _ => Topology::chain(n.max(2), 1e9, 1e-6),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any set of concurrent sends: (1) no link carries more than
+    /// its capacity, (2) every flow gets a positive rate, and (3) every
+    /// flow is bottlenecked — it crosses at least one saturated link
+    /// (the defining property of max-min fairness).
+    #[test]
+    fn maxmin_invariants(
+        kind in any::<u8>(),
+        n in 3usize..10,
+        pairs in prop::collection::vec((0usize..10, 0usize..10), 1..15),
+    ) {
+        let topo = topology(kind, n);
+        let mut net = FlowNetwork::new(topo);
+        let mut flows: Vec<FlowId> = Vec::new();
+        for (a, b) in pairs {
+            let (src, dst) = (NodeId(a % n), NodeId(b % n));
+            if src == dst {
+                continue;
+            }
+            let (f, _) = net.send(VirtualTime::ZERO, src, dst, 1 << 20);
+            flows.push(f);
+        }
+        prop_assume!(!flows.is_empty());
+
+        // Reconstruct per-link load from flow rates and routes.
+        let mut link_load: std::collections::HashMap<LinkId, f64> = Default::default();
+        for &f in &flows {
+            let rate = net.flow_rate(f).expect("in flight");
+            prop_assert!(rate > 0.0, "flow {f} starved");
+            let (src, dst, _) = net.flow(f).expect("in flight");
+            for l in net.topology().route(src, dst).unwrap() {
+                *link_load.entry(l).or_insert(0.0) += rate;
+            }
+        }
+        for (&l, &load) in &link_load {
+            let cap = net.topology().bandwidth(l);
+            prop_assert!(load <= cap * (1.0 + 1e-9), "link {l:?} oversubscribed: {load} > {cap}");
+        }
+        // Bottleneck property: every flow crosses >= 1 saturated link.
+        for &f in &flows {
+            let (src, dst, _) = net.flow(f).expect("in flight");
+            let saturated = net
+                .topology()
+                .route(src, dst)
+                .unwrap()
+                .iter()
+                .any(|l| {
+                    let cap = net.topology().bandwidth(*l);
+                    link_load.get(l).copied().unwrap_or(0.0) >= cap * (1.0 - 1e-6)
+                });
+            prop_assert!(saturated, "flow {f} is not bottlenecked anywhere");
+        }
+    }
+
+    /// Delivery times are monotone in payload size for a lone flow.
+    #[test]
+    fn lone_flow_time_is_monotone(sizes in prop::collection::vec(1u64..1_000_000_000, 2..10)) {
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let mut last = 0.0f64;
+        for bytes in sorted {
+            let topo = Topology::ring(4, 1e9, 1e-6);
+            let mut net = FlowNetwork::new(topo);
+            let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(2), bytes);
+            let at = cmds
+                .iter()
+                .find_map(|c| match c {
+                    triosim_network::NetCommand::Schedule { flow, at } if *flow == f => Some(*at),
+                    _ => None,
+                })
+                .unwrap();
+            prop_assert!(at.as_seconds() >= last);
+            last = at.as_seconds();
+        }
+    }
+}

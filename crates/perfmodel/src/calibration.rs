@@ -1,0 +1,154 @@
+//! Calibration microbenchmark sweeps.
+//!
+//! Li's Model is calibrated offline per GPU by timing a sweep of synthetic
+//! operators (the role microbenchmarks play on real hardware). Each
+//! operator class gets a size sweep broad enough to pin down the
+//! intercept (launch overhead), the FLOP slope, and the byte slope.
+
+use triosim_modelzoo::{OpClass, Operator, TensorShape};
+
+/// Generates the calibration operator sweep for one class.
+///
+/// The sweeps span roughly four orders of magnitude of operator size —
+/// from launch-overhead-dominated to throughput-saturated — matching the
+/// sizes that appear in the paper's traced workloads (batch sizes up to
+/// 256 on 224x224 images and 512-token sequences).
+pub fn calibration_ops(class: OpClass) -> Vec<Operator> {
+    let mut ops = Vec::new();
+    match class {
+        OpClass::Conv2d => {
+            for &n in &[1u64, 4, 16, 64, 128, 256] {
+                for &(c_in, c_out, size, k) in &[
+                    (3u64, 64u64, 112u64, 7u64),
+                    (64, 64, 56, 3),
+                    (64, 128, 28, 3),
+                    (128, 256, 14, 3),
+                    (256, 512, 7, 3),
+                    (64, 256, 56, 1),
+                    (512, 2048, 7, 1),
+                ] {
+                    let input = TensorShape::from([n, c_in, size, size]);
+                    ops.push(Operator::conv2d("cal", &input, c_out, k, size, size));
+                }
+            }
+        }
+        OpClass::Linear => {
+            for &n in &[1u64, 16, 128, 1024, 8192, 65536] {
+                for &(fi, fo) in &[
+                    (256u64, 256u64),
+                    (768, 3072),
+                    (1024, 1024),
+                    (2048, 8192),
+                    (4096, 4096),
+                    (768, 50257),
+                ] {
+                    ops.push(Operator::linear("cal", n, fi, fo));
+                }
+            }
+        }
+        OpClass::MatMul => {
+            for &b in &[1u64, 12, 96, 384, 1536] {
+                for &(m, k, p) in &[(128u64, 64u64, 128u64), (512, 64, 512), (512, 512, 64)] {
+                    ops.push(Operator::matmul("cal", b, m, k, p));
+                }
+            }
+        }
+        OpClass::BatchNorm => {
+            for shape in spatial_sweep() {
+                ops.push(Operator::batch_norm("cal", &shape));
+            }
+        }
+        OpClass::LayerNorm => {
+            for shape in token_sweep() {
+                ops.push(Operator::layer_norm("cal", &shape));
+            }
+        }
+        OpClass::Activation => {
+            for shape in spatial_sweep().into_iter().chain(token_sweep()) {
+                ops.push(Operator::activation("cal", &shape));
+            }
+        }
+        OpClass::Elementwise => {
+            for shape in spatial_sweep().into_iter().chain(token_sweep()) {
+                ops.push(Operator::elementwise("cal", &shape));
+            }
+        }
+        OpClass::Pool => {
+            for &n in &[1u64, 16, 64, 256] {
+                for &(c, s) in &[(64u64, 56u64), (256, 28), (512, 14)] {
+                    let input = TensorShape::from([n, c, s, s]);
+                    ops.push(Operator::pool("cal", &input, 2, s / 2, s / 2));
+                }
+            }
+        }
+        OpClass::Softmax => {
+            for shape in token_sweep() {
+                ops.push(Operator::softmax("cal", &shape));
+            }
+        }
+        OpClass::Embedding => {
+            for &n in &[1u64, 8, 64, 256] {
+                for &(s, v, d) in &[(128u64, 30522u64, 768u64), (512, 50257, 768), (512, 128256, 2048)] {
+                    ops.push(Operator::embedding("cal", n, s, v, d));
+                }
+            }
+        }
+        OpClass::Loss => {
+            for &n in &[1u64, 32, 256, 4096, 65536] {
+                for &c in &[1000u64, 30522, 50257] {
+                    ops.push(Operator::loss("cal", n, c));
+                }
+            }
+        }
+        OpClass::Optimizer => {
+            for &mb in &[0.1f64, 1.0, 8.0, 64.0, 512.0] {
+                ops.push(Operator::optimizer("cal", (mb * 1e6) as u64));
+            }
+        }
+    }
+    ops
+}
+
+fn spatial_sweep() -> Vec<TensorShape> {
+    let mut v = Vec::new();
+    for &n in &[1u64, 16, 64, 256] {
+        for &(c, s) in &[(64u64, 56u64), (128, 28), (512, 7), (2048, 7)] {
+            v.push(TensorShape::from([n, c, s, s]));
+        }
+    }
+    v
+}
+
+fn token_sweep() -> Vec<TensorShape> {
+    let mut v = Vec::new();
+    for &n in &[1u64, 8, 64, 256] {
+        for &(s, d) in &[(128u64, 768u64), (512, 768), (512, 2048), (512, 8192)] {
+            v.push(TensorShape::from([n, s, d]));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_a_sweep() {
+        for class in OpClass::ALL {
+            let ops = calibration_ops(class);
+            assert!(ops.len() >= 5, "{class}: only {} points", ops.len());
+            assert!(ops.iter().all(|o| o.class == class), "{class}: wrong class");
+        }
+    }
+
+    #[test]
+    fn sweeps_span_orders_of_magnitude() {
+        for class in [OpClass::Conv2d, OpClass::Linear, OpClass::Activation] {
+            let ops = calibration_ops(class);
+            let min = ops.iter().map(|o| o.total_bytes()).min().unwrap();
+            let max = ops.iter().map(|o| o.total_bytes()).max().unwrap();
+            assert!(max / min.max(1) > 100, "{class}: sweep too narrow");
+        }
+    }
+}

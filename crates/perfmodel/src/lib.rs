@@ -1,0 +1,49 @@
+//! Li's Model: linear-regression operator execution-time prediction.
+//!
+//! TrioSim predicts operator times with *Li's Model* (Li, Sun, Jog —
+//! MICRO 2023): a per-operator-class linear regression over cheap
+//! shape-derived features, calibrated offline per GPU from microbenchmark
+//! sweeps. This crate reproduces that model:
+//!
+//! * [`LinearRegression`] — ordinary least squares solved by normal
+//!   equations with partial-pivot Gaussian elimination (no external linear
+//!   algebra dependency).
+//! * [`op_features`] — the feature map `[1, FLOPs, bytes]` per operator.
+//! * [`LisModel`] — one regression per [`OpClass`] per GPU, fitted on a
+//!   calibration sweep "measured" on the oracle GPU model (the stand-in
+//!   for the microbenchmark runs Li's Model performs on real hardware).
+//!
+//! The paper's headline capability — predicting *new* batch sizes and
+//! *new* GPUs from a single trace — maps to [`LisModel::predict`] on
+//! rescaled operators and to ratio-scaling between two calibrated models
+//! (see `triosim`'s compute-model policy).
+//!
+//! # Example
+//!
+//! ```rust
+//! use triosim_modelzoo::Operator;
+//! use triosim_trace::GpuModel;
+//! use triosim_perfmodel::LisModel;
+//!
+//! let model = LisModel::calibrated(GpuModel::A100);
+//! let op = Operator::linear("fc", 1024, 4096, 4096);
+//! let t = model.predict(&op);
+//! assert!(t > 0.0 && t < 1.0, "plausible sub-second GEMM");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod calibration;
+mod features;
+mod linreg;
+mod model;
+
+pub use calibration::calibration_ops;
+pub use features::{op_features, op_features_with, FeatureSet, FEATURE_DIM};
+pub use linreg::{LinearRegression, RegressionError};
+pub use model::LisModel;
+
+// Re-exported so downstream callers don't need a direct modelzoo dep for
+// the class enum.
+pub use triosim_modelzoo::OpClass;

@@ -1,0 +1,288 @@
+//! Ordinary least squares, self-contained.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised when a regression cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer samples than features.
+    TooFewSamples {
+        /// Samples provided.
+        samples: usize,
+        /// Features required.
+        features: usize,
+    },
+    /// A sample's feature vector length disagrees with the first sample's.
+    RaggedFeatures,
+    /// The normal-equation system is singular (features are collinear).
+    Singular,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::TooFewSamples { samples, features } => write!(
+                f,
+                "need at least {features} samples to fit {features} coefficients, got {samples}"
+            ),
+            RegressionError::RaggedFeatures => write!(f, "feature vectors have differing lengths"),
+            RegressionError::Singular => write!(f, "design matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// A fitted linear model `y = w . x`.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim_perfmodel::LinearRegression;
+///
+/// // y = 3 + 2 a - b, recovered exactly from noise-free samples.
+/// let xs = vec![
+///     vec![1.0, 0.0, 0.0],
+///     vec![1.0, 1.0, 0.0],
+///     vec![1.0, 0.0, 1.0],
+///     vec![1.0, 2.0, 3.0],
+/// ];
+/// let ys = vec![3.0, 5.0, 2.0, 4.0];
+/// let model = LinearRegression::fit(&xs, &ys)?;
+/// assert!((model.predict(&[1.0, 5.0, 1.0]) - 12.0).abs() < 1e-9);
+/// # Ok::<(), triosim_perfmodel::RegressionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fits `y = w . x` by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] if there are fewer samples than
+    /// features, the feature vectors are ragged, or the system is
+    /// singular.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, RegressionError> {
+        Self::fit_ridge(xs, ys, 0.0)
+    }
+
+    /// Fits `y = w . x` by ridge regression with penalty `lambda`
+    /// (relative to the mean feature scale, so the penalty is
+    /// unit-invariant).
+    ///
+    /// A small positive `lambda` makes the fit robust to exactly
+    /// collinear features — which occur naturally in operator timing
+    /// (e.g. elementwise kernels have FLOPs strictly proportional to
+    /// bytes) — at negligible cost to accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](LinearRegression::fit), except that
+    /// with `lambda > 0` collinear features no longer yield
+    /// [`RegressionError::Singular`].
+    pub fn fit_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Self, RegressionError> {
+        let n = xs.len();
+        let d = xs.first().map(Vec::len).unwrap_or(0);
+        if n < d || d == 0 || n != ys.len() {
+            return Err(RegressionError::TooFewSamples {
+                samples: n.min(ys.len()),
+                features: d.max(1),
+            });
+        }
+        if xs.iter().any(|x| x.len() != d) {
+            return Err(RegressionError::RaggedFeatures);
+        }
+
+        // Normal equations: (X^T X) w = X^T y.
+        let mut ata = vec![vec![0.0f64; d]; d];
+        let mut aty = vec![0.0f64; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..d {
+                aty[i] += x[i] * y;
+                for j in 0..d {
+                    ata[i][j] += x[i] * x[j];
+                }
+            }
+        }
+
+        if lambda > 0.0 {
+            // Scale-invariant ridge: penalize relative to the average
+            // feature energy.
+            let mean_diag: f64 = (0..d).map(|i| ata[i][i]).sum::<f64>() / d as f64;
+            let penalty = lambda * mean_diag.max(f64::MIN_POSITIVE);
+            for (i, row) in ata.iter_mut().enumerate() {
+                row[i] += penalty;
+            }
+        }
+
+        let coefficients = solve(ata, aty)?;
+        Ok(LinearRegression { coefficients })
+    }
+
+    /// The fitted coefficient vector.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Predicts `w . x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.coefficients.len(),
+            "feature vector has wrong dimensionality"
+        );
+        x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum()
+    }
+
+    /// Mean absolute percentage error over a labelled set.
+    ///
+    /// Samples with `y == 0` are skipped.
+    pub fn mape(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (x, &y) in xs.iter().zip(ys) {
+            if y != 0.0 {
+                total += ((self.predict(x) - y) / y).abs();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Solves `A w = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty column");
+        if a[pivot][col].abs() < 1e-300 {
+            return Err(RegressionError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut w = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * w[k];
+        }
+        w[row] = acc / a[row][row];
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 1 + 2x.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 1.0 + 2.0 * i as f64).collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coefficients()[0] - 1.0).abs() < 1e-9);
+        assert!((m.coefficients()[1] - 2.0).abs() < 1e-9);
+        assert!(m.mape(&xs, &ys) < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_on_noisy_data() {
+        // y = 10x with symmetric noise: slope estimate near 10.
+        let xs: Vec<Vec<f64>> = (1..=100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..=100)
+            .map(|i| 10.0 * i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coefficients()[0] - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn too_few_samples() {
+        let err = LinearRegression::fit(&[vec![1.0, 2.0]], &[1.0]).unwrap_err();
+        assert!(matches!(err, RegressionError::TooFewSamples { .. }));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let err =
+            LinearRegression::fit(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, RegressionError::RaggedFeatures);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Duplicate feature columns: plain OLS is singular, ridge is not.
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let m = LinearRegression::fit_ridge(&xs, &ys, 1e-9).unwrap();
+        assert!((m.predict(&[4.0, 4.0]) - 8.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        // Duplicate feature columns.
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let err = LinearRegression::fit(&xs, &[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(err, RegressionError::Singular);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn predict_checks_dims() {
+        let m = LinearRegression::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0, 2.0],
+        )
+        .unwrap();
+        m.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(RegressionError::Singular.to_string().contains("singular"));
+        assert!(
+            RegressionError::TooFewSamples {
+                samples: 1,
+                features: 3
+            }
+            .to_string()
+            .contains("at least 3")
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the OLS/ridge regression core.
+
+use proptest::prelude::*;
+use triosim_perfmodel::LinearRegression;
+
+proptest! {
+    /// OLS recovers arbitrary exact linear functions from clean samples.
+    #[test]
+    fn recovers_exact_linear_functions(
+        w in prop::collection::vec(-100.0f64..100.0, 1..5),
+        points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 1..5), 8..30),
+    ) {
+        let d = w.len();
+        // Deterministically spread sample points across dimensions and
+        // add canonical basis points so the system is full-rank.
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        for i in 0..d {
+            let mut e = vec![0.0; d];
+            e[i] = 1.0;
+            xs.push(e);
+        }
+        xs.push(vec![0.0; d]);
+        for p in &points {
+            let mut x: Vec<f64> = p.iter().copied().cycle().take(d).collect();
+            // Perturb deterministically per-row so rows are independent.
+            for (j, v) in x.iter_mut().enumerate() {
+                *v += (j as f64 + 1.0) * 0.001 * (xs.len() as f64);
+            }
+            xs.push(x);
+        }
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().zip(&w).map(|(a, b)| a * b).sum())
+            .collect();
+        let model = LinearRegression::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((model.predict(x) - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+        prop_assert!(model.mape(&xs, &ys) < 1e-6);
+    }
+
+    /// Tiny ridge barely perturbs a well-conditioned fit.
+    #[test]
+    fn ridge_matches_ols_when_well_conditioned(
+        slope in -50.0f64..50.0,
+        intercept in -50.0f64..50.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| intercept + slope * i as f64).collect();
+        let ols = LinearRegression::fit(&xs, &ys).unwrap();
+        let ridge = LinearRegression::fit_ridge(&xs, &ys, 1e-9).unwrap();
+        for (a, b) in ols.coefficients().iter().zip(ridge.coefficients()) {
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Predictions are linear: predict(a x) == a predict(x) for the
+    /// no-intercept case.
+    #[test]
+    fn predictions_scale_linearly(scale in 0.1f64..10.0) {
+        let xs: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..10).map(|i| 3.0 * i as f64).collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        let base = m.predict(&[2.0]);
+        let scaled = m.predict(&[2.0 * scale]);
+        prop_assert!((scaled - base * scale).abs() < 1e-9 * (1.0 + scaled.abs()));
+    }
+}

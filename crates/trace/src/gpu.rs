@@ -1,0 +1,249 @@
+//! GPU and interconnect hardware parameters.
+//!
+//! The paper validates on three platforms (P1 = 2xA40/PCIe, P2 =
+//! 4xA100/NVLink, P3 = 8xH100/NVLink) and feeds the simulator *achieved*
+//! link bandwidths measured with `nccl-test` rather than theoretical
+//! peaks. We mirror that: every [`LinkKind`] carries a theoretical
+//! bandwidth and an achieved fraction, and the simulator always uses the
+//! achieved value.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The GPUs used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA A40 (platform P1).
+    A40,
+    /// NVIDIA A100 SXM 80 GB (platform P2).
+    A100,
+    /// NVIDIA H100 SXM (platform P3).
+    H100,
+}
+
+impl GpuModel {
+    /// All supported GPU models.
+    pub const ALL: [GpuModel; 3] = [GpuModel::A40, GpuModel::A100, GpuModel::H100];
+
+    /// Hardware parameters of this GPU.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            // Public datasheet numbers; FP32 CUDA-core throughput (PyTorch
+            // trains FP32 by default in the paper's torch 2.1 setup).
+            GpuModel::A40 => GpuSpec {
+                name: "A40",
+                peak_flops: 37.4e12,
+                mem_bandwidth: 696.0e9,
+                mem_capacity: 48 * (1 << 30),
+                kernel_launch_overhead_s: 6.0e-6,
+                max_compute_eff: 0.72,
+                max_mem_eff: 0.78,
+                compute_sat_flops: 3.0e9,
+                mem_sat_bytes: 24.0e6,
+            },
+            GpuModel::A100 => GpuSpec {
+                name: "A100",
+                peak_flops: 19.5e12,
+                mem_bandwidth: 2039.0e9,
+                mem_capacity: 80 * (1 << 30),
+                kernel_launch_overhead_s: 4.5e-6,
+                max_compute_eff: 0.80,
+                max_mem_eff: 0.83,
+                compute_sat_flops: 2.0e9,
+                mem_sat_bytes: 16.0e6,
+            },
+            GpuModel::H100 => GpuSpec {
+                name: "H100",
+                peak_flops: 66.9e12,
+                mem_bandwidth: 3350.0e9,
+                mem_capacity: 80 * (1 << 30),
+                kernel_launch_overhead_s: 3.5e-6,
+                max_compute_eff: 0.78,
+                max_mem_eff: 0.82,
+                compute_sat_flops: 4.0e9,
+                mem_sat_bytes: 20.0e6,
+            },
+        }
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+impl FromStr for GpuModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A40" => Ok(GpuModel::A40),
+            "A100" => Ok(GpuModel::A100),
+            "H100" => Ok(GpuModel::H100),
+            other => Err(format!("unknown GPU model `{other}`")),
+        }
+    }
+}
+
+/// Hardware parameters of one GPU.
+///
+/// The first three fields are public datasheet numbers; the rest are the
+/// oracle's utilization-curve parameters (see [`OracleGpu`] for how they
+/// shape per-operator times).
+///
+/// [`OracleGpu`]: crate::OracleGpu
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak FP32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Fixed CPU-side cost of launching one kernel, in seconds.
+    pub kernel_launch_overhead_s: f64,
+    /// Asymptotic fraction of peak FLOP/s a large GEMM reaches.
+    pub max_compute_eff: f64,
+    /// Asymptotic fraction of peak bandwidth a large memory-bound kernel
+    /// reaches.
+    pub max_mem_eff: f64,
+    /// Operator FLOP count at which compute efficiency reaches half of its
+    /// asymptote (smaller ops underutilize the SMs).
+    pub compute_sat_flops: f64,
+    /// Byte count at which memory efficiency reaches half of its asymptote.
+    pub mem_sat_bytes: f64,
+}
+
+/// Interconnect technologies between GPUs.
+///
+/// The simulator always uses [`achieved_bandwidth`](LinkKind::achieved_bandwidth),
+/// mirroring the paper's use of `nccl-test` measurements instead of
+/// theoretical link rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// PCIe 4.0 x16 (platform P1's A40 pairs).
+    Pcie4,
+    /// NVLink 3 (A100; per-direction aggregate).
+    NvLink3,
+    /// NVLink 4 (H100; per-direction aggregate).
+    NvLink4,
+    /// Host bridge: CPU memory to GPU over PCIe.
+    HostPcie,
+    /// On-wafer electrical mesh link (case study 7.1 baseline).
+    WaferElectrical,
+    /// Photonic Passage logical link (case study 7.1).
+    Photonic,
+}
+
+impl LinkKind {
+    /// Theoretical peak bandwidth in bytes/s.
+    pub fn theoretical_bandwidth(self) -> f64 {
+        match self {
+            LinkKind::Pcie4 => 32.0e9,
+            LinkKind::NvLink3 => 300.0e9,
+            LinkKind::NvLink4 => 450.0e9,
+            LinkKind::HostPcie => 32.0e9,
+            LinkKind::WaferElectrical => 40.0e9,
+            // Paper configures Passage at 484 GB/s across 8 links.
+            LinkKind::Photonic => 484.0e9 / 8.0,
+        }
+    }
+
+    /// Fraction of the theoretical rate that `nccl-test`-style
+    /// measurement achieves in practice.
+    pub fn achieved_fraction(self) -> f64 {
+        match self {
+            LinkKind::Pcie4 => 0.68,
+            LinkKind::NvLink3 => 0.80,
+            LinkKind::NvLink4 => 0.80,
+            LinkKind::HostPcie => 0.65,
+            LinkKind::WaferElectrical => 0.85,
+            LinkKind::Photonic => 0.95,
+        }
+    }
+
+    /// The achieved bandwidth fed to the network model, in bytes/s.
+    pub fn achieved_bandwidth(self) -> f64 {
+        self.theoretical_bandwidth() * self.achieved_fraction()
+    }
+
+    /// One-way link latency in seconds.
+    pub fn latency_s(self) -> f64 {
+        match self {
+            LinkKind::Pcie4 | LinkKind::HostPcie => 2.0e-6,
+            LinkKind::NvLink3 | LinkKind::NvLink4 => 1.0e-6,
+            LinkKind::WaferElectrical => 0.3e-6,
+            LinkKind::Photonic => 0.05e-6,
+        }
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::Pcie4 => "PCIe4",
+            LinkKind::NvLink3 => "NVLink3",
+            LinkKind::NvLink4 => "NVLink4",
+            LinkKind::HostPcie => "HostPCIe",
+            LinkKind::WaferElectrical => "WaferElectrical",
+            LinkKind::Photonic => "Photonic",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_sane() {
+        for gpu in GpuModel::ALL {
+            let s = gpu.spec();
+            assert!(s.peak_flops > 1e12);
+            assert!(s.mem_bandwidth > 1e11);
+            assert!(s.max_compute_eff > 0.0 && s.max_compute_eff < 1.0);
+            assert!(s.max_mem_eff > 0.0 && s.max_mem_eff < 1.0);
+        }
+    }
+
+    #[test]
+    fn h100_outclasses_a40() {
+        assert!(GpuModel::H100.spec().peak_flops > GpuModel::A40.spec().peak_flops);
+        assert!(GpuModel::H100.spec().mem_bandwidth > GpuModel::A40.spec().mem_bandwidth);
+    }
+
+    #[test]
+    fn achieved_below_theoretical() {
+        for link in [
+            LinkKind::Pcie4,
+            LinkKind::NvLink3,
+            LinkKind::NvLink4,
+            LinkKind::HostPcie,
+            LinkKind::WaferElectrical,
+            LinkKind::Photonic,
+        ] {
+            assert!(link.achieved_bandwidth() < link.theoretical_bandwidth());
+            assert!(link.latency_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nvlink_much_faster_than_pcie() {
+        assert!(LinkKind::NvLink3.achieved_bandwidth() > 5.0 * LinkKind::Pcie4.achieved_bandwidth());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for gpu in GpuModel::ALL {
+            assert_eq!(gpu.to_string().parse::<GpuModel>().unwrap(), gpu);
+        }
+        assert!("B200".parse::<GpuModel>().is_err());
+        assert_eq!("a100".parse::<GpuModel>().unwrap(), GpuModel::A100);
+    }
+}

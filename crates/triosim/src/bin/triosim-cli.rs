@@ -1,0 +1,307 @@
+//! `triosim-cli` — trace, inspect, and simulate from the command line.
+//!
+//! ```text
+//! triosim-cli models
+//! triosim-cli trace    --model resnet50 --batch 128 --gpu A100 -o trace.json
+//! triosim-cli inspect  --trace trace.json
+//! triosim-cli simulate --trace trace.json --platform p2:4 --parallelism ddp \
+//!                      [--batch 512] [--reference] [--timeline out.json]
+//! triosim-cli memory   --trace trace.json --gpus 4 --parallelism tp --batch 128
+//! ```
+//!
+//! The argument parser is deliberately hand-rolled (no CLI dependency);
+//! every subcommand prints usage on `--help`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use triosim::{
+    estimate_memory, Fidelity, Parallelism, Platform, SimBuilder,
+};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Phase, Trace, Tracer};
+
+const USAGE: &str = "\
+triosim-cli — TrioSim-RS command line
+
+USAGE:
+    triosim-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    models                      list the built-in model zoo
+    trace                       collect a single-GPU trace
+        --model <name>          zoo model (see `models`)
+        --batch <n>             batch size (default 128)
+        --gpu <A40|A100|H100>   GPU to trace on (default A100)
+        -o, --out <file>        output path (default <model>.trace.json)
+    inspect                     summarize a trace file
+        --trace <file>
+    simulate                    predict a multi-GPU iteration
+        --trace <file>
+        --platform <p1|p2:N|p3|ring:GPU:N|pcie:GPU:N>   (default p2:4)
+        --parallelism <dp|ddp|tp|pp[:chunks]|hp:groups[:chunks]>  (default ddp)
+        --batch <n>             global batch (default: weak scaling)
+        --reference             run the ground-truth reference instead
+        --timeline <file>       write the Chrome-trace timeline
+        --html <file>           write a self-contained HTML timeline view
+    memory                      estimate the per-GPU memory footprint
+        --trace <file> --gpus <n> --parallelism <...> --batch <n>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = parse_options(&args[1..]);
+    let result = match command.as_str() {
+        "models" => cmd_models(),
+        "trace" => cmd_trace(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "memory" => cmd_memory(&opts),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches('-').to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with('-') {
+            opts.insert(if key == "o" { "out".into() } else { key }, args[i + 1].clone());
+            i += 2;
+        } else {
+            opts.insert(key, "true".into());
+            i += 1;
+        }
+    }
+    opts
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<16} {:>10} {:>12} {:>12}", "model", "layers", "params (M)", "GFLOPs@1");
+    for id in ModelId::ALL {
+        let m = id.build(1);
+        println!(
+            "{:<16} {:>10} {:>12.1} {:>12.1}",
+            id.to_string(),
+            m.layer_count(),
+            m.param_count() as f64 / 1e6,
+            m.total_flops() / 1e9
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
+    let model: ModelId = opts
+        .get("model")
+        .ok_or("missing --model")?
+        .parse()?;
+    let batch: u64 = parse_num(opts, "batch", 128)?;
+    let gpu: GpuModel = opts
+        .get("gpu")
+        .map(|s| GpuModel::from_str(s))
+        .transpose()?
+        .unwrap_or(GpuModel::A100);
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{model}.trace.json"));
+
+    let trace = Tracer::new(gpu).trace(&model.build(batch));
+    let json = trace.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "traced {model} @ batch {batch} on {gpu}: {} operators, {:.2} ms -> {out}",
+        trace.entries().len(),
+        trace.total_time_s() * 1e3
+    );
+    Ok(())
+}
+
+fn load_trace(opts: &HashMap<String, String>) -> Result<Trace, String> {
+    let path = opts.get("trace").ok_or("missing --trace")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Trace::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    println!("model      : {}", trace.model());
+    println!("gpu        : {}", trace.gpu());
+    println!("batch      : {}", trace.batch());
+    println!("operators  : {}", trace.entries().len());
+    println!("layers     : {}", trace.layer_count());
+    println!("tensors    : {}", trace.tensors().len());
+    println!("total time : {:.3} ms", trace.total_time_s() * 1e3);
+    for phase in [Phase::Forward, Phase::Backward, Phase::Optimizer] {
+        println!(
+            "  {phase:<9}: {:.3} ms",
+            trace.phase_time_s(phase) * 1e3
+        );
+    }
+    println!(
+        "gradients  : {:.1} MB (the DP AllReduce volume)",
+        trace.gradient_bytes() as f64 / 1e6
+    );
+    println!("time by operator class:");
+    for (class, count, secs) in trace.class_breakdown() {
+        println!(
+            "  {:<12} {:>5} ops {:>10.3} ms ({:>4.1}%)",
+            class.to_string(),
+            count,
+            secs * 1e3,
+            100.0 * secs / trace.total_time_s()
+        );
+    }
+    Ok(())
+}
+
+fn parse_platform(spec: &str) -> Result<Platform, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["p1"] => Ok(Platform::p1()),
+        ["p2"] => Ok(Platform::p2(4)),
+        ["p2", n] => Ok(Platform::p2(parse(n)?)),
+        ["p3"] => Ok(Platform::p3()),
+        ["ring", gpu, n] => Ok(Platform::ring(
+            GpuModel::from_str(gpu)?,
+            parse(n)?,
+            triosim_trace::LinkKind::NvLink3,
+            format!("ring-{n}"),
+        )),
+        ["pcie", gpu, n] => Ok(Platform::pcie(GpuModel::from_str(gpu)?, parse(n)?, format!("pcie-{n}"))),
+        _ => Err(format!("unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)")),
+    }
+}
+
+fn parse_parallelism(spec: &str) -> Result<Parallelism, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["dp"] => Ok(Parallelism::DataParallel { overlap: false }),
+        ["ddp"] => Ok(Parallelism::DataParallel { overlap: true }),
+        ["tp"] => Ok(Parallelism::TensorParallel),
+        ["pp"] => Ok(Parallelism::Pipeline { chunks: 1 }),
+        ["pp", c] => Ok(Parallelism::Pipeline { chunks: parse(c)? }),
+        ["hp", g] => Ok(Parallelism::Hybrid { dp_groups: parse(g)?, chunks: 1 }),
+        ["hp", g, c] => Ok(Parallelism::Hybrid { dp_groups: parse(g)?, chunks: parse(c)? }),
+        _ => Err(format!("unknown parallelism `{spec}` (try dp, ddp, tp, pp:4, hp:2:4)")),
+    }
+}
+
+fn parse<T: FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("invalid number `{s}`: {e}"))
+}
+
+fn parse_num(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    opts.get(key).map(|s| parse(s)).transpose().map(|v| v.unwrap_or(default))
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let platform = parse_platform(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
+    let parallelism =
+        parse_parallelism(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+    let mut builder = SimBuilder::new(&trace, &platform).parallelism(parallelism);
+    if let Some(batch) = opts.get("batch") {
+        builder = builder.global_batch(parse(batch)?);
+    }
+    if opts.contains_key("reference") {
+        builder = builder.fidelity(Fidelity::Reference);
+    }
+    let report = builder.run();
+
+    println!(
+        "{} | {} x {} | {}",
+        trace.model(),
+        platform.gpu_count(),
+        platform.gpu(),
+        parallelism
+    );
+    println!("total time    : {:.3} ms", report.total_time_s() * 1e3);
+    println!("compute (max) : {:.3} ms", report.compute_time_s() * 1e3);
+    println!("communication : {:.3} ms ({:.1}%)", report.comm_time_s() * 1e3, 100.0 * report.comm_ratio());
+    println!("network bytes : {:.1} MB", report.bytes_transferred() as f64 / 1e6);
+    println!("tasks         : {}", report.tasks_executed());
+    // Heaviest layers (the per-layer breakdown of §4.1).
+    let per_layer = report.per_layer_compute_s();
+    let mut heaviest: Vec<(usize, f64)> = per_layer.iter().copied().enumerate().collect();
+    heaviest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let shown: Vec<String> = heaviest
+        .iter()
+        .take(5)
+        .filter(|(_, t)| *t > 0.0)
+        .map(|(l, t)| format!("L{l}={:.1}ms", t * 1e3))
+        .collect();
+    if !shown.is_empty() {
+        println!("heaviest layers: {}", shown.join("  "));
+    }
+    // AkitaRTM-style utilization strip: one row per GPU, 40 buckets.
+    const BUCKETS: usize = 40;
+    let glyphs = [' ', '.', ':', '-', '=', '#'];
+    for (g, row) in report.gpu_utilization(BUCKETS).iter().enumerate() {
+        let strip: String = row
+            .iter()
+            .map(|&u| glyphs[((u * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)])
+            .collect();
+        println!("gpu{g:<2} util    : [{strip}]");
+    }
+    if let Some(path) = opts.get("timeline") {
+        let json = report.to_chrome_trace().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("timeline      : {path}");
+    }
+    if let Some(path) = opts.get("html") {
+        let title = format!("{} | {} | {}", trace.model(), platform.name(), parallelism);
+        let html = triosim::render_html_timeline(&report, &title);
+        std::fs::write(path, html).map_err(|e| e.to_string())?;
+        println!("html timeline : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_memory(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let gpus: u64 = parse_num(opts, "gpus", 1)?;
+    let parallelism =
+        parse_parallelism(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+    let batch = parse_num(opts, "batch", trace.batch() * gpus)?;
+    let est = estimate_memory(&trace, parallelism, gpus as usize, batch);
+    let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+    println!("{} | {gpus} GPUs | {parallelism} | global batch {batch}", trace.model());
+    println!("weights        : {:>8.2} GB", gb(est.weights));
+    println!("gradients      : {:>8.2} GB", gb(est.gradients));
+    println!("optimizer state: {:>8.2} GB", gb(est.optimizer_state));
+    println!("activations    : {:>8.2} GB", gb(est.activations));
+    println!("input          : {:>8.2} GB", gb(est.input));
+    println!("total          : {:>8.2} GB", gb(est.total()));
+    for gpu in GpuModel::ALL {
+        let cap = gpu.spec().mem_capacity;
+        println!(
+            "  fits {:<5} ({:>3} GB): {}",
+            gpu.to_string(),
+            cap >> 30,
+            if est.fits(cap) { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
+}

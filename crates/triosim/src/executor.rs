@@ -1,0 +1,437 @@
+//! The discrete-event executor: replays a task graph against a network
+//! model, fast-forwarding virtual time from event to event.
+//!
+//! Resources follow the PyTorch execution model the paper assumes: each
+//! GPU has one *serial* compute stream (operators on a GPU never overlap
+//! each other), while transfers run on the network model and overlap
+//! freely with computation — this is what lets DDP hide AllReduce behind
+//! backward propagation.
+
+use std::collections::{HashMap, VecDeque};
+
+use triosim_des::{EventId, EventQueue, VirtualTime};
+use triosim_network::{FlowId, NetCommand, NetworkModel};
+
+use crate::report::{union_length, SimReport, TimelineRecord, TimelineTrack};
+use crate::taskgraph::{TaskGraph, TaskId, TaskKind};
+
+#[derive(Debug)]
+enum Event {
+    ComputeDone { gpu: usize, task: TaskId },
+    FlowDelivered { flow: FlowId },
+}
+
+/// Executes `graph` against `network`, returning the run report.
+///
+/// Deterministic: identical inputs give identical reports.
+///
+/// # Panics
+///
+/// Panics if the graph deadlocks (a dependency cycle), which the
+/// [`TaskGraph`] construction rules make impossible, or if a transfer's
+/// endpoints are not connected in the network's topology.
+pub fn execute(graph: &TaskGraph, network: &mut dyn NetworkModel) -> SimReport {
+    execute_iterations(graph, network, 1)
+}
+
+/// Executes `graph` back-to-back `iterations` times on the same network
+/// state, returning the aggregate report.
+///
+/// Network state persists across iterations — this is what lets the
+/// photonic model amortize its circuit-establishment latency over a
+/// training run instead of paying it every iteration.
+///
+/// # Panics
+///
+/// Same conditions as [`execute`], plus `iterations == 0`.
+pub fn execute_iterations(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+) -> SimReport {
+    assert!(iterations > 0, "need at least one iteration");
+    Executor::new(graph, network).run(iterations)
+}
+
+struct GpuStream {
+    ready: VecDeque<TaskId>,
+    busy: bool,
+    busy_time: f64,
+}
+
+struct Executor<'a> {
+    graph: &'a TaskGraph,
+    network: &'a mut dyn NetworkModel,
+    queue: EventQueue<Event>,
+    indegree: Vec<usize>,
+    dependents: Vec<Vec<TaskId>>,
+    gpus: Vec<GpuStream>,
+    flow_task: HashMap<FlowId, TaskId>,
+    flow_event: HashMap<FlowId, EventId>,
+    flow_start: HashMap<FlowId, VirtualTime>,
+    comm_intervals: Vec<(VirtualTime, VirtualTime)>,
+    compute_start: Vec<Option<VirtualTime>>,
+    timeline: Vec<TimelineRecord>,
+    completed: usize,
+    bytes_transferred: u64,
+}
+
+impl<'a> Executor<'a> {
+    fn new(graph: &'a TaskGraph, network: &'a mut dyn NetworkModel) -> Self {
+        let n = graph.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, task) in graph.tasks().iter().enumerate() {
+            indegree[i] = task.deps.len();
+            for d in &task.deps {
+                dependents[d.0].push(TaskId(i));
+            }
+        }
+        Executor {
+            graph,
+            network,
+            queue: EventQueue::new(),
+            indegree,
+            dependents,
+            gpus: (0..graph.gpus())
+                .map(|_| GpuStream {
+                    ready: VecDeque::new(),
+                    busy: false,
+                    busy_time: 0.0,
+                })
+                .collect(),
+            flow_task: HashMap::new(),
+            flow_event: HashMap::new(),
+            flow_start: HashMap::new(),
+            comm_intervals: Vec::new(),
+            compute_start: vec![None; n],
+            timeline: Vec::new(),
+            completed: 0,
+            bytes_transferred: 0,
+        }
+    }
+
+    fn run(mut self, iterations: usize) -> SimReport {
+        let base_indegree = self.indegree.clone();
+        for iter in 0..iterations {
+            if iter > 0 {
+                self.indegree.clone_from(&base_indegree);
+                self.completed = 0;
+                self.compute_start.fill(None);
+            }
+            self.run_once();
+            assert_eq!(
+                self.completed,
+                self.graph.len(),
+                "execution deadlocked: {} of {} tasks completed (iteration {})",
+                self.completed,
+                self.graph.len(),
+                iter
+            );
+        }
+
+        let total = self.queue.now() - VirtualTime::ZERO;
+        let per_gpu_compute = self
+            .gpus
+            .iter()
+            .map(|g| triosim_des::TimeSpan::from_seconds(g.busy_time))
+            .collect();
+        let comm_busy = union_length(self.comm_intervals);
+        let mut timeline = self.timeline;
+        timeline.sort_by_key(|r| (r.start, r.end));
+        SimReport::new(
+            total,
+            per_gpu_compute,
+            comm_busy,
+            self.bytes_transferred,
+            self.graph.len() * iterations,
+            timeline,
+        )
+    }
+
+    /// Seeds the graph's roots at the current virtual time and drains the
+    /// event queue.
+    fn run_once(&mut self) {
+        // Seed: every task with no dependencies starts immediately.
+        let roots: Vec<TaskId> = (0..self.graph.len())
+            .filter(|&i| self.indegree[i] == 0)
+            .map(TaskId)
+            .collect();
+        for t in roots {
+            self.activate(t);
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::ComputeDone { gpu, task } => {
+                    self.gpus[gpu].busy = false;
+                    let start = self.compute_start[task.0].expect("compute was started");
+                    self.gpus[gpu].busy_time += (now - start).as_seconds();
+                    self.timeline.push(TimelineRecord {
+                        label: self.graph.tasks()[task.0].label.clone(),
+                        track: TimelineTrack::Gpu(gpu),
+                        start,
+                        end: now,
+                        layer: self.graph.tasks()[task.0].layer,
+                    });
+                    self.complete(task);
+                    self.try_start_gpu(gpu);
+                }
+                Event::FlowDelivered { flow } => {
+                    self.flow_event.remove(&flow);
+                    let task = self
+                        .flow_task
+                        .remove(&flow)
+                        .expect("delivered flow belongs to a task");
+                    let start = self.flow_start.remove(&flow).expect("flow start recorded");
+                    self.comm_intervals.push((start, now));
+                    self.timeline.push(TimelineRecord {
+                        label: self.graph.tasks()[task.0].label.clone(),
+                        track: TimelineTrack::Network,
+                        start,
+                        end: now,
+                        layer: self.graph.tasks()[task.0].layer,
+                    });
+                    if let TaskKind::Transfer { bytes, .. } = self.graph.tasks()[task.0].kind {
+                        self.bytes_transferred += bytes;
+                    }
+                    let cmds = self.network.deliver(flow, now);
+                    self.apply(cmds);
+                    self.complete(task);
+                }
+            }
+        }
+    }
+
+    /// Marks `task` complete and activates newly unblocked tasks.
+    fn complete(&mut self, task: TaskId) {
+        // Worklist to avoid recursion through long barrier chains.
+        let mut work = vec![task];
+        while let Some(t) = work.pop() {
+            self.completed += 1;
+            for i in 0..self.dependents[t.0].len() {
+                let dep = self.dependents[t.0][i];
+                self.indegree[dep.0] -= 1;
+                if self.indegree[dep.0] == 0 {
+                    if let Some(done_now) = self.activate_inline(dep) {
+                        work.push(done_now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn activate(&mut self, task: TaskId) {
+        if let Some(done_now) = self.activate_inline(task) {
+            self.complete(done_now);
+        }
+    }
+
+    /// Starts a task. Barriers complete instantly: the caller receives
+    /// them back to cascade completion without recursion.
+    fn activate_inline(&mut self, task: TaskId) -> Option<TaskId> {
+        match &self.graph.tasks()[task.0].kind {
+            TaskKind::Barrier => Some(task),
+            TaskKind::Compute { gpu, .. } => {
+                self.gpus[*gpu].ready.push_back(task);
+                self.try_start_gpu(*gpu);
+                None
+            }
+            TaskKind::Transfer { src, dst, bytes } => {
+                let now = self.queue.now();
+                let (flow, cmds) = self.network.send(now, *src, *dst, *bytes);
+                self.flow_task.insert(flow, task);
+                self.flow_start.insert(flow, now);
+                self.apply(cmds);
+                None
+            }
+        }
+    }
+
+    fn try_start_gpu(&mut self, gpu: usize) {
+        if self.gpus[gpu].busy {
+            return;
+        }
+        let Some(task) = self.gpus[gpu].ready.pop_front() else {
+            return;
+        };
+        let TaskKind::Compute { duration, .. } = self.graph.tasks()[task.0].kind else {
+            unreachable!("GPU queues hold compute tasks only");
+        };
+        self.gpus[gpu].busy = true;
+        let now = self.queue.now();
+        self.compute_start[task.0] = Some(now);
+        self.queue
+            .schedule(now + duration, Event::ComputeDone { gpu, task });
+    }
+
+    fn apply(&mut self, cmds: Vec<NetCommand>) {
+        for cmd in cmds {
+            match cmd {
+                NetCommand::Schedule { flow, at } => {
+                    if let Some(old) = self.flow_event.remove(&flow) {
+                        self.queue.cancel(old);
+                    }
+                    let id = self.queue.schedule(at, Event::FlowDelivered { flow });
+                    self.flow_event.insert(flow, id);
+                }
+                NetCommand::Cancel { flow } => {
+                    if let Some(old) = self.flow_event.remove(&flow) {
+                        self.queue.cancel(old);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgraph::TaskGraph;
+    use triosim_des::TimeSpan;
+    use triosim_network::{FlowNetwork, NodeId, Topology};
+
+    fn net2() -> FlowNetwork {
+        let mut t = Topology::new(2);
+        t.add_duplex(NodeId(0), NodeId(1), 1e9, 0.0);
+        FlowNetwork::new(t)
+    }
+
+    #[test]
+    fn serial_compute_chain_sums_durations() {
+        let mut g = TaskGraph::new(1);
+        let a = g.compute("a", 0, TimeSpan::from_millis(2.0), vec![]);
+        let b = g.compute("b", 0, TimeSpan::from_millis(3.0), vec![a]);
+        g.compute("c", 0, TimeSpan::from_millis(5.0), vec![b]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.010).abs() < 1e-12);
+        assert!((r.compute_time_s() - 0.010).abs() < 1e-12);
+        assert_eq!(r.comm_time_s(), 0.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_one_gpu_serialize() {
+        let mut g = TaskGraph::new(1);
+        g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        g.compute("b", 0, TimeSpan::from_millis(1.0), vec![]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.002).abs() < 1e-12, "one stream");
+    }
+
+    #[test]
+    fn independent_tasks_on_two_gpus_parallelize() {
+        let mut g = TaskGraph::new(2);
+        g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        g.compute("b", 1, TimeSpan::from_millis(1.0), vec![]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_overlaps_compute() {
+        let mut g = TaskGraph::new(1);
+        // 10 ms compute and a 10 MB transfer (10 ms at 1 GB/s) overlap.
+        g.compute("work", 0, TimeSpan::from_millis(10.0), vec![]);
+        g.transfer("move", NodeId(0), NodeId(1), 10_000_000, vec![]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.010).abs() < 1e-9, "{}", r.total_time_s());
+        assert!((r.comm_time_s() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let mut g = TaskGraph::new(1);
+        let t = g.transfer("move", NodeId(0), NodeId(1), 5_000_000, vec![]);
+        g.compute("after", 0, TimeSpan::from_millis(1.0), vec![t]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.006).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barriers_are_free() {
+        let mut g = TaskGraph::new(1);
+        let a = g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        let b = g.barrier("sync", vec![a]);
+        let b2 = g.barrier("sync2", vec![b]);
+        g.compute("c", 0, TimeSpan::from_millis(1.0), vec![b2]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.002).abs() < 1e-12);
+        assert_eq!(r.tasks_executed(), 4);
+    }
+
+    #[test]
+    fn empty_graph_finishes_at_zero() {
+        let g = TaskGraph::new(1);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert_eq!(r.total_time_s(), 0.0);
+    }
+
+    #[test]
+    fn timeline_records_tasks() {
+        let mut g = TaskGraph::new(1);
+        g.compute("op1", 0, TimeSpan::from_millis(1.0), vec![]);
+        g.transfer("mv", NodeId(0), NodeId(1), 1_000_000, vec![]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert_eq!(r.timeline().len(), 2);
+        let tracks: Vec<_> = r.timeline().iter().map(|t| t.track).collect();
+        assert!(tracks.contains(&TimelineTrack::Gpu(0)));
+        assert!(tracks.contains(&TimelineTrack::Network));
+    }
+
+    #[test]
+    fn iterations_chain_in_time() {
+        let mut g = TaskGraph::new(1);
+        g.compute("a", 0, TimeSpan::from_millis(2.0), vec![]);
+        let mut net = net2();
+        let r = execute_iterations(&g, &mut net, 5);
+        assert!((r.total_time_s() - 0.010).abs() < 1e-12, "5 x 2 ms");
+        assert_eq!(r.tasks_executed(), 5);
+        assert_eq!(r.timeline().len(), 5);
+    }
+
+    #[test]
+    fn network_state_persists_across_iterations() {
+        use triosim_network::{PhotonicConfig, PhotonicNetwork};
+        let mut g = TaskGraph::new(1);
+        g.transfer("mv", NodeId(0), NodeId(1), 1 << 20, vec![]);
+        let mut net = PhotonicNetwork::new(2, PhotonicConfig::passage());
+        let r1 = execute(&g, &mut PhotonicNetwork::new(2, PhotonicConfig::passage()));
+        let r10 = execute_iterations(&g, &mut net, 10);
+        // One iteration pays the 20 ms setup; ten iterations pay it once.
+        assert!(r1.total_time_s() > 20e-3);
+        assert!(
+            r10.total_time_s() < 10.0 * r1.total_time_s() / 2.0,
+            "amortized: {} vs 10 x {}",
+            r10.total_time_s(),
+            r1.total_time_s()
+        );
+        assert_eq!(net.circuits_established(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let g = TaskGraph::new(1);
+        execute_iterations(&g, &mut net2(), 0);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_and_finish_together() {
+        let mut g = TaskGraph::new(1);
+        g.transfer("m1", NodeId(0), NodeId(1), 1_000_000, vec![]);
+        g.transfer("m2", NodeId(0), NodeId(1), 1_000_000, vec![]);
+        let mut net = net2();
+        let r = execute(&g, &mut net);
+        assert!((r.total_time_s() - 0.002).abs() < 1e-9, "fair sharing");
+        assert_eq!(r.bytes_transferred(), 2_000_000);
+    }
+}

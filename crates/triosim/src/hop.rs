@@ -1,0 +1,425 @@
+//! The Hop heterogeneity-aware decentralized-training case study (§7.2).
+//!
+//! Hop (Luo et al., ASPLOS 2019) replaces global AllReduce with
+//! neighbour-to-neighbour update exchange over a communication graph, and
+//! manages heterogeneity with queue-based synchronization:
+//!
+//! * **update queues / backup workers** — a worker may begin its next
+//!   iteration after receiving updates from all but `backup_workers` of
+//!   its neighbours, so one slow neighbour no longer stalls everyone;
+//! * **token queues / bounded staleness** — no worker may run more than
+//!   `bounded_staleness` iterations ahead of any neighbour, bounding
+//!   divergence.
+//!
+//! The paper uses this case study to show TrioSim simulating non-standard
+//! synchronization and asymmetric (randomly slowed) networks. We
+//! reproduce it as a dedicated event-driven simulator: the k-of-n
+//! readiness condition does not fit the static task DAG the standard
+//! extrapolator emits.
+
+use std::collections::BTreeMap;
+
+use triosim_des::{EventQueue, TimeSpan};
+
+/// The neighbour graph workers gossip over.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim::HopGraph;
+///
+/// let g = HopGraph::ring_based(8);
+/// // Ring neighbours plus the most distant node.
+/// assert!(g.neighbors(0).contains(&1));
+/// assert!(g.neighbors(0).contains(&7));
+/// assert!(g.neighbors(0).contains(&4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopGraph {
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl HopGraph {
+    /// The paper's ring-based graph: a bidirectional ring with an extra
+    /// connection from each node to its most distant node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is odd.
+    pub fn ring_based(n: usize) -> Self {
+        assert!(n >= 4 && n % 2 == 0, "ring-based graph needs an even n >= 4");
+        let mut neighbors = vec![Vec::new(); n];
+        for (i, nbrs) in neighbors.iter_mut().enumerate() {
+            nbrs.push((i + 1) % n);
+            nbrs.push((i + n - 1) % n);
+            let far = (i + n / 2) % n;
+            if !nbrs.contains(&far) {
+                nbrs.push(far);
+            }
+            nbrs.sort_unstable();
+        }
+        HopGraph { neighbors }
+    }
+
+    /// The paper's double-ring graph: two rings of `n/2` nodes
+    /// interconnected node-to-node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 6` or `n` is odd.
+    pub fn double_ring(n: usize) -> Self {
+        assert!(n >= 6 && n % 2 == 0, "double ring needs an even n >= 6");
+        let half = n / 2;
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..half {
+            let next = (i + 1) % half;
+            let prev = (i + half - 1) % half;
+            neighbors[i].extend([next, prev, half + i]);
+            neighbors[half + i].extend([half + next, half + prev, i]);
+        }
+        for nbrs in &mut neighbors {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+        }
+        HopGraph { neighbors }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbours of worker `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+}
+
+/// Parameters of a Hop training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopConfig {
+    /// Updates a worker may miss per iteration (0 = fully synchronous
+    /// gossip; 1 = the paper's one-backup-worker configuration).
+    pub backup_workers: usize,
+    /// Maximum iterations a worker may run ahead of any neighbour.
+    pub bounded_staleness: usize,
+    /// Iterations to simulate.
+    pub iterations: usize,
+    /// Compute time of one iteration (forward + backward), seconds.
+    pub compute_time_s: f64,
+    /// Size of one model update, bytes.
+    pub update_bytes: u64,
+    /// Baseline per-link bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Per-link latency, seconds.
+    pub link_latency_s: f64,
+    /// Hop's iteration-skipping feature: a straggler that has fallen this
+    /// many iterations behind its fastest neighbour skips the compute of
+    /// its next iteration (it merges received updates instead of
+    /// producing one), catching up at the cost of a silent update.
+    /// `None` disables skipping.
+    pub skip_lag: Option<usize>,
+}
+
+/// Result of a Hop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopReport {
+    /// Time at which the last worker finished its final iteration.
+    pub total_time_s: f64,
+    /// Finish time of each worker.
+    pub per_worker_finish_s: Vec<f64>,
+    /// Total updates skipped thanks to backup workers.
+    pub updates_skipped: u64,
+    /// Iterations stragglers skipped via the skip-lag mechanism.
+    pub iterations_skipped: u64,
+}
+
+#[derive(Debug)]
+enum HopEvent {
+    ComputeDone { worker: usize, iter: usize },
+    UpdateArrived { to: usize, iter: usize },
+}
+
+/// Event-driven simulator of the Hop protocol.
+#[derive(Debug)]
+pub struct HopSimulator {
+    graph: HopGraph,
+    config: HopConfig,
+}
+
+impl HopSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero iterations or non-positive compute
+    /// time/bandwidth.
+    pub fn new(graph: HopGraph, config: HopConfig) -> Self {
+        assert!(config.iterations > 0, "need at least one iteration");
+        assert!(config.compute_time_s > 0.0, "compute time must be positive");
+        assert!(config.link_bandwidth > 0.0, "bandwidth must be positive");
+        HopSimulator { graph, config }
+    }
+
+    /// Runs the protocol with heterogeneous links and homogeneous
+    /// compute. See [`run_with`](Self::run_with) for the general form.
+    pub fn run(&self, slowdown: &dyn Fn(usize, usize) -> f64) -> HopReport {
+        self.run_with(slowdown, &|_| 1.0)
+    }
+
+    /// Runs the protocol. `slowdown(from, to)` returns the heterogeneity
+    /// factor (>= 1) applied to the transfer time on that directed link;
+    /// `compute_factor(worker)` scales each worker's iteration compute
+    /// time (>= 1 models a slow board, thermal throttling, or a shared
+    /// tenant). Use `|_, _| 1.0` / `|_| 1.0` for a homogeneous cluster.
+    pub fn run_with(
+        &self,
+        slowdown: &dyn Fn(usize, usize) -> f64,
+        compute_factor: &dyn Fn(usize) -> f64,
+    ) -> HopReport {
+        let n = self.graph.workers();
+        let cfg = &self.config;
+        let mut queue: EventQueue<HopEvent> = EventQueue::new();
+
+        // Per-worker state.
+        let mut started = vec![0usize; n]; // iterations started so far
+        let mut compute_done = vec![0usize; n]; // iterations whose compute finished
+        // received[w] counts updates tagged with each iteration.
+        let mut received: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n];
+        let mut finish = vec![0.0f64; n];
+        let mut updates_skipped = 0u64;
+        let mut iterations_skipped = 0u64;
+
+        let transfer_span = |from: usize, to: usize| {
+            let f = slowdown(from, to);
+            assert!(f >= 1.0, "slowdown factors must be >= 1");
+            TimeSpan::from_seconds(
+                cfg.link_latency_s + cfg.update_bytes as f64 * f / cfg.link_bandwidth,
+            )
+        };
+
+        // A worker may start iteration `it` (0-based) when:
+        //  * its previous compute finished,
+        //  * it received >= deg - backup updates from iteration it-1,
+        //  * no neighbour is more than `staleness` iterations behind
+        //    (token queue): started[v] + staleness >= it.
+        let can_start = |w: usize,
+                         it: usize,
+                         compute_done: &[usize],
+                         received: &[BTreeMap<usize, usize>],
+                         started: &[usize]| {
+            if it >= cfg.iterations || compute_done[w] < it {
+                return false;
+            }
+            if it > 0 {
+                let deg = self.graph.neighbors(w).len();
+                let need = deg.saturating_sub(cfg.backup_workers);
+                let got = received[w].get(&(it - 1)).copied().unwrap_or(0);
+                if got < need {
+                    return false;
+                }
+            }
+            self.graph
+                .neighbors(w)
+                .iter()
+                .all(|&v| started[v] + cfg.bounded_staleness >= it)
+        };
+
+        // A straggler skips its compute when it lags its fastest
+        // neighbour by at least `skip_lag` iterations.
+        let should_skip = |w: usize, started: &[usize]| -> bool {
+            let Some(lag) = cfg.skip_lag else { return false };
+            let fastest = self
+                .graph
+                .neighbors(w)
+                .iter()
+                .map(|&v| started[v])
+                .max()
+                .unwrap_or(0);
+            fastest >= started[w] + lag.max(1)
+        };
+
+        let mut start_iter =
+            |w: usize, queue: &mut EventQueue<HopEvent>, started: &mut [usize], skip: bool| {
+                let it = started[w];
+                started[w] = it + 1;
+                let span = if skip {
+                    iterations_skipped += 1;
+                    TimeSpan::ZERO
+                } else {
+                    TimeSpan::from_seconds(cfg.compute_time_s * compute_factor(w).max(1.0))
+                };
+                queue.schedule_in(span, HopEvent::ComputeDone { worker: w, iter: it });
+            };
+
+        for w in 0..n {
+            start_iter(w, &mut queue, &mut started, false);
+        }
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                HopEvent::ComputeDone { worker, iter } => {
+                    compute_done[worker] = iter + 1;
+                    finish[worker] = now.as_seconds();
+                    // Ship the update to every neighbour.
+                    for &v in self.graph.neighbors(worker) {
+                        queue.schedule(
+                            now + transfer_span(worker, v),
+                            HopEvent::UpdateArrived { to: v, iter },
+                        );
+                    }
+                }
+                HopEvent::UpdateArrived { to, iter } => {
+                    *received[to].entry(iter).or_insert(0) += 1;
+                }
+            }
+
+            // Re-check start conditions for every worker (cheap at this
+            // scale, and keeps the condition logic in one place).
+            for w in 0..n {
+                let it = started[w];
+                if it > compute_done[w] {
+                    continue; // still computing
+                }
+                if can_start(w, it, &compute_done, &received, &started) {
+                    if it > 0 {
+                        let deg = self.graph.neighbors(w).len();
+                        let got = received[w].get(&(it - 1)).copied().unwrap_or(0);
+                        updates_skipped += (deg - got.min(deg)) as u64;
+                    }
+                    let skip = should_skip(w, &started);
+                    start_iter(w, &mut queue, &mut started, skip);
+                }
+            }
+        }
+
+        assert!(
+            compute_done.iter().all(|&c| c == cfg.iterations),
+            "Hop run did not converge: {compute_done:?}"
+        );
+        let total = finish.iter().copied().fold(0.0, f64::max);
+        HopReport {
+            total_time_s: total,
+            per_worker_finish_s: finish,
+            updates_skipped,
+            iterations_skipped,
+        }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &HopGraph {
+        &self.graph
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HopConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(backup: usize) -> HopConfig {
+        HopConfig {
+            backup_workers: backup,
+            bounded_staleness: 2,
+            iterations: 10,
+            compute_time_s: 0.1,
+            update_bytes: 100_000_000,
+            link_bandwidth: 10e9,
+            link_latency_s: 1e-6,
+            skip_lag: None,
+        }
+    }
+
+    #[test]
+    fn homogeneous_cluster_finishes_in_lockstep() {
+        let sim = HopSimulator::new(HopGraph::ring_based(8), config(0));
+        let r = sim.run(&|_, _| 1.0);
+        let min = r.per_worker_finish_s.iter().copied().fold(f64::MAX, f64::min);
+        assert!((r.total_time_s - min).abs() < 1e-9, "all workers tie");
+        // 10 iterations of 0.1 s compute plus comm waits.
+        assert!(r.total_time_s >= 1.0);
+        assert_eq!(r.updates_skipped, 0);
+    }
+
+    #[test]
+    fn backup_worker_speeds_up_heterogeneous_cluster() {
+        let slow = |from: usize, _to: usize| if from == 3 { 10.0 } else { 1.0 };
+        let base = HopSimulator::new(HopGraph::ring_based(8), config(0)).run(&slow);
+        let backup = HopSimulator::new(HopGraph::ring_based(8), config(1)).run(&slow);
+        assert!(
+            backup.total_time_s < base.total_time_s,
+            "backup {} vs base {}",
+            backup.total_time_s,
+            base.total_time_s
+        );
+        assert!(backup.updates_skipped > 0);
+    }
+
+    #[test]
+    fn double_ring_graph_shape() {
+        let g = HopGraph::double_ring(8);
+        assert_eq!(g.workers(), 8);
+        // Ring A node 0: neighbours 1, 3 (ring of 4), and 4 (cross link).
+        assert_eq!(g.neighbors(0), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn staleness_bounds_divergence() {
+        // With staleness 0, every worker must stay in lockstep with its
+        // neighbours even with a backup worker allowed.
+        let mut cfg = config(1);
+        cfg.bounded_staleness = 0;
+        let slow = |from: usize, _to: usize| if from == 0 { 8.0 } else { 1.0 };
+        let strict = HopSimulator::new(HopGraph::ring_based(8), cfg).run(&slow);
+        let mut relaxed_cfg = config(1);
+        relaxed_cfg.bounded_staleness = 3;
+        let relaxed = HopSimulator::new(HopGraph::ring_based(8), relaxed_cfg).run(&slow);
+        assert!(relaxed.total_time_s <= strict.total_time_s + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = HopSimulator::new(HopGraph::ring_based(8), config(1));
+        let f = |from: usize, to: usize| 1.0 + ((from * 7 + to) % 5) as f64;
+        assert_eq!(sim.run(&f), sim.run(&f));
+    }
+
+    #[test]
+    fn skipping_lets_a_slow_worker_catch_up() {
+        // Worker 5 computes 4x slower. With skipping it sheds iterations
+        // and the cluster finishes earlier.
+        let compute = |w: usize| if w == 5 { 4.0 } else { 1.0 };
+        let mut with_skip = config(1);
+        with_skip.skip_lag = Some(2);
+        let base = HopSimulator::new(HopGraph::ring_based(8), config(1))
+            .run_with(&|_, _| 1.0, &compute);
+        let skipping = HopSimulator::new(HopGraph::ring_based(8), with_skip)
+            .run_with(&|_, _| 1.0, &compute);
+        assert_eq!(base.iterations_skipped, 0);
+        assert!(skipping.iterations_skipped > 0);
+        assert!(
+            skipping.total_time_s < base.total_time_s,
+            "skip {} vs base {}",
+            skipping.total_time_s,
+            base.total_time_s
+        );
+    }
+
+    #[test]
+    fn homogeneous_cluster_never_skips() {
+        let mut cfg = config(1);
+        cfg.skip_lag = Some(2);
+        let r = HopSimulator::new(HopGraph::ring_based(8), cfg).run(&|_, _| 1.0);
+        assert_eq!(r.iterations_skipped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn odd_ring_rejected() {
+        let _ = HopGraph::ring_based(7);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-layer aggregation of a trace.
+//!
+//! The trace is a flat operator list; the extrapolator works at layer
+//! granularity (pipeline stages are sets of layers, tensor parallelism
+//! splits layers, DDP buckets gradients per layer). This module derives
+//! the per-layer view *from the trace alone* — TrioSim's whole premise is
+//! that the single-GPU trace is the only workload input.
+
+use triosim_modelzoo::OpClass;
+use triosim_trace::{Phase, Trace};
+
+/// Aggregated facts about one model layer, derived from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSummary {
+    /// Layer index in forward order.
+    pub index: usize,
+    /// Indices into `trace.entries()` of this layer's forward operators,
+    /// in program order.
+    pub fwd: Vec<usize>,
+    /// Indices of backward operators, in program (reverse-layer) order.
+    pub bwd: Vec<usize>,
+    /// Indices of optimizer operators.
+    pub opt: Vec<usize>,
+    /// Parameter bytes (== gradient AllReduce volume for this layer).
+    pub param_bytes: u64,
+    /// Bytes of the activation this layer hands to its successor (the
+    /// pipeline-parallel send volume).
+    pub output_bytes: u64,
+    /// Forward FLOPs (used to balance pipeline stages).
+    pub fwd_flops: f64,
+    /// Whether tensor parallelism can split this layer (it contains
+    /// GEMM-like or embedding weights, the layers PyTorch's tensor
+    /// parallelism shards).
+    pub tp_splittable: bool,
+}
+
+/// Builds the per-layer view of a trace.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim::summarize_layers;
+/// use triosim_modelzoo::ModelId;
+/// use triosim_trace::{GpuModel, Tracer};
+///
+/// let model = ModelId::ResNet18.build(8);
+/// let trace = Tracer::new(GpuModel::A100).trace(&model);
+/// let layers = summarize_layers(&trace);
+/// assert_eq!(layers.len(), model.layer_count());
+/// let total: u64 = layers.iter().map(|l| l.param_bytes).sum();
+/// assert_eq!(total, model.param_bytes());
+/// ```
+pub fn summarize_layers(trace: &Trace) -> Vec<LayerSummary> {
+    let count = trace.layer_count();
+    let mut layers: Vec<LayerSummary> = (0..count)
+        .map(|index| LayerSummary {
+            index,
+            fwd: Vec::new(),
+            bwd: Vec::new(),
+            opt: Vec::new(),
+            param_bytes: 0,
+            output_bytes: 0,
+            fwd_flops: 0.0,
+            tp_splittable: false,
+        })
+        .collect();
+
+    for (i, e) in trace.entries().iter().enumerate() {
+        let l = &mut layers[e.layer];
+        match e.phase {
+            Phase::Forward => {
+                l.fwd.push(i);
+                l.param_bytes += e.op.weight_bytes;
+                l.fwd_flops += e.op.flops;
+                l.output_bytes = e.op.bytes_out;
+                if e.op.weight_bytes > 0
+                    && matches!(
+                        e.op.class,
+                        OpClass::Conv2d | OpClass::Linear | OpClass::Embedding
+                    )
+                {
+                    l.tp_splittable = true;
+                }
+            }
+            Phase::Backward => l.bwd.push(i),
+            Phase::Optimizer => l.opt.push(i),
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triosim_modelzoo::ModelId;
+    use triosim_trace::{GpuModel, Tracer};
+
+    fn layers_for(id: ModelId, batch: u64) -> Vec<LayerSummary> {
+        let trace = Tracer::new(GpuModel::A100).trace(&id.build(batch));
+        summarize_layers(&trace)
+    }
+
+    #[test]
+    fn every_layer_has_forward_and_backward_ops() {
+        for l in layers_for(ModelId::ResNet18, 4) {
+            assert!(!l.fwd.is_empty(), "layer {} has no fwd", l.index);
+            assert!(!l.bwd.is_empty(), "layer {} has no bwd", l.index);
+        }
+    }
+
+    #[test]
+    fn optimizer_only_on_parameterized_layers() {
+        for l in layers_for(ModelId::Vgg11, 4) {
+            assert_eq!(l.opt.is_empty(), l.param_bytes == 0, "layer {}", l.index);
+        }
+    }
+
+    #[test]
+    fn conv_and_fc_layers_are_splittable_pool_is_not() {
+        let model = ModelId::Vgg11.build(4);
+        let trace = Tracer::new(GpuModel::A100).trace(&model);
+        let layers = summarize_layers(&trace);
+        for (summary, layer) in layers.iter().zip(model.layers()) {
+            assert_eq!(
+                summary.tp_splittable,
+                layer.tp_splittable(),
+                "layer {} ({})",
+                summary.index,
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn output_bytes_match_model_graph() {
+        let model = ModelId::ResNet18.build(4);
+        let trace = Tracer::new(GpuModel::A100).trace(&model);
+        let layers = summarize_layers(&trace);
+        for (summary, layer) in layers.iter().zip(model.layers()) {
+            assert_eq!(summary.output_bytes, layer.output_bytes(), "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn fwd_flops_sum_to_model_total() {
+        let model = ModelId::ResNet50.build(4);
+        let trace = Tracer::new(GpuModel::A100).trace(&model);
+        let layers = summarize_layers(&trace);
+        let total: f64 = layers.iter().map(|l| l.fwd_flops).sum();
+        assert!((total / model.total_flops() - 1.0).abs() < 1e-12);
+    }
+}

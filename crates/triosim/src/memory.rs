@@ -1,0 +1,262 @@
+//! Per-GPU memory footprint estimation.
+//!
+//! The paper's experiment set is shaped by device memory everywhere:
+//! Figure 6 drops models that "are out of memory when the batch size is
+//! 256", Llama traces at batch 16 "to avoid out-of-memory issues", and
+//! Figure 11 excludes transformers because tracing OOMs. This module
+//! gives the simulator the same awareness: a static estimate of each
+//! GPU's footprint under a parallelism strategy, checked against the
+//! [`GpuSpec`](triosim_trace::GpuSpec) capacity.
+//!
+//! The estimate follows the standard training-footprint accounting:
+//! weights + gradients + optimizer state (SGD with momentum: one extra
+//! copy) + saved activations (every forward operator output is kept for
+//! backward) + the input batch, with parallelism-specific sharding:
+//!
+//! * data parallelism — full replica, activations at the per-GPU batch;
+//! * tensor parallelism — weights/gradients/optimizer sharded `1/n`,
+//!   activations full size (each GPU sees the whole batch);
+//! * pipeline parallelism — only the stage's layers, activations for all
+//!   in-flight micro-batches (GPipe keeps every micro-batch's
+//!   activations until its backward).
+
+use triosim_trace::{Phase, Trace};
+
+use crate::layers::summarize_layers;
+use crate::parallelism::Parallelism;
+
+/// A per-GPU memory footprint estimate, in bytes.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim::{estimate_memory, Parallelism};
+/// use triosim_modelzoo::ModelId;
+/// use triosim_trace::{GpuModel, Tracer};
+///
+/// let trace = Tracer::new(GpuModel::A40).trace(&ModelId::ResNet152.build(128));
+/// let est = estimate_memory(&trace, Parallelism::DataParallel { overlap: true }, 2, 256);
+/// assert!(est.total() > est.weights);
+/// // ResNet-152 at 128/GPU fits a 48 GB A40...
+/// assert!(est.fits(GpuModel::A40.spec().mem_capacity));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryEstimate {
+    /// Model parameters resident on this GPU.
+    pub weights: u64,
+    /// Gradient buffers (same sharding as weights).
+    pub gradients: u64,
+    /// Optimizer state (SGD momentum: one fp32 copy per parameter).
+    pub optimizer_state: u64,
+    /// Saved forward activations needed by backward.
+    pub activations: u64,
+    /// The input batch slice.
+    pub input: u64,
+}
+
+impl MemoryEstimate {
+    /// Total footprint in bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.gradients + self.optimizer_state + self.activations + self.input
+    }
+
+    /// Whether the footprint fits a device of the given capacity, with
+    /// the customary ~10% reserve for CUDA context and fragmentation.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.total() <= capacity_bytes - capacity_bytes / 10
+    }
+}
+
+/// Estimates the peak per-GPU footprint of training `trace`'s model under
+/// `parallelism` on `gpus` GPUs at `global_batch`.
+///
+/// The heaviest GPU is reported (stage 0 under pipeline parallelism,
+/// which holds the largest activations).
+///
+/// # Panics
+///
+/// Panics if `gpus == 0` or `global_batch == 0`.
+pub fn estimate_memory(
+    trace: &Trace,
+    parallelism: Parallelism,
+    gpus: usize,
+    global_batch: u64,
+) -> MemoryEstimate {
+    assert!(gpus > 0, "need at least one GPU");
+    assert!(global_batch > 0, "batch must be positive");
+    let layers = summarize_layers(trace);
+    let param_bytes: u64 = layers.iter().map(|l| l.param_bytes).sum();
+    let traced_batch = trace.batch();
+    let scale = |bytes: u64, batch: u64| -> u64 {
+        ((bytes as f64) * (batch as f64) / (traced_batch as f64)).ceil() as u64
+    };
+
+    // Activation bytes saved for backward = sum of every forward
+    // operator's output, at the traced batch.
+    let activation_bytes: u64 = trace
+        .entries()
+        .iter()
+        .filter(|e| e.phase == Phase::Forward)
+        .map(|e| e.op.bytes_out)
+        .sum();
+    let input_bytes = trace.entries()[0].op.bytes_in;
+
+    match parallelism {
+        Parallelism::DataParallel { .. } => {
+            let per_gpu = (global_batch / gpus as u64).max(1);
+            MemoryEstimate {
+                weights: param_bytes,
+                gradients: param_bytes,
+                optimizer_state: param_bytes,
+                activations: scale(activation_bytes, per_gpu),
+                input: scale(input_bytes, per_gpu),
+            }
+        }
+        Parallelism::TensorParallel => {
+            // Splittable layers shard their parameters 1/n; the rest
+            // replicate. Activations are full-batch everywhere.
+            let sharded: u64 = layers
+                .iter()
+                .map(|l| {
+                    if l.tp_splittable {
+                        l.param_bytes / gpus as u64
+                    } else {
+                        l.param_bytes
+                    }
+                })
+                .sum();
+            MemoryEstimate {
+                weights: sharded,
+                gradients: sharded,
+                optimizer_state: sharded,
+                activations: scale(activation_bytes, global_batch),
+                input: scale(input_bytes, global_batch),
+            }
+        }
+        Parallelism::Hybrid { dp_groups, chunks } => {
+            // Each group is a pipeline over gpus/dp_groups stages at the
+            // per-group batch.
+            let stages = (gpus / dp_groups).max(1);
+            let per_group = (global_batch / dp_groups as u64).max(1);
+            let stage_params = param_bytes / stages as u64;
+            let _ = chunks;
+            MemoryEstimate {
+                weights: stage_params,
+                gradients: stage_params,
+                optimizer_state: stage_params,
+                activations: scale(activation_bytes, per_group) / stages as u64,
+                input: scale(input_bytes, per_group),
+            }
+        }
+        Parallelism::Pipeline { chunks } => {
+            // Heaviest stage approximation: a 1/gpus slice of parameters
+            // and activations, but GPipe retains *all* micro-batches'
+            // activations until the flush, so the activation term does
+            // not shrink with chunking.
+            let stage_params = param_bytes / gpus as u64;
+            let stage_activations = scale(activation_bytes, global_batch) / gpus as u64;
+            let _ = chunks; // all chunks' activations are live at the flush
+            MemoryEstimate {
+                weights: stage_params,
+                gradients: stage_params,
+                optimizer_state: stage_params,
+                activations: stage_activations,
+                input: scale(input_bytes, global_batch.max(1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triosim_modelzoo::ModelId;
+    use triosim_trace::{GpuModel, Tracer};
+
+    fn trace(model: ModelId, batch: u64) -> Trace {
+        Tracer::new(GpuModel::A100).trace(&model.build(batch))
+    }
+
+    #[test]
+    fn dp_triples_parameter_memory() {
+        let t = trace(ModelId::ResNet50, 32);
+        let est = estimate_memory(&t, Parallelism::DataParallel { overlap: true }, 2, 64);
+        let params = t.gradient_bytes();
+        assert_eq!(est.weights, params);
+        assert_eq!(est.gradients, params);
+        assert_eq!(est.optimizer_state, params);
+    }
+
+    #[test]
+    fn activations_scale_with_per_gpu_batch() {
+        let t = trace(ModelId::Vgg11, 32);
+        let small = estimate_memory(&t, Parallelism::DataParallel { overlap: true }, 4, 64);
+        let big = estimate_memory(&t, Parallelism::DataParallel { overlap: true }, 4, 256);
+        assert!(
+            (big.activations as f64 / small.activations as f64 - 4.0).abs() < 0.01,
+            "{} vs {}",
+            big.activations,
+            small.activations
+        );
+    }
+
+    #[test]
+    fn tp_shards_weights_not_activations() {
+        let t = trace(ModelId::Vgg16, 32);
+        let solo = estimate_memory(&t, Parallelism::TensorParallel, 1, 32);
+        let four = estimate_memory(&t, Parallelism::TensorParallel, 4, 32);
+        assert!(four.weights < solo.weights / 2, "weights shard");
+        assert_eq!(four.activations, solo.activations, "activations replicate");
+    }
+
+    #[test]
+    fn pipeline_splits_both() {
+        let t = trace(ModelId::ResNet101, 32);
+        let solo = estimate_memory(&t, Parallelism::Pipeline { chunks: 2 }, 1, 32);
+        let four = estimate_memory(&t, Parallelism::Pipeline { chunks: 2 }, 4, 32);
+        assert!(four.weights <= solo.weights / 3);
+        assert!(four.activations <= solo.activations / 3);
+    }
+
+    #[test]
+    fn oom_reproduces_figure6_exclusions() {
+        // The paper runs Figure 6 at batch 256 and drops models that OOM.
+        // Small ResNets fit; VGG's 4096-wide classifier activations plus
+        // 138M params at batch 256 famously pressure a 48 GB A40 much
+        // harder.
+        let fits = |model: ModelId| {
+            let t = trace(model, 128);
+            estimate_memory(&t, Parallelism::DataParallel { overlap: false }, 1, 256)
+                .fits(GpuModel::A40.spec().mem_capacity)
+        };
+        assert!(fits(ModelId::ResNet18));
+        assert!(fits(ModelId::ResNet50));
+        // Activation-heavy nets consume multiples of ResNet-18's footprint.
+        let t18 = trace(ModelId::ResNet18, 128);
+        let tvgg = trace(ModelId::Vgg19, 128);
+        let m18 = estimate_memory(&t18, Parallelism::DataParallel { overlap: false }, 1, 256);
+        let mvgg = estimate_memory(&tvgg, Parallelism::DataParallel { overlap: false }, 1, 256);
+        assert!(mvgg.total() > 2 * m18.total());
+    }
+
+    #[test]
+    fn llama_at_256_overflows_even_h100() {
+        let t = trace(ModelId::Llama32_1B, 4);
+        let est = estimate_memory(&t, Parallelism::DataParallel { overlap: true }, 1, 256);
+        assert!(
+            !est.fits(GpuModel::H100.spec().mem_capacity),
+            "llama @256 should OOM: {} GB",
+            est.total() >> 30
+        );
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let t = trace(ModelId::BertBase, 8);
+        let est = estimate_memory(&t, Parallelism::DataParallel { overlap: true }, 2, 16);
+        assert_eq!(
+            est.total(),
+            est.weights + est.gradients + est.optimizer_state + est.activations + est.input
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Parallel training strategies (§2 / Figure 1 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How the workload is partitioned across GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Every GPU holds the full model and processes a slice of the batch;
+    /// gradients are AllReduced.
+    ///
+    /// `overlap = false` models `torch.nn.DataParallel` (one AllReduce
+    /// after the whole backward pass); `overlap = true` models
+    /// `DistributedDataParallel` (bucketed AllReduces overlapping the
+    /// remaining backward computation).
+    DataParallel {
+        /// Overlap gradient communication with backward computation.
+        overlap: bool,
+    },
+    /// Weight matrices of splittable layers are sharded across GPUs; each
+    /// layer's partial outputs are gathered at the layer boundary.
+    TensorParallel,
+    /// Layers are assigned to pipeline stages (one per GPU); the
+    /// mini-batch is split into `chunks` micro-batches flowing through
+    /// the GPipe schedule.
+    Pipeline {
+        /// Number of micro-batches per mini-batch.
+        chunks: u64,
+    },
+    /// Hybrid data x pipeline parallelism: `dp_groups` replicas, each a
+    /// GPipe pipeline over `gpus / dp_groups` stages, with per-stage
+    /// gradient AllReduce across the groups. An extension beyond the
+    /// paper's DP/TP/PP set (Table 1 lists hybrid support as
+    /// DistSim/vTrain territory).
+    Hybrid {
+        /// Number of data-parallel pipeline replicas.
+        dp_groups: usize,
+        /// Micro-batches per replica mini-batch.
+        chunks: u64,
+    },
+}
+
+impl Parallelism {
+    /// Short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Parallelism::DataParallel { overlap: false } => "DP",
+            Parallelism::DataParallel { overlap: true } => "DDP",
+            Parallelism::TensorParallel => "TP",
+            Parallelism::Pipeline { .. } => "PP",
+            Parallelism::Hybrid { .. } => "HP",
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Pipeline { chunks } => write!(f, "PP(chunks={chunks})"),
+            Parallelism::Hybrid { dp_groups, chunks } => {
+                write!(f, "HP(dp={dp_groups},chunks={chunks})")
+            }
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Which ring-AllReduce variant data parallelism uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CollectiveStyle {
+    /// NCCL-style segmented ring: each step moves a 1/n shard
+    /// (reduce-scatter + all-gather). The default.
+    #[default]
+    Segmented,
+    /// The unsegmented ring of §2 (full buffer forwarded every step),
+    /// used by the wafer-scale case study.
+    Unsegmented,
+    /// Binomial tree: latency-optimal `O(log n)` steps, bandwidth-
+    /// suboptimal `O(B log n)` volume — wins for small payloads.
+    Tree,
+    /// Recursive halving–doubling: `O(log n)` steps *and* optimal
+    /// volume, but pairs ranks at power-of-two distances (falls back to
+    /// the segmented ring when the group is not a power of two).
+    HalvingDoubling,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Parallelism::DataParallel { overlap: false }.label(), "DP");
+        assert_eq!(Parallelism::DataParallel { overlap: true }.label(), "DDP");
+        assert_eq!(Parallelism::TensorParallel.to_string(), "TP");
+        assert_eq!(Parallelism::Pipeline { chunks: 4 }.to_string(), "PP(chunks=4)");
+        assert_eq!(
+            Parallelism::Hybrid { dp_groups: 2, chunks: 4 }.to_string(),
+            "HP(dp=2,chunks=4)"
+        );
+        assert_eq!(Parallelism::Hybrid { dp_groups: 2, chunks: 1 }.label(), "HP");
+    }
+}

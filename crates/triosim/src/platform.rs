@@ -1,0 +1,404 @@
+//! Hardware platforms: GPUs plus the interconnect that joins them.
+
+use triosim_network::{NodeId, Topology};
+use triosim_trace::{GpuModel, LinkKind};
+
+/// A multi-GPU platform: `gpu_count` GPUs of one model, a host node, and
+/// an interconnect topology.
+///
+/// Node numbering convention: node 0 is the host (CPU); GPUs are nodes
+/// `1..=gpu_count`. The paper's three validation platforms are provided
+/// as constructors ([`p1`](Platform::p1), [`p2`](Platform::p2),
+/// [`p3`](Platform::p3)), and arbitrary topologies can be assembled with
+/// [`custom`](Platform::custom).
+///
+/// # Example
+///
+/// ```rust
+/// use triosim::Platform;
+///
+/// let p2 = Platform::p2(4);
+/// assert_eq!(p2.gpu_count(), 4);
+/// assert_eq!(p2.gpu_node(0).0, 1, "GPU 0 is node 1; node 0 is the host");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    gpu: GpuModel,
+    gpu_count: usize,
+    topology: Topology,
+}
+
+impl Platform {
+    /// P1: 2x NVIDIA A40 connected over PCIe (host-mediated tree).
+    pub fn p1() -> Self {
+        Self::pcie(GpuModel::A40, 2, "P1")
+    }
+
+    /// P2: `gpus` (the paper uses 2 or 4) NVIDIA A100 connected with
+    /// NVLink through NVSwitch (any-to-any), plus host PCIe uplinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus < 2`.
+    pub fn p2(gpus: usize) -> Self {
+        Self::nvswitch(GpuModel::A100, gpus, LinkKind::NvLink3, "P2")
+    }
+
+    /// P3: 8x NVIDIA H100 on NVSwitch (NVLink 4).
+    pub fn p3() -> Self {
+        Self::nvswitch(GpuModel::H100, 8, LinkKind::NvLink4, "P3")
+    }
+
+    /// A PCIe host-tree platform (all GPU traffic crosses the host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero.
+    pub fn pcie(gpu: GpuModel, gpus: usize, name: impl Into<String>) -> Self {
+        let link = LinkKind::Pcie4;
+        let topology = Topology::pcie_host_tree(
+            gpus,
+            link.achieved_bandwidth(),
+            link.latency_s(),
+        );
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
+    /// An NVSwitch-style any-to-any platform with host PCIe uplinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus < 2`.
+    pub fn nvswitch(gpu: GpuModel, gpus: usize, link: LinkKind, name: impl Into<String>) -> Self {
+        assert!(gpus >= 2, "NVSwitch platform needs at least 2 GPUs");
+        // Node 0 = host; 1..=gpus = GPUs, fully connected via NVLink.
+        let mut topology = Topology::new(gpus + 1);
+        for i in 1..=gpus {
+            topology.add_duplex(
+                NodeId(0),
+                NodeId(i),
+                LinkKind::HostPcie.achieved_bandwidth(),
+                LinkKind::HostPcie.latency_s(),
+            );
+        }
+        for i in 1..=gpus {
+            for j in (i + 1)..=gpus {
+                topology.add_duplex(
+                    NodeId(i),
+                    NodeId(j),
+                    link.achieved_bandwidth(),
+                    link.latency_s(),
+                );
+            }
+        }
+        // GPU peer traffic never bounces through the host on NVLink.
+        topology.set_transit(NodeId(0), false);
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
+    /// A ring-connected platform with host uplinks (wafer-scale and Hop
+    /// case studies build on this and on [`custom`](Platform::custom)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus < 2`.
+    pub fn ring(gpu: GpuModel, gpus: usize, link: LinkKind, name: impl Into<String>) -> Self {
+        assert!(gpus >= 2, "ring platform needs at least 2 GPUs");
+        let mut topology = Topology::new(gpus + 1);
+        for i in 1..=gpus {
+            topology.add_duplex(
+                NodeId(0),
+                NodeId(i),
+                LinkKind::HostPcie.achieved_bandwidth(),
+                LinkKind::HostPcie.latency_s(),
+            );
+        }
+        for i in 0..gpus {
+            let a = NodeId(1 + i);
+            let b = NodeId(1 + (i + 1) % gpus);
+            topology.add_duplex(a, b, link.achieved_bandwidth(), link.latency_s());
+        }
+        topology.set_transit(NodeId(0), false);
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
+    /// A multi-node cluster: `nodes` servers of `gpus_per_node` GPUs
+    /// each. GPUs within a server are fully connected over `intra`
+    /// (NVSwitch-style); servers connect through per-server NICs to a
+    /// single spine at `inter_bandwidth` bytes/s and `inter_latency_s`
+    /// (InfiniBand/Ethernet class). Node layout: host 0, GPUs
+    /// `1..=nodes*gpus_per_node`, then one NIC node per server and the
+    /// spine (all transit-only).
+    ///
+    /// This is the hierarchical-network regime AstraSim 2.0 targets; the
+    /// flow model handles it with no special casing because routes and
+    /// fair sharing already compose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `gpus_per_node < 1`.
+    pub fn multi_node(
+        gpu: GpuModel,
+        nodes: usize,
+        gpus_per_node: usize,
+        intra: LinkKind,
+        inter_bandwidth: f64,
+        inter_latency_s: f64,
+        name: impl Into<String>,
+    ) -> Self {
+        assert!(nodes >= 2, "a cluster needs at least two servers");
+        assert!(gpus_per_node >= 1, "each server needs a GPU");
+        let gpus = nodes * gpus_per_node;
+        let nic_base = 1 + gpus;
+        let spine = NodeId(nic_base + nodes);
+        let mut topology = Topology::new(nic_base + nodes + 1);
+
+        for i in 1..=gpus {
+            topology.add_duplex(
+                NodeId(0),
+                NodeId(i),
+                LinkKind::HostPcie.achieved_bandwidth(),
+                LinkKind::HostPcie.latency_s(),
+            );
+        }
+        for server in 0..nodes {
+            let nic = NodeId(nic_base + server);
+            let first = 1 + server * gpus_per_node;
+            // Intra-server NVSwitch.
+            for a in first..first + gpus_per_node {
+                for b in (a + 1)..first + gpus_per_node {
+                    topology.add_duplex(
+                        NodeId(a),
+                        NodeId(b),
+                        intra.achieved_bandwidth(),
+                        intra.latency_s(),
+                    );
+                }
+                // Each GPU reaches the server NIC at the inter-node rate.
+                topology.add_duplex(NodeId(a), nic, inter_bandwidth, inter_latency_s);
+            }
+            // NIC uplink to the spine (shared by the server's GPUs).
+            topology.add_duplex(nic, spine, inter_bandwidth, inter_latency_s);
+        }
+        topology.set_transit(NodeId(0), false);
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
+    /// Wraps an arbitrary topology. The topology must follow the node
+    /// convention (node 0 = host, nodes `1..=gpus` = GPUs; extra nodes may
+    /// be switches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than `gpus + 1` nodes.
+    pub fn custom(
+        gpu: GpuModel,
+        gpus: usize,
+        topology: Topology,
+        name: impl Into<String>,
+    ) -> Self {
+        assert!(
+            topology.node_count() > gpus,
+            "topology must contain the host plus {gpus} GPU nodes"
+        );
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
+    /// Platform name (P1/P2/P3 or custom).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The GPU model installed.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_count
+    }
+
+    /// The interconnect graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The network node of GPU `i` (0-based GPU index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= gpu_count`.
+    pub fn gpu_node(&self, i: usize) -> NodeId {
+        assert!(i < self.gpu_count, "GPU index {i} out of range");
+        NodeId(1 + i)
+    }
+
+    /// The host (CPU) node.
+    pub fn host_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Returns a copy whose GPU-fabric link bandwidths are scaled by the
+    /// per-link factors produced by `factor` (called once per directed
+    /// link between GPU nodes). Used by the Hop case study to inject
+    /// heterogeneous slowdowns.
+    pub fn with_scaled_gpu_links(&self, mut factor: impl FnMut(NodeId, NodeId) -> f64) -> Self {
+        let mut topo = self.topology.clone();
+        let links: Vec<_> = (0..topo.link_count())
+            .map(triosim_network::LinkId)
+            .collect();
+        for l in links {
+            let (a, b) = topo.endpoints(l);
+            if a != self.host_node() && b != self.host_node() {
+                let f = factor(a, b);
+                topo.scale_bandwidth(l, f);
+            }
+        }
+        Platform {
+            name: format!("{}-hetero", self.name),
+            gpu: self.gpu,
+            gpu_count: self.gpu_count,
+            topology: topo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_is_two_a40_over_pcie() {
+        let p = Platform::p1();
+        assert_eq!(p.gpu_count(), 2);
+        assert_eq!(p.gpu(), GpuModel::A40);
+        // GPU-GPU crosses the host: 2 hops.
+        let r = p
+            .topology()
+            .route(p.gpu_node(0), p.gpu_node(1))
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn p2_is_direct_nvlink() {
+        let p = Platform::p2(4);
+        let r = p
+            .topology()
+            .route(p.gpu_node(0), p.gpu_node(3))
+            .unwrap();
+        assert_eq!(r.len(), 1, "NVSwitch is single-hop");
+        let bw = p.topology().bandwidth(r[0]);
+        assert!(bw > 100e9, "NVLink-class bandwidth, got {bw}");
+    }
+
+    #[test]
+    fn p3_has_eight_h100() {
+        let p = Platform::p3();
+        assert_eq!(p.gpu_count(), 8);
+        assert_eq!(p.gpu(), GpuModel::H100);
+    }
+
+    #[test]
+    fn host_reaches_every_gpu() {
+        for p in [Platform::p1(), Platform::p2(4), Platform::p3()] {
+            for i in 0..p.gpu_count() {
+                let r = p.topology().route(p.host_node(), p.gpu_node(i)).unwrap();
+                assert_eq!(r.len(), 1, "host uplink is direct");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_platform_wraps() {
+        let p = Platform::ring(GpuModel::A100, 8, LinkKind::NvLink3, "ring8");
+        let r = p.topology().route(p.gpu_node(0), p.gpu_node(7)).unwrap();
+        assert_eq!(r.len(), 1, "ring neighbours");
+        let r = p.topology().route(p.gpu_node(0), p.gpu_node(4)).unwrap();
+        assert_eq!(r.len(), 4, "across the ring");
+    }
+
+    #[test]
+    fn scaled_links_spare_host_uplinks() {
+        let p = Platform::p2(2);
+        let slowed = p.with_scaled_gpu_links(|_, _| 0.1);
+        // GPU-GPU link slowed 10x.
+        let r = slowed
+            .topology()
+            .route(slowed.gpu_node(0), slowed.gpu_node(1))
+            .unwrap();
+        let orig = p
+            .topology()
+            .route(p.gpu_node(0), p.gpu_node(1))
+            .unwrap();
+        assert!(
+            (slowed.topology().bandwidth(r[0]) - 0.1 * p.topology().bandwidth(orig[0])).abs()
+                < 1.0
+        );
+        // Host uplink untouched.
+        let hr = slowed
+            .topology()
+            .route(slowed.host_node(), slowed.gpu_node(0))
+            .unwrap();
+        let ho = p.topology().route(p.host_node(), p.gpu_node(0)).unwrap();
+        assert_eq!(
+            slowed.topology().bandwidth(hr[0]),
+            p.topology().bandwidth(ho[0])
+        );
+    }
+
+    #[test]
+    fn multi_node_routing_hierarchy() {
+        let p = Platform::multi_node(
+            GpuModel::A100,
+            2,
+            4,
+            LinkKind::NvLink3,
+            25e9,
+            5e-6,
+            "cluster",
+        );
+        assert_eq!(p.gpu_count(), 8);
+        // Intra-server: 1 NVLink hop.
+        let intra = p.topology().route(p.gpu_node(0), p.gpu_node(3)).unwrap();
+        assert_eq!(intra.len(), 1);
+        assert!(p.topology().bandwidth(intra[0]) > 100e9);
+        // Cross-server: gpu -> NIC -> spine -> NIC -> gpu.
+        let inter = p.topology().route(p.gpu_node(0), p.gpu_node(4)).unwrap();
+        assert_eq!(inter.len(), 4);
+        assert!((p.topology().bandwidth(inter[0]) - 25e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpu_node_bounds_checked() {
+        Platform::p1().gpu_node(2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Simulation results: totals, breakdowns, and the timeline output.
+//!
+//! Matches §4.1's list of TrioSim outputs: total predicted execution
+//! time, per-layer/per-phase communication and computation time, and a
+//! timeline of the computation on each GPU and communication between
+//! GPUs. The timeline exports to the Chrome `about:tracing` JSON format
+//! (the same format the PyTorch profiler uses), so it can be inspected in
+//! any trace viewer.
+
+use triosim_des::{TimeSpan, VirtualTime};
+
+use serde::Serialize;
+
+/// Which resource a timeline record occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimelineTrack {
+    /// GPU `i`'s compute stream.
+    Gpu(usize),
+    /// The interconnect.
+    Network,
+}
+
+/// One executed task on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRecord {
+    /// Task label (operator or transfer name).
+    pub label: String,
+    /// Resource it ran on.
+    pub track: TimelineTrack,
+    /// Start time.
+    pub start: VirtualTime,
+    /// End time.
+    pub end: VirtualTime,
+    /// Model layer the task belongs to, when known.
+    pub layer: Option<usize>,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    total: TimeSpan,
+    per_gpu_compute: Vec<TimeSpan>,
+    comm_busy: TimeSpan,
+    bytes_transferred: u64,
+    tasks_executed: usize,
+    timeline: Vec<TimelineRecord>,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        total: TimeSpan,
+        per_gpu_compute: Vec<TimeSpan>,
+        comm_busy: TimeSpan,
+        bytes_transferred: u64,
+        tasks_executed: usize,
+        timeline: Vec<TimelineRecord>,
+    ) -> Self {
+        SimReport {
+            total,
+            per_gpu_compute,
+            comm_busy,
+            bytes_transferred,
+            tasks_executed,
+            timeline,
+        }
+    }
+
+    /// End-to-end predicted time of the iteration.
+    pub fn total_time(&self) -> TimeSpan {
+        self.total
+    }
+
+    /// End-to-end predicted time, in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.total.as_seconds()
+    }
+
+    /// Busy compute time of each GPU.
+    pub fn per_gpu_compute(&self) -> &[TimeSpan] {
+        &self.per_gpu_compute
+    }
+
+    /// Computation time: the busiest GPU's compute occupancy (the
+    /// convention the paper's comm/comp breakdowns use).
+    pub fn compute_time_s(&self) -> f64 {
+        self.per_gpu_compute
+            .iter()
+            .map(|t| t.as_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Communication time: the union of all intervals during which at
+    /// least one transfer was in flight.
+    pub fn comm_time_s(&self) -> f64 {
+        self.comm_busy.as_seconds()
+    }
+
+    /// Fraction of the comm+comp total spent communicating.
+    pub fn comm_ratio(&self) -> f64 {
+        let comm = self.comm_time_s();
+        let comp = self.compute_time_s();
+        if comm + comp == 0.0 {
+            0.0
+        } else {
+            comm / (comm + comp)
+        }
+    }
+
+    /// Total bytes that crossed the network.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Number of tasks executed (compute + transfer + barrier).
+    pub fn tasks_executed(&self) -> usize {
+        self.tasks_executed
+    }
+
+    /// The full execution timeline.
+    pub fn timeline(&self) -> &[TimelineRecord] {
+        &self.timeline
+    }
+
+    /// Per-layer computation time, summed across GPUs — the "computation
+    /// time of each layer or stage" output §4.1 lists. Index = layer,
+    /// value = seconds.
+    pub fn per_layer_compute_s(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for r in &self.timeline {
+            let (Some(layer), TimelineTrack::Gpu(_)) = (r.layer, r.track) else {
+                continue;
+            };
+            if out.len() <= layer {
+                out.resize(layer + 1, 0.0);
+            }
+            out[layer] += (r.end - r.start).as_seconds();
+        }
+        out
+    }
+
+    /// Per-GPU utilization profile: for each GPU, the fraction of each of
+    /// `buckets` equal time slices spent computing. This is the
+    /// AkitaRTM-style live view of where the pipeline bubbles and
+    /// synchronization stalls sit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn gpu_utilization(&self, buckets: usize) -> Vec<Vec<f64>> {
+        assert!(buckets > 0, "need at least one bucket");
+        let gpus = self.per_gpu_compute.len();
+        let total = self.total.as_seconds();
+        let mut profile = vec![vec![0.0f64; buckets]; gpus];
+        if total == 0.0 {
+            return profile;
+        }
+        let width = total / buckets as f64;
+        for r in &self.timeline {
+            let TimelineTrack::Gpu(g) = r.track else {
+                continue;
+            };
+            let (s, e) = (r.start.as_seconds(), r.end.as_seconds());
+            let first = ((s / width) as usize).min(buckets - 1);
+            let last = ((e / width) as usize).min(buckets - 1);
+            for b in first..=last {
+                let bucket_start = b as f64 * width;
+                let overlap = (e.min(bucket_start + width) - s.max(bucket_start)).max(0.0);
+                profile[g][b] += overlap / width;
+            }
+        }
+        for row in &mut profile {
+            for v in row {
+                *v = v.min(1.0);
+            }
+        }
+        profile
+    }
+
+    /// Exports the timeline as Chrome `about:tracing` JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error if serialization fails
+    /// (practically impossible for this data).
+    pub fn to_chrome_trace(&self) -> Result<String, serde_json::Error> {
+        #[derive(Serialize)]
+        struct ChromeEvent<'a> {
+            name: &'a str,
+            ph: &'static str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+        }
+        let events: Vec<ChromeEvent<'_>> = self
+            .timeline
+            .iter()
+            .map(|r| ChromeEvent {
+                name: &r.label,
+                ph: "X",
+                ts: r.start.as_seconds() * 1e6,
+                dur: (r.end - r.start).as_seconds() * 1e6,
+                pid: 0,
+                tid: match r.track {
+                    TimelineTrack::Gpu(i) => i as u32,
+                    TimelineTrack::Network => 1000,
+                },
+            })
+            .collect();
+        serde_json::to_string(&events)
+    }
+}
+
+/// Merges possibly-overlapping intervals and returns their union length.
+pub(crate) fn union_length(mut intervals: Vec<(VirtualTime, VirtualTime)>) -> TimeSpan {
+    intervals.sort();
+    let mut total = TimeSpan::ZERO;
+    let mut current: Option<(VirtualTime, VirtualTime)> = None;
+    for (s, e) in intervals {
+        match current {
+            None => current = Some((s, e)),
+            Some((cs, ce)) => {
+                if s <= ce {
+                    current = Some((cs, ce.max(e)));
+                } else {
+                    total += ce - cs;
+                    current = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((cs, ce)) = current {
+        total += ce - cs;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> VirtualTime {
+        VirtualTime::from_seconds(s)
+    }
+
+    #[test]
+    fn union_of_disjoint_intervals() {
+        let u = union_length(vec![(t(0.0), t(1.0)), (t(2.0), t(3.0))]);
+        assert_eq!(u, TimeSpan::from_seconds(2.0));
+    }
+
+    #[test]
+    fn union_of_overlapping_intervals() {
+        let u = union_length(vec![(t(0.0), t(2.0)), (t(1.0), t(3.0)), (t(2.5), t(2.8))]);
+        assert_eq!(u, TimeSpan::from_seconds(3.0));
+    }
+
+    #[test]
+    fn union_of_nothing_is_zero() {
+        assert_eq!(union_length(vec![]), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn report_accessors_and_ratio() {
+        let report = SimReport::new(
+            TimeSpan::from_seconds(10.0),
+            vec![TimeSpan::from_seconds(6.0), TimeSpan::from_seconds(4.0)],
+            TimeSpan::from_seconds(2.0),
+            1234,
+            7,
+            vec![],
+        );
+        assert_eq!(report.total_time_s(), 10.0);
+        assert_eq!(report.compute_time_s(), 6.0);
+        assert_eq!(report.comm_time_s(), 2.0);
+        assert!((report.comm_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(report.bytes_transferred(), 1234);
+        assert_eq!(report.tasks_executed(), 7);
+    }
+
+    #[test]
+    fn utilization_profile_localizes_work() {
+        // One task occupying the first half of a 2-second run.
+        let report = SimReport::new(
+            TimeSpan::from_seconds(2.0),
+            vec![TimeSpan::from_seconds(1.0)],
+            TimeSpan::ZERO,
+            0,
+            1,
+            vec![TimelineRecord {
+                label: "op".into(),
+                track: TimelineTrack::Gpu(0),
+                start: t(0.0),
+                end: t(1.0),
+                layer: Some(3),
+            }],
+        );
+        let profile = report.gpu_utilization(4);
+        assert_eq!(profile.len(), 1);
+        assert!((profile[0][0] - 1.0).abs() < 1e-9);
+        assert!((profile[0][1] - 1.0).abs() < 1e-9);
+        assert!(profile[0][2] < 1e-9);
+        assert!(profile[0][3] < 1e-9);
+    }
+
+    #[test]
+    fn per_layer_compute_attributes_time() {
+        let report = SimReport::new(
+            TimeSpan::from_seconds(2.0),
+            vec![TimeSpan::from_seconds(1.0)],
+            TimeSpan::ZERO,
+            0,
+            1,
+            vec![TimelineRecord {
+                label: "op".into(),
+                track: TimelineTrack::Gpu(0),
+                start: t(0.0),
+                end: t(1.0),
+                layer: Some(3),
+            }],
+        );
+        let per_layer = report.per_layer_compute_s();
+        assert_eq!(per_layer.len(), 4);
+        assert!((per_layer[3] - 1.0).abs() < 1e-12);
+        assert_eq!(per_layer[0], 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_exports() {
+        let report = SimReport::new(
+            TimeSpan::from_seconds(1.0),
+            vec![TimeSpan::from_seconds(1.0)],
+            TimeSpan::ZERO,
+            0,
+            1,
+            vec![TimelineRecord {
+                label: "conv1@g0".into(),
+                track: TimelineTrack::Gpu(0),
+                start: t(0.0),
+                end: t(1.0),
+                layer: None,
+            }],
+        );
+        let json = report.to_chrome_trace().unwrap();
+        assert!(json.contains("conv1@g0"));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+}

@@ -1,0 +1,248 @@
+//! The extrapolated multi-GPU execution: a task DAG.
+//!
+//! The trace extrapolator (§4.3) converts the single-GPU trace into
+//! per-GPU computation and communication work. We represent the result as
+//! an explicit task graph: compute tasks bind to one GPU's (serial)
+//! compute stream; transfer tasks go to the network model and may overlap
+//! freely with compute — exactly the PyTorch execution model, where NCCL
+//! runs on its own stream.
+
+use triosim_des::TimeSpan;
+use triosim_network::NodeId;
+
+/// Index of a task within its [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// What a task does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Run on GPU `gpu`'s compute stream for `duration`.
+    Compute {
+        /// 0-based GPU index.
+        gpu: usize,
+        /// Predicted execution time.
+        duration: TimeSpan,
+    },
+    /// Move `bytes` from network node `src` to `dst`.
+    Transfer {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A zero-duration synchronization point (collective step barrier).
+    Barrier,
+}
+
+/// One node of the task DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Human-readable label (surfaces in the timeline output).
+    pub label: String,
+    /// The work.
+    pub kind: TaskKind,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskId>,
+    /// Model layer this task belongs to, when applicable (drives the
+    /// per-layer time breakdown of §4.1).
+    pub layer: Option<usize>,
+}
+
+/// The extrapolated multi-GPU execution plan.
+///
+/// # Example
+///
+/// ```rust
+/// use triosim::{TaskGraph, TaskKind};
+/// use triosim_des::TimeSpan;
+///
+/// let mut g = TaskGraph::new(2);
+/// let a = g.compute("fwd@0", 0, TimeSpan::from_millis(1.0), vec![]);
+/// let b = g.compute("fwd@1", 1, TimeSpan::from_millis(1.0), vec![]);
+/// let done = g.barrier("sync", vec![a, b]);
+/// assert_eq!(g.len(), 3);
+/// # let _ = done;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    gpus: usize,
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph for a `gpus`-GPU execution.
+    pub fn new(gpus: usize) -> Self {
+        TaskGraph {
+            gpus,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Number of GPUs the plan targets.
+    pub fn gpus(&self) -> usize {
+        self.gpus
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The tasks, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Adds an arbitrary task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency refers to a not-yet-added task (the graph
+    /// is built in topological order by construction) or a compute task
+    /// names a GPU out of range.
+    pub fn push(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for d in &task.deps {
+            assert!(d.0 < id.0, "dependency {d:?} added after dependent task");
+        }
+        if let TaskKind::Compute { gpu, .. } = task.kind {
+            assert!(gpu < self.gpus, "GPU {gpu} out of range");
+        }
+        self.tasks.push(task);
+        id
+    }
+
+    /// Adds a compute task.
+    pub fn compute(
+        &mut self,
+        label: impl Into<String>,
+        gpu: usize,
+        duration: TimeSpan,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(Task {
+            label: label.into(),
+            kind: TaskKind::Compute { gpu, duration },
+            deps,
+            layer: None,
+        })
+    }
+
+    /// Adds a compute task attributed to a model layer.
+    pub fn compute_in_layer(
+        &mut self,
+        label: impl Into<String>,
+        gpu: usize,
+        duration: TimeSpan,
+        deps: Vec<TaskId>,
+        layer: usize,
+    ) -> TaskId {
+        self.push(Task {
+            label: label.into(),
+            kind: TaskKind::Compute { gpu, duration },
+            deps,
+            layer: Some(layer),
+        })
+    }
+
+    /// Adds a transfer task.
+    pub fn transfer(
+        &mut self,
+        label: impl Into<String>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(Task {
+            label: label.into(),
+            kind: TaskKind::Transfer { src, dst, bytes },
+            deps,
+            layer: None,
+        })
+    }
+
+    /// Adds a zero-cost barrier joining `deps`.
+    pub fn barrier(&mut self, label: impl Into<String>, deps: Vec<TaskId>) -> TaskId {
+        self.push(Task {
+            label: label.into(),
+            kind: TaskKind::Barrier,
+            deps,
+            layer: None,
+        })
+    }
+
+    /// Total bytes moved by all transfer tasks.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| match t.kind {
+                TaskKind::Transfer { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total compute time across all GPUs (serial sum, not critical
+    /// path).
+    pub fn total_compute_time(&self) -> TimeSpan {
+        self.tasks
+            .iter()
+            .map(|t| match t.kind {
+                TaskKind::Compute { duration, .. } => duration,
+                _ => TimeSpan::ZERO,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_topological_order() {
+        let mut g = TaskGraph::new(1);
+        let a = g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        let b = g.compute("b", 0, TimeSpan::from_millis(1.0), vec![a]);
+        assert_eq!(g.tasks()[b.0].deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "added after dependent")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new(1);
+        g.push(Task {
+            label: "bad".into(),
+            kind: TaskKind::Barrier,
+            deps: vec![TaskId(5)],
+            layer: None,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpu_bounds_checked() {
+        let mut g = TaskGraph::new(2);
+        g.compute("x", 2, TimeSpan::ZERO, vec![]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut g = TaskGraph::new(2);
+        g.compute("a", 0, TimeSpan::from_millis(2.0), vec![]);
+        g.transfer("t", NodeId(1), NodeId(2), 100, vec![]);
+        g.transfer("t2", NodeId(2), NodeId(1), 50, vec![]);
+        assert_eq!(g.total_transfer_bytes(), 150);
+        assert_eq!(g.total_compute_time(), TimeSpan::from_millis(2.0));
+        assert!(!g.is_empty());
+    }
+}

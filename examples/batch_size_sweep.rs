@@ -1,0 +1,50 @@
+//! Batch-size sweep from a single trace — the capability the paper calls
+//! out as "not easy for prior simulators (e.g., AstraSim, vTrain)".
+//!
+//! ```text
+//! cargo run --release --example batch_size_sweep
+//! ```
+//!
+//! One trace of VGG-16 at batch 128 drives predictions for per-GPU batch
+//! sizes from 16 to 512 on 2x A40 (platform P1), showing the throughput
+//! curve flattening as the GPUs saturate.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn main() {
+    let traced_batch = 128u64;
+    let model = ModelId::Vgg16.build(traced_batch);
+    let trace = Tracer::new(GpuModel::A40).trace(&model);
+    let platform = Platform::p1();
+
+    println!(
+        "one trace ({} @ batch {traced_batch} on {}), many batch sizes:",
+        trace.model(),
+        trace.gpu()
+    );
+    println!(
+        "\n{:>14} {:>14} {:>16} {:>12}",
+        "batch per GPU", "iter time (ms)", "images/s (total)", "comm share"
+    );
+    for per_gpu in [16u64, 32, 64, 128, 256, 512] {
+        let global = per_gpu * platform.gpu_count() as u64;
+        let report = SimBuilder::new(&trace, &platform)
+            .parallelism(Parallelism::DataParallel { overlap: true })
+            .global_batch(global)
+            .run();
+        println!(
+            "{:>14} {:>14.1} {:>16.0} {:>11.1}%",
+            per_gpu,
+            report.total_time_s() * 1e3,
+            global as f64 / report.total_time_s(),
+            100.0 * report.comm_ratio()
+        );
+    }
+    println!(
+        "\nlarger batches amortize fixed costs (kernel launches, AllReduce \
+         latency), so throughput climbs and then saturates — without \
+         collecting a single additional trace."
+    );
+}

@@ -1,0 +1,64 @@
+//! Inference serving: latency vs throughput from a single forward trace.
+//!
+//! ```text
+//! cargo run --release --example inference_serving
+//! ```
+//!
+//! Li's Model (the operator performance model TrioSim embeds) was
+//! originally built for DNN *inference*; this example closes the loop by
+//! simulating a replicated ResNet-50 serving fleet. One forward-only
+//! trace drives every (batch size, replica count) point: per-request
+//! latency rises with batching while fleet throughput climbs — the
+//! classic serving trade-off — and replicas scale throughput linearly
+//! because inference needs no gradient synchronization.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn main() {
+    let traced_batch = 32u64;
+    let model = ModelId::ResNet50.build(traced_batch);
+    let trace = Tracer::new(GpuModel::A100).trace_inference(&model);
+    println!(
+        "serving {} from one forward trace ({} ops, {:.2} ms @ batch {traced_batch})",
+        trace.model(),
+        trace.entries().len(),
+        trace.total_time_s() * 1e3
+    );
+
+    println!(
+        "\n{:>9} {:>9} {:>15} {:>18} {:>12}",
+        "replicas", "batch", "latency (ms)", "throughput (img/s)", "comm (ms)"
+    );
+    for replicas in [1usize, 2, 4] {
+        let platform = Platform::p2(replicas.max(2)); // p2 needs >= 2 GPUs
+        let gpus = if replicas == 1 { 1 } else { replicas };
+        let platform = if replicas == 1 {
+            Platform::pcie(GpuModel::A100, 1, "single")
+        } else {
+            platform
+        };
+        for batch in [1u64, 8, 32, 128] {
+            let report = SimBuilder::new(&trace, &platform)
+                .parallelism(Parallelism::DataParallel { overlap: false })
+                .global_batch(batch * gpus as u64)
+                .run();
+            let latency = report.total_time_s();
+            let throughput = (batch * gpus as u64) as f64 / latency;
+            println!(
+                "{:>9} {:>9} {:>15.2} {:>18.0} {:>12.3}",
+                gpus,
+                batch,
+                latency * 1e3,
+                throughput,
+                report.comm_time_s() * 1e3
+            );
+        }
+    }
+    println!(
+        "\nno gradient AllReduce appears (comm is only the input shipment): \
+         inference replicas are embarrassingly parallel, so throughput \
+         scales with replicas while per-request latency tracks batch size."
+    );
+}

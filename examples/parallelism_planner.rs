@@ -1,0 +1,75 @@
+//! Parallelism planner: the paper's §8.3 headline use case.
+//!
+//! ```text
+//! cargo run --release --example parallelism_planner -- [--gpus 4]
+//! ```
+//!
+//! "Given an LLM and a specific GPU interconnect topology, users can
+//! evaluate different parallelism strategies (data, tensor, or pipeline
+//! parallelism) to determine the most efficient configuration." This
+//! example does exactly that for GPT-2 on an NVSwitch platform, from one
+//! single-GPU trace — no re-tracing between configurations.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn main() {
+    let gpus: usize = std::env::args()
+        .skip_while(|a| a != "--gpus")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let total_batch = 64u64;
+    let model = ModelId::Gpt2.build(total_batch);
+    let trace = Tracer::new(GpuModel::A100).trace(&model);
+    let platform = Platform::p2(gpus);
+
+    println!(
+        "planning: {} | total batch {total_batch} | {} x {}",
+        model,
+        gpus,
+        platform.gpu()
+    );
+    println!(
+        "\n{:<14} {:>11} {:>11} {:>11} {:>9}",
+        "strategy", "total (ms)", "comp (ms)", "comm (ms)", "comm %"
+    );
+
+    let mut candidates: Vec<(String, Parallelism)> = vec![
+        ("DDP".into(), Parallelism::DataParallel { overlap: true }),
+        ("DP (no ovl)".into(), Parallelism::DataParallel { overlap: false }),
+        ("TP".into(), Parallelism::TensorParallel),
+    ];
+    for chunks in [1u64, 2, 4, 8] {
+        candidates.push((format!("PP x{chunks}"), Parallelism::Pipeline { chunks }));
+    }
+
+    let mut best: Option<(String, f64)> = None;
+    for (name, parallelism) in candidates {
+        let report = SimBuilder::new(&trace, &platform)
+            .parallelism(parallelism)
+            .global_batch(total_batch)
+            .run();
+        let t = report.total_time_s();
+        println!(
+            "{:<14} {:>11.2} {:>11.2} {:>11.2} {:>8.1}%",
+            name,
+            t * 1e3,
+            report.compute_time_s() * 1e3,
+            report.comm_time_s() * 1e3,
+            100.0 * report.comm_ratio()
+        );
+        if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best = Some((name, t));
+        }
+    }
+
+    let (name, t) = best.expect("candidates evaluated");
+    println!(
+        "\nrecommendation: {name} ({:.2} ms per iteration, {:.0} samples/s)",
+        t * 1e3,
+        total_batch as f64 / t
+    );
+}

@@ -1,0 +1,60 @@
+//! Swapping the network model: electrical ring vs photonic
+//! circuit-switching on a 16-chiplet wafer (a miniature of the paper's
+//! §7.1 case study).
+//!
+//! ```text
+//! cargo run --release --example photonic_wafer
+//! ```
+//!
+//! Demonstrates the paper's extension story: a network model only needs
+//! `send` and `deliver`, so replacing the packet-switching flow network
+//! with the Passage-style photonic model is a one-line builder change.
+
+use triosim::{CollectiveStyle, Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_network::{NodeId, PhotonicConfig, PhotonicNetwork};
+use triosim_trace::{GpuModel, LinkKind, Tracer};
+
+fn main() {
+    let gpus = 16usize;
+    let model = ModelId::ResNet50.build(64);
+    let trace = Tracer::new(GpuModel::A100).trace(&model);
+    let platform = Platform::ring(GpuModel::A100, gpus, LinkKind::WaferElectrical, "mini-wafer");
+    let batch = 64 * gpus as u64;
+
+    let electrical = SimBuilder::new(&trace, &platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .collective_style(CollectiveStyle::Unsegmented)
+        .global_batch(batch)
+        .run();
+
+    // The photonic model replaces the whole network; device-side code is
+    // untouched.
+    let mut photonic_net = PhotonicNetwork::new(1 + gpus, PhotonicConfig::passage());
+    photonic_net.set_electrical_bypass(
+        NodeId(0),
+        LinkKind::HostPcie.achieved_bandwidth(),
+        LinkKind::HostPcie.latency_s(),
+    );
+    let photonic = SimBuilder::new(&trace, &platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .collective_style(CollectiveStyle::Unsegmented)
+        .global_batch(batch)
+        .network(Box::new(photonic_net))
+        .run();
+
+    println!("{} on a {gpus}-chiplet wafer, data parallelism:", trace.model());
+    for (name, r) in [("electrical ring", &electrical), ("photonic passage", &photonic)] {
+        println!(
+            "  {name:<17}: total {:>7.1} ms | compute {:>7.1} ms | comm {:>7.1} ms ({:.0}%)",
+            r.total_time_s() * 1e3,
+            r.compute_time_s() * 1e3,
+            r.comm_time_s() * 1e3,
+            100.0 * r.comm_ratio()
+        );
+    }
+    println!(
+        "\nphotonic cuts communication {:.1}x on this workload",
+        electrical.comm_time_s() / photonic.comm_time_s().max(1e-12)
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: predict multi-GPU training time from a single-GPU trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the full TrioSim pipeline: build a workload, collect a
+//! single-GPU operator trace, then extrapolate it to a 4-GPU NVLink
+//! platform under distributed data parallelism.
+
+use triosim::{Parallelism, Platform, SimBuilder};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn main() {
+    // 1. The workload: ResNet-50 at batch size 128 (per GPU).
+    let model = ModelId::ResNet50.build(128);
+    println!("workload: {model}");
+
+    // 2. Collect the single-GPU trace — the only workload input TrioSim
+    //    needs. On real hardware this is the PyTorch profiler output; here
+    //    the tracer stamps times from the built-in A100 timing model.
+    let trace = Tracer::new(GpuModel::A100).trace(&model);
+    println!(
+        "trace: {} operators, {:.1} ms on one {}",
+        trace.entries().len(),
+        trace.total_time_s() * 1e3,
+        trace.gpu()
+    );
+
+    // 3. Simulate 4 A100s with DDP (paper platform P2).
+    let platform = Platform::p2(4);
+    let report = SimBuilder::new(&trace, &platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .run();
+
+    println!("\npredicted one DDP iteration on {}:", platform.name());
+    println!("  total time     : {:.2} ms", report.total_time_s() * 1e3);
+    println!("  compute (max)  : {:.2} ms", report.compute_time_s() * 1e3);
+    println!("  communication  : {:.2} ms", report.comm_time_s() * 1e3);
+    println!("  comm share     : {:.1}%", 100.0 * report.comm_ratio());
+    println!(
+        "  network traffic: {:.1} MB",
+        report.bytes_transferred() as f64 / 1e6
+    );
+    println!(
+        "  weak-scaling efficiency: {:.1}%",
+        100.0 * trace.total_time_s() / report.total_time_s()
+    );
+}

@@ -1,0 +1,69 @@
+//! Export the execution timeline as Chrome `about:tracing` JSON — the
+//! visualization output §4.1 describes ("it shows the timeline of the
+//! communication process among GPUs or the computation process on each
+//! GPU").
+//!
+//! ```text
+//! cargo run --release --example timeline_export
+//! # then open chrome://tracing (or https://ui.perfetto.dev) and load
+//! # /tmp/triosim_timeline.json
+//! ```
+
+use std::fs;
+
+use triosim::{Parallelism, Platform, SimBuilder, TimelineTrack};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Tracer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelId::ResNet18.build(64);
+    let trace = Tracer::new(GpuModel::A100).trace(&model);
+    let platform = Platform::p2(2);
+
+    let report = SimBuilder::new(&trace, &platform)
+        .parallelism(Parallelism::Pipeline { chunks: 4 })
+        .run();
+
+    // Summarize what the timeline contains.
+    let gpu_records = report
+        .timeline()
+        .iter()
+        .filter(|r| matches!(r.track, TimelineTrack::Gpu(_)))
+        .count();
+    let net_records = report
+        .timeline()
+        .iter()
+        .filter(|r| r.track == TimelineTrack::Network)
+        .count();
+    println!(
+        "GPipe x4 on 2 GPUs: {:.1} ms total, {gpu_records} compute spans, \
+         {net_records} transfer spans",
+        report.total_time_s() * 1e3
+    );
+
+    // First few events, human readable.
+    for r in report.timeline().iter().take(8) {
+        println!(
+            "  {:>10.3} ms  {:<10}  {}",
+            r.start.as_seconds() * 1e3,
+            match r.track {
+                TimelineTrack::Gpu(i) => format!("GPU{i}"),
+                TimelineTrack::Network => "network".to_string(),
+            },
+            r.label
+        );
+    }
+
+    let path = "/tmp/triosim_timeline.json";
+    fs::write(path, report.to_chrome_trace()?)?;
+    println!("\nfull timeline written to {path} (open in chrome://tracing)");
+
+    // The Daisen-style standalone view needs no external tooling at all.
+    let html_path = "/tmp/triosim_timeline.html";
+    fs::write(
+        html_path,
+        triosim::render_html_timeline(&report, "ResNet-18 | 2x A100 | GPipe x4"),
+    )?;
+    println!("HTML timeline written to {html_path} (open in any browser)");
+    Ok(())
+}
