@@ -56,7 +56,10 @@ fn end_to_end(c: &mut Criterion) {
     group.bench_function("resnet50_hybrid_4x4", |b| {
         b.iter(|| {
             let report = SimBuilder::new(&trace, &ring16)
-                .parallelism(Parallelism::Hybrid { dp_groups: 4, chunks: 4 })
+                .parallelism(Parallelism::Hybrid {
+                    dp_groups: 4,
+                    chunks: 4,
+                })
                 .global_batch(512)
                 .run();
             black_box(report.total_time_s())

@@ -10,7 +10,9 @@
 //! flow network and reports the winner per configuration — showing the
 //! small/large-message crossover and the topology sensitivity.
 
+use serde::Value;
 use triosim::{CollectiveStyle, Platform};
+use triosim_bench::{json_num, json_obj, Summary};
 use triosim_collectives::{
     halving_doubling_all_reduce, ring_all_reduce, tree_all_reduce, CollectiveSchedule,
 };
@@ -79,6 +81,7 @@ fn main() {
         "topology", "gpus", "payload", "ring(ms)", "tree(ms)", "hd(ms)", "winner"
     );
 
+    let mut json_rows = Vec::new();
     for &gpus in &[4usize, 8, 16] {
         let platforms: Vec<(String, Platform)> = vec![
             (
@@ -89,7 +92,10 @@ fn main() {
                 format!("ring{gpus}"),
                 Platform::ring(GpuModel::A100, gpus, LinkKind::NvLink3, "rg"),
             ),
-            (format!("pcie-tree{gpus}"), Platform::pcie(GpuModel::A40, gpus, "pc")),
+            (
+                format!("pcie-tree{gpus}"),
+                Platform::pcie(GpuModel::A40, gpus, "pc"),
+            ),
         ];
         for (name, platform) in platforms {
             for &bytes in &[256u64 * 1024, 16 << 20, 512 << 20] {
@@ -97,13 +103,12 @@ fn main() {
                     .iter()
                     .map(|(_, s)| run_schedule(&platform, &schedule_for(*s, gpus, bytes)))
                     .collect();
-                let winner = styles
-                    [times
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                        .unwrap()
-                        .0]
+                let winner = styles[times
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0]
                     .0;
                 println!(
                     "{:<22} {:>6} {:>9}M   {:>10.3} {:>10.3} {:>10.3}   {:>9}",
@@ -115,6 +120,15 @@ fn main() {
                     times[2] * 1e3,
                     winner
                 );
+                json_rows.push(json_obj(vec![
+                    ("topology", Value::Str(name.clone())),
+                    ("gpus", Value::UInt(gpus as u64)),
+                    ("payload_bytes", Value::UInt(bytes)),
+                    ("ring_ms", json_num(times[0] * 1e3)),
+                    ("tree_ms", json_num(times[1] * 1e3)),
+                    ("halving_doubling_ms", json_num(times[2] * 1e3)),
+                    ("winner", Value::Str(winner.to_string())),
+                ]));
             }
         }
     }
@@ -123,4 +137,7 @@ fn main() {
          large payloads on rings (bandwidth-bound), halving-doubling wins \
          large payloads on switches where long-distance pairs are one hop"
     );
+    let mut summary = Summary::new("ablation_allreduce");
+    summary.put("rows", Value::Array(json_rows));
+    summary.finish();
 }

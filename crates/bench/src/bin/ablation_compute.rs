@@ -7,12 +7,15 @@
 //! 8-way tensor parallelism, whose 1/8 weight shards push every operator
 //! into the utilization ramp that a linear fit cuts across.
 
+use serde::Value;
 use triosim::{ComputeModel, Fidelity, Parallelism, Platform, SimBuilder};
+use triosim_bench::{json_num, json_obj, Summary};
 use triosim_modelzoo::{ModelId, OpClass};
 use triosim_perfmodel::{calibration_ops, FeatureSet, LisModel};
 use triosim_trace::{GpuModel, OracleGpu, Tracer};
 
 fn main() {
+    let mut summary = Summary::new("ablation_compute");
     let gpu = GpuModel::H100;
     let oracle = OracleGpu::new(gpu);
     let linear = LisModel::calibrated_with_features(oracle, FeatureSet::Linear);
@@ -21,15 +24,19 @@ fn main() {
     println!("== Ablation: compute-model feature family ({gpu}) ==");
     println!("\nper-class calibration MAPE:");
     println!("{:<14} {:>10} {:>12}", "class", "linear", "sublinear");
+    let mut mape_rows = Vec::new();
     for class in OpClass::ALL {
         let ops = calibration_ops(class);
-        println!(
-            "{:<14} {:>9.2}% {:>11.2}%",
-            class.to_string(),
-            100.0 * linear.validation_mape(&ops, &oracle),
-            100.0 * sublinear.validation_mape(&ops, &oracle)
-        );
+        let lin = 100.0 * linear.validation_mape(&ops, &oracle);
+        let sub = 100.0 * sublinear.validation_mape(&ops, &oracle);
+        println!("{:<14} {:>9.2}% {:>11.2}%", class.to_string(), lin, sub);
+        mape_rows.push(json_obj(vec![
+            ("class", Value::Str(class.to_string())),
+            ("linear_mape_pct", json_num(lin)),
+            ("sublinear_mape_pct", json_num(sub)),
+        ]));
     }
+    summary.put("calibration_mape", Value::Array(mape_rows));
 
     // End-to-end: 8-way tensor parallelism on P3, where shards are small.
     println!("\n8-way tensor parallelism on P3 (the small-operator regime):");
@@ -38,6 +45,7 @@ fn main() {
         "model", "linear err", "sublinear err"
     );
     let platform = Platform::p3();
+    let mut tp_rows = Vec::new();
     for model in [ModelId::ResNet50, ModelId::Vgg16, ModelId::BertBase] {
         let trace = Tracer::new(gpu).trace(&model.build(128));
         let truth = SimBuilder::new(&trace, &platform)
@@ -62,7 +70,13 @@ fn main() {
             errs[0],
             errs[1]
         );
+        tp_rows.push(json_obj(vec![
+            ("label", Value::Str(model.figure_label().to_string())),
+            ("linear_error_pct", json_num(errs[0])),
+            ("sublinear_error_pct", json_num(errs[1])),
+        ]));
     }
+    summary.put("tensor_parallel_8way", Value::Array(tp_rows));
     println!(
         "\nshape: sublinear features track the utilization ramp and cut the \
          per-operator calibration error on most classes. The end-to-end \
@@ -72,4 +86,5 @@ fn main() {
          compute model' lever addresses operator-time error specifically, \
          not framework overhead."
     );
+    summary.finish();
 }

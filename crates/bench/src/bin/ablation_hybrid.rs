@@ -7,13 +7,15 @@
 //! pipeline bubble; hybrid trades the two (shallower pipelines, smaller
 //! AllReduce groups).
 
+use serde::Value;
 use triosim::{Parallelism, Platform, SimBuilder};
-use triosim_bench::paper_trace;
+use triosim_bench::{json_num, json_obj, paper_trace, Summary};
 use triosim_modelzoo::ModelId;
 use triosim_trace::{GpuModel, LinkKind};
 
 fn main() {
     println!("== Ablation: hybrid DPxPP vs pure strategies ==");
+    let mut json_rows = Vec::new();
     for &gpus in &[8usize, 16] {
         // A ring interconnect makes communication structure matter.
         let platform = Platform::ring(GpuModel::A100, gpus, LinkKind::NvLink3, "ring");
@@ -21,7 +23,10 @@ fn main() {
             "\n{} GPUs (NVLink ring), per-replica batch = trace batch:",
             gpus
         );
-        println!("{:<12} {:<18} {:>12} {:>10} {:>9}", "model", "strategy", "total (ms)", "comm (ms)", "comm %");
+        println!(
+            "{:<12} {:<18} {:>12} {:>10} {:>9}",
+            "model", "strategy", "total (ms)", "comm (ms)", "comm %"
+        );
         for model in [ModelId::Gpt2, ModelId::Llama32_1B, ModelId::ResNet152] {
             let trace = paper_trace(model, GpuModel::A100);
             let tb = trace.batch();
@@ -34,7 +39,11 @@ fn main() {
                 rows.push((name, r.total_time_s(), r.comm_time_s()));
             };
             // Weak scaling: total work proportional to replica count.
-            run("DDP".into(), Parallelism::DataParallel { overlap: true }, tb * gpus as u64);
+            run(
+                "DDP".into(),
+                Parallelism::DataParallel { overlap: true },
+                tb * gpus as u64,
+            );
             let layer_count = triosim::summarize_layers(&trace).len();
             if layer_count >= gpus {
                 run(
@@ -53,7 +62,10 @@ fn main() {
             for dp_groups in [2usize, gpus / 2] {
                 run(
                     format!("HP {dp_groups}x{} (4ch)", gpus / dp_groups),
-                    Parallelism::Hybrid { dp_groups, chunks: 4 },
+                    Parallelism::Hybrid {
+                        dp_groups,
+                        chunks: 4,
+                    },
                     tb * dp_groups as u64,
                 );
             }
@@ -67,6 +79,14 @@ fn main() {
                     comm * 1e3,
                     100.0 * comm / total
                 );
+                json_rows.push(json_obj(vec![
+                    ("gpus", Value::UInt(gpus as u64)),
+                    ("label", Value::Str(model.figure_label().to_string())),
+                    ("strategy", Value::Str(name)),
+                    ("total_ms", json_num(total * 1e3)),
+                    ("comm_ms", json_num(comm * 1e3)),
+                    ("comm_pct", json_num(100.0 * comm / total)),
+                ]));
             }
         }
     }
@@ -76,4 +96,7 @@ fn main() {
          HP's shallower pipelines cut PP's bubble while its per-stage \
          AllReduce groups stay smaller than DDP's global ring."
     );
+    let mut summary = Summary::new("ablation_hybrid");
+    summary.put("rows", Value::Array(json_rows));
+    summary.finish();
 }

@@ -5,12 +5,14 @@
 //! (the reference oracle at batch 256). The paper reports average errors
 //! of 1.10% (A40) and 3.25% (A100).
 
+use serde::Value;
 use triosim::{estimate_memory, Parallelism, Platform};
-use triosim_bench::{paper_trace, print_table, Row};
+use triosim_bench::{paper_trace, print_table, Row, Summary};
 use triosim_modelzoo::ModelId;
 use triosim_trace::GpuModel;
 
 fn main() {
+    let mut summary = Summary::new("fig06");
     for gpu in [GpuModel::A40, GpuModel::A100] {
         let platform = Platform::pcie(gpu, 1, format!("single-{gpu}"));
         // The paper notes "other models are out of memory when the batch
@@ -21,13 +23,9 @@ fn main() {
             .into_iter()
             .filter(|&model| {
                 let trace = paper_trace(model, gpu);
-                let fits = estimate_memory(
-                    &trace,
-                    Parallelism::DataParallel { overlap: false },
-                    1,
-                    256,
-                )
-                .fits(gpu.spec().mem_capacity);
+                let fits =
+                    estimate_memory(&trace, Parallelism::DataParallel { overlap: false }, 1, 256)
+                        .fits(gpu.spec().mem_capacity);
                 if !fits {
                     skipped.push(model.figure_label());
                 }
@@ -49,13 +47,28 @@ fn main() {
             })
             .collect();
         if !skipped.is_empty() {
-            println!("
-out of memory at batch 256 on {gpu} (excluded, as in the paper): {skipped:?}");
+            println!(
+                "
+out of memory at batch 256 on {gpu} (excluded, as in the paper): {skipped:?}"
+            );
         }
         let avg = print_table(
             &format!("Figure 6: single {gpu}, trace@128 -> predict@256"),
             &rows,
         );
         println!("paper reports: 1.10% (A40) / 3.25% (A100); measured {avg:.2}%");
+        summary.table(&format!("{gpu}").to_lowercase(), &rows);
+        summary.put(
+            &format!("{gpu}_oom_excluded").to_lowercase(),
+            Value::Array(
+                skipped
+                    .iter()
+                    .map(|s| Value::Str((*s).to_string()))
+                    .collect(),
+            ),
+        );
     }
+    summary.num("paper_avg_error_pct_a40", 1.10);
+    summary.num("paper_avg_error_pct_a100", 3.25);
+    summary.finish();
 }

@@ -5,7 +5,7 @@
 //! The paper reports a 7.39% average error.
 
 use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_bench::{figure_models, trace_batch, validation_row, Row, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
@@ -24,4 +24,8 @@ fn main() {
         .collect();
     let avg = triosim_bench::print_table("Figure 7: standard DP on P1 (2x A40, PCIe)", &rows);
     println!("paper reports: 7.39% average error; measured {avg:.2}%");
+    let mut summary = Summary::new("fig07");
+    summary.table("p1_standard_dp", &rows);
+    summary.num("paper_avg_error_pct", 7.39);
+    summary.finish();
 }

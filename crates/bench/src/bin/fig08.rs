@@ -3,11 +3,13 @@
 //! DDP overlaps bucketed AllReduce with backward propagation. The paper
 //! reports 2.91% (P1) and 2.73% (P2) average errors.
 
+use serde::Value;
 use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_bench::{figure_models, json_num, trace_batch, validation_row, Row, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
+    let mut summary = Summary::new("fig08");
     for (platform, gpu, paper) in [
         (Platform::p1(), GpuModel::A40, 2.91),
         (Platform::p2(4), GpuModel::A100, 2.73),
@@ -34,5 +36,15 @@ fn main() {
             &rows,
         );
         println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+        summary.table(platform.name(), &rows);
+        summary.put(
+            &format!("{}_paper_avg_error_pct", platform.name()),
+            json_num(paper),
+        );
+        summary.put(
+            &format!("{}_gpus", platform.name()),
+            Value::UInt(platform.gpu_count() as u64),
+        );
     }
+    summary.finish();
 }

@@ -5,10 +5,11 @@
 //! (P2) average errors.
 
 use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_bench::{figure_models, json_num, trace_batch, validation_row, Row, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
+    let mut summary = Summary::new("fig09");
     for (platform, gpu, paper) in [
         (Platform::p1(), GpuModel::A40, 4.54),
         (Platform::p2(4), GpuModel::A100, 11.24),
@@ -35,5 +36,11 @@ fn main() {
             &rows,
         );
         println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+        summary.table(platform.name(), &rows);
+        summary.put(
+            &format!("{}_paper_avg_error_pct", platform.name()),
+            json_num(paper),
+        );
     }
+    summary.finish();
 }

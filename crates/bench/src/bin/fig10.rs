@@ -5,10 +5,11 @@
 //! chunks 1/2/4) and 5.14% / 8.96% / 8.18% (4 GPUs).
 
 use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, trace_batch, validation_row, Row};
+use triosim_bench::{figure_models, json_num, trace_batch, validation_row, Row, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
+    let mut summary = Summary::new("fig10");
     for gpus in [2usize, 4] {
         let platform = Platform::p2(gpus);
         for chunks in [1u64, 2, 4] {
@@ -37,6 +38,10 @@ fn main() {
                 _ => 8.18,
             };
             println!("paper reports: {paper:.2}% average error; measured {avg:.2}%");
+            let key = format!("gpipe_{gpus}gpu_{chunks}chunk");
+            summary.table(&key, &rows);
+            summary.put(&format!("{key}_paper_avg_error_pct"), json_num(paper));
         }
     }
+    summary.finish();
 }

@@ -6,8 +6,9 @@
 //! Case 1 averages of 9.09% (DP), 9.07% (TP), 5.65%/16.28% (PP 1/2
 //! chunks) and Case 2 averages of 6.69% / 9.09% / 4.20% / 13.76%.
 
+use serde::Value;
 use triosim::{Fidelity, Parallelism, Platform, SimBuilder};
-use triosim_bench::figure_models;
+use triosim_bench::{figure_models, json_num, json_obj, Summary};
 use triosim_modelzoo::ModelId;
 use triosim_trace::{GpuModel, Tracer};
 
@@ -27,8 +28,10 @@ fn main() {
         Parallelism::Pipeline { chunks: 2 },
     ];
 
+    let mut summary = Summary::new("fig11");
     for parallelism in parallelisms {
         println!("\n== Figure 11: {parallelism} on P3 (8x H100), BS256 ==");
+        let mut json_rows = Vec::new();
         println!(
             "{:<12} {:>10} {:>12} {:>12} {:>12}",
             "model", "truth(s)", "case1-A40%", "case1-A100%", "case2-H100%"
@@ -72,6 +75,13 @@ fn main() {
                 errors[1],
                 errors[2]
             );
+            json_rows.push(json_obj(vec![
+                ("label", Value::Str(model.figure_label().to_string())),
+                ("truth_s", json_num(truth)),
+                ("case1_a40_error_pct", json_num(errors[0])),
+                ("case1_a100_error_pct", json_num(errors[1])),
+                ("case2_h100_error_pct", json_num(errors[2])),
+            ]));
         }
         let n = models.len() as f64;
         println!(
@@ -82,6 +92,23 @@ fn main() {
             sums[1] / n,
             sums[2] / n
         );
+        let key: String = format!("{parallelism}")
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .trim_matches('_')
+            .to_string();
+        summary.put(
+            &key,
+            json_obj(vec![
+                ("rows", Value::Array(json_rows)),
+                ("avg_case1_a40_error_pct", json_num(sums[0] / n)),
+                ("avg_case1_a100_error_pct", json_num(sums[1] / n)),
+                ("avg_case2_h100_error_pct", json_num(sums[2] / n)),
+            ]),
+        );
     }
     println!("\n(case 1 = cross-GPU traces at BS128; case 2 = same-GPU trace at BS256)");
+    summary.finish();
 }

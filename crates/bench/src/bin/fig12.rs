@@ -5,8 +5,9 @@
 //! three parallelisms the same way the hardware (reference) does — the
 //! paper finds data parallelism always wins at constant total workload.
 
+use serde::Value;
 use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, paper_trace, predict_and_truth};
+use triosim_bench::{figure_models, json_num, json_obj, paper_trace, predict_and_truth, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
@@ -24,6 +25,7 @@ fn main() {
         "model", "DP-hw", "TP-hw", "PP-hw", "DP-sim", "TP-sim", "PP-sim", "hw-best", "sim-best"
     );
     let mut order_agreements = 0usize;
+    let mut json_rows = Vec::new();
     let models = figure_models("all");
     for &model in &models {
         let trace = paper_trace(model, GpuModel::A100);
@@ -60,10 +62,26 @@ fn main() {
             hw_best,
             sim_best
         );
+        json_rows.push(json_obj(vec![
+            ("label", Value::Str(model.figure_label().to_string())),
+            ("dp_hw_s", json_num(truth_times[0])),
+            ("tp_hw_s", json_num(truth_times[1])),
+            ("pp_hw_s", json_num(truth_times[2])),
+            ("dp_sim_s", json_num(pred_times[0])),
+            ("tp_sim_s", json_num(pred_times[1])),
+            ("pp_sim_s", json_num(pred_times[2])),
+            ("hw_best", Value::Str(hw_best.to_string())),
+            ("sim_best", Value::Str(sim_best.to_string())),
+        ]));
     }
     println!(
         "\nbest-strategy agreement: {order_agreements}/{} models",
         models.len()
     );
     println!("paper finds DP is always the most efficient at constant total workload");
+    let mut summary = Summary::new("fig12");
+    summary.put("rows", Value::Array(json_rows));
+    summary.int("best_strategy_agreement", order_agreements as u64);
+    summary.int("models", models.len() as u64);
+    summary.finish();
 }

@@ -4,8 +4,9 @@
 //! The paper's observation: the communication-time share is higher under
 //! tensor parallelism than under distributed data parallelism on P1.
 
+use serde::Value;
 use triosim::{Parallelism, Platform, SimBuilder};
-use triosim_bench::{figure_models, paper_trace, trace_batch};
+use triosim_bench::{figure_models, json_num, json_obj, paper_trace, trace_batch, Summary};
 use triosim_trace::GpuModel;
 
 fn main() {
@@ -16,6 +17,7 @@ fn main() {
         "model", "TP-comp(s)", "TP-comm(s)", "TP-comm%", "DDP-comp", "DDP-comm", "DDP-comm%"
     );
     let mut tp_higher = 0usize;
+    let mut json_rows = Vec::new();
     let models = figure_models("all");
     for &model in &models {
         let trace = paper_trace(model, GpuModel::A40);
@@ -40,10 +42,24 @@ fn main() {
             ddp.comm_time_s(),
             100.0 * ddp.comm_ratio(),
         );
+        json_rows.push(json_obj(vec![
+            ("label", Value::Str(model.figure_label().to_string())),
+            ("tp_compute_s", json_num(tp.compute_time_s())),
+            ("tp_comm_s", json_num(tp.comm_time_s())),
+            ("tp_comm_pct", json_num(100.0 * tp.comm_ratio())),
+            ("ddp_compute_s", json_num(ddp.compute_time_s())),
+            ("ddp_comm_s", json_num(ddp.comm_time_s())),
+            ("ddp_comm_pct", json_num(100.0 * ddp.comm_ratio())),
+        ]));
     }
     println!(
         "\nTP comm share exceeds DDP comm share on {tp_higher}/{} models \
          (paper: TP's communication ratio is higher than DP's on P1)",
         models.len()
     );
+    let mut summary = Summary::new("fig13");
+    summary.put("rows", Value::Array(json_rows));
+    summary.int("tp_comm_share_higher", tp_higher as u64);
+    summary.int("models", models.len() as u64);
+    summary.finish();
 }

@@ -5,8 +5,11 @@
 //! Criterion bench `end_to_end` in `benches/` measures the same quantity
 //! with statistical rigor.
 
+use serde::Value;
 use triosim::{Parallelism, Platform, SimBuilder};
-use triosim_bench::{figure_models, paper_trace, time_it, trace_batch};
+use triosim_bench::{
+    figure_models, json_num, json_obj, paper_trace, time_it, trace_batch, Summary,
+};
 use triosim_trace::GpuModel;
 
 fn main() {
@@ -17,6 +20,7 @@ fn main() {
         "model", "trace ops", "tasks", "sim time (s)"
     );
     let mut total = 0.0;
+    let mut json_rows = Vec::new();
     for model in figure_models("all") {
         let trace = paper_trace(model, GpuModel::A100);
         let batch = trace_batch(model) * 4;
@@ -34,7 +38,20 @@ fn main() {
             report.tasks_executed(),
             wall
         );
+        json_rows.push(json_obj(vec![
+            ("label", Value::Str(model.figure_label().to_string())),
+            ("trace_ops", Value::UInt(trace.entries().len() as u64)),
+            ("tasks", Value::UInt(report.tasks_executed() as u64)),
+            ("sim_wall_s", json_num(wall)),
+        ]));
     }
-    println!("\ntotal wall-clock for all {} simulations: {total:.2} s", figure_models("all").len());
+    println!(
+        "\ntotal wall-clock for all {} simulations: {total:.2} s",
+        figure_models("all").len()
+    );
     println!("paper claim: TrioSim completes simulations within seconds");
+    let mut summary = Summary::new("fig14");
+    summary.put("rows", Value::Array(json_rows));
+    summary.num("total_wall_s", total);
+    summary.finish();
 }

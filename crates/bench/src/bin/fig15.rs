@@ -6,8 +6,9 @@
 //! (92.21% of VGG-19's total time); the photonic network roughly halves
 //! communication time but does not remove the scalability wall.
 
+use serde::Value;
 use triosim::{CollectiveStyle, Parallelism, Platform, SimBuilder};
-use triosim_bench::{paper_trace, trace_batch};
+use triosim_bench::{json_num, json_obj, paper_trace, trace_batch, Summary};
 use triosim_network::{NodeId, PhotonicConfig, PhotonicNetwork, Topology};
 use triosim_trace::{GpuModel, LinkKind};
 
@@ -18,7 +19,11 @@ const GPUS: usize = W * H;
 /// Snake (boustrophedon) ordering: consecutive GPU ranks are mesh
 /// neighbours, so the ring AllReduce path stays on short mesh links.
 fn snake_node(x: usize, y: usize) -> NodeId {
-    let pos = if y % 2 == 0 { y * W + x } else { y * W + (W - 1 - x) };
+    let pos = if y.is_multiple_of(2) {
+        y * W + x
+    } else {
+        y * W + (W - 1 - x)
+    };
     NodeId(1 + pos)
 }
 
@@ -70,6 +75,7 @@ fn main() {
         "{:<12} {:>11} {:>11} {:>8}   {:>11} {:>11} {:>8}   {:>10}",
         "model", "elec-comp", "elec-comm", "comm%", "phot-comp", "phot-comm", "comm%", "comm-ratio"
     );
+    let mut json_rows = Vec::new();
     for model in triosim_bench::figure_models("wafer") {
         let trace = paper_trace(model, GpuModel::A100);
         let batch = trace_batch(model) * GPUS as u64;
@@ -108,9 +114,27 @@ fn main() {
             100.0 * photonic.comm_ratio(),
             electrical.comm_time_s() / photonic.comm_time_s().max(1e-12),
         );
+        json_rows.push(json_obj(vec![
+            ("label", Value::Str(model.figure_label().to_string())),
+            ("elec_compute_s", json_num(electrical.compute_time_s())),
+            ("elec_comm_s", json_num(electrical.comm_time_s())),
+            ("elec_comm_pct", json_num(100.0 * electrical.comm_ratio())),
+            ("phot_compute_s", json_num(photonic.compute_time_s())),
+            ("phot_comm_s", json_num(photonic.comm_time_s())),
+            ("phot_comm_pct", json_num(100.0 * photonic.comm_ratio())),
+            (
+                "comm_speedup",
+                json_num(electrical.comm_time_s() / photonic.comm_time_s().max(1e-12)),
+            ),
+        ]));
     }
     println!(
         "\npaper: communication dominates on the electrical mesh (VGG-19: 92.21%); \
          the photonic network cuts communication time roughly in half"
     );
+    let mut summary = Summary::new("fig15");
+    summary.int("gpus", GPUS as u64);
+    summary.int("iterations", ITERATIONS as u64);
+    summary.put("rows", Value::Array(json_rows));
+    summary.finish();
 }

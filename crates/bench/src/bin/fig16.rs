@@ -9,8 +9,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Value;
 use triosim::{HopConfig, HopGraph, HopSimulator};
-use triosim_bench::{arg_u64, paper_trace};
+use triosim_bench::{arg_u64, json_num, json_obj, paper_trace, Summary};
 use triosim_modelzoo::ModelId;
 use triosim_trace::{GpuModel, Phase};
 
@@ -21,8 +22,7 @@ fn main() {
     // VGG-11 @128 on A100: compute time from the single-GPU trace, update
     // volume = the model's parameters (as in the Hop paper's setup).
     let trace = paper_trace(ModelId::Vgg11, GpuModel::A100);
-    let compute_time_s =
-        trace.phase_time_s(Phase::Forward) + trace.phase_time_s(Phase::Backward);
+    let compute_time_s = trace.phase_time_s(Phase::Forward) + trace.phase_time_s(Phase::Backward);
     let update_bytes = trace.gradient_bytes();
 
     let config = |backup: usize| HopConfig {
@@ -46,6 +46,7 @@ fn main() {
     );
     let mut ring_speedups = Vec::new();
     let mut double_speedups = Vec::new();
+    let mut json_rows = Vec::new();
     for group in 0..8u64 {
         // One random slowdown scenario per group: each directed link gets
         // a factor drawn uniformly from [1, 10].
@@ -68,6 +69,11 @@ fn main() {
         ring_speedups.push(ring);
         double_speedups.push(double);
         println!("{:<8} {:>15.3}x {:>17.3}x", group + 1, ring, double);
+        json_rows.push(json_obj(vec![
+            ("group", Value::UInt(group + 1)),
+            ("ring_speedup", json_num(ring)),
+            ("double_ring_speedup", json_num(double)),
+        ]));
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
@@ -80,4 +86,11 @@ fn main() {
         "\npaper: the backup worker's effect varies greatly with the slowdown \
          scenario, demonstrating heterogeneity-aware simulation"
     );
+    let mut summary = Summary::new("fig16");
+    summary.int("seed", seed);
+    summary.int("workers", workers as u64);
+    summary.put("rows", Value::Array(json_rows));
+    summary.num("avg_ring_speedup", avg(&ring_speedups));
+    summary.num("avg_double_ring_speedup", avg(&double_speedups));
+    summary.finish();
 }

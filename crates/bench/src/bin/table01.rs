@@ -2,16 +2,68 @@
 //! modeling tools (qualitative — reproduced verbatim from the paper for
 //! completeness of the experiment index).
 
+use serde::Value;
+use triosim_bench::{json_obj, Summary};
+
 fn main() {
     let rows = [
-        ("Feature", "Li's Model", "AstraSim", "DistSim", "vTrain", "TrioSim (this work)"),
-        ("Target workload", "DNN inference", "DNN training", "DNN training", "Transformer training", "DNN training"),
-        ("Parallelism", "not supported", "DP, TP, PP", "DP, TP, PP, HP", "DP, TP, PP, HP", "DP, TP, PP"),
-        ("Network", "not supported", "symmetrical", "profile-based", "profile-based", "flexible"),
-        ("Trace requirement", "single-GPU", "multi-GPU", "multi-node", "multi-node", "single-GPU"),
-        ("Performance model", "analytical", "cycle-level sim", "analytical", "analytical", "hybrid analytical & simulation"),
+        (
+            "Feature",
+            "Li's Model",
+            "AstraSim",
+            "DistSim",
+            "vTrain",
+            "TrioSim (this work)",
+        ),
+        (
+            "Target workload",
+            "DNN inference",
+            "DNN training",
+            "DNN training",
+            "Transformer training",
+            "DNN training",
+        ),
+        (
+            "Parallelism",
+            "not supported",
+            "DP, TP, PP",
+            "DP, TP, PP, HP",
+            "DP, TP, PP, HP",
+            "DP, TP, PP",
+        ),
+        (
+            "Network",
+            "not supported",
+            "symmetrical",
+            "profile-based",
+            "profile-based",
+            "flexible",
+        ),
+        (
+            "Trace requirement",
+            "single-GPU",
+            "multi-GPU",
+            "multi-node",
+            "multi-node",
+            "single-GPU",
+        ),
+        (
+            "Performance model",
+            "analytical",
+            "cycle-level sim",
+            "analytical",
+            "analytical",
+            "hybrid analytical & simulation",
+        ),
         ("Support new GPU", "yes", "no", "no", "no", "via Li's Model"),
-        ("Claimed error", "7% (single GPU)", "N/A", "<4% (multi-GPU)", "8.37% (single node)", "2.91% DP / 4.54% TP / 6.82% PP"),
+        (
+            "Claimed error",
+            "7% (single GPU)",
+            "N/A",
+            "<4% (multi-GPU)",
+            "8.37% (single node)",
+            "2.91% DP / 4.54% TP / 6.82% PP",
+        ),
     ];
     println!("== Table 1: comparison with similar performance modeling tools ==");
     for (a, b, c, d, e, f) in rows {
@@ -21,4 +73,24 @@ fn main() {
         "\nReproduction note: run `fig06`..`fig16` to regenerate this build's \
          measured errors for the TrioSim column."
     );
+    let mut summary = Summary::new("table01");
+    let (header, body) = rows.split_first().expect("table has a header row");
+    summary.put(
+        "rows",
+        Value::Array(
+            body.iter()
+                .map(|(feature, lis, astra, dist, vtrain, trio)| {
+                    json_obj(vec![
+                        (header.0, Value::Str((*feature).to_string())),
+                        (header.1, Value::Str((*lis).to_string())),
+                        (header.2, Value::Str((*astra).to_string())),
+                        (header.3, Value::Str((*dist).to_string())),
+                        (header.4, Value::Str((*vtrain).to_string())),
+                        (header.5, Value::Str((*trio).to_string())),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    summary.finish();
 }

@@ -11,8 +11,10 @@
 //! Everything is seeded and deterministic; binaries accept
 //! `--seed <n>` where randomness is involved (Figure 16).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use serde::Value;
 use triosim::{Fidelity, Parallelism, Platform, SimBuilder, SimReport};
 use triosim_modelzoo::ModelId;
 use triosim_trace::{GpuModel, Trace, Tracer};
@@ -60,6 +62,127 @@ pub fn print_table(title: &str, rows: &[Row]) -> f64 {
     println!("{:<12} {:>14} {:>14} {:>8.2}%", "average", "", "", avg);
     println!("(*hardware = high-fidelity reference simulation; see DESIGN.md)");
     avg
+}
+
+/// Builds a JSON object from `(key, value)` pairs, preserving field order.
+pub fn json_obj<K: Into<String>>(fields: Vec<(K, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// A JSON number, with non-finite floats downgraded to `null` (JSON has
+/// no NaN/infinity and the serializer rejects them).
+pub fn json_num(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Float(v)
+    } else {
+        Value::Null
+    }
+}
+
+/// Machine-readable companion to a figure binary's printed output.
+///
+/// Accumulates the same numbers the binary prints — validation tables,
+/// average errors, case-study totals — and writes them as
+/// `results/<name>.json` so downstream tooling (plot scripts, regression
+/// diffs) can consume runs without scraping stdout.
+#[derive(Debug)]
+pub struct Summary {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Summary {
+    /// Starts a summary named after the binary (e.g. `"fig06"`).
+    pub fn new(name: &str) -> Self {
+        Summary {
+            name: name.to_string(),
+            fields: vec![("figure".to_string(), Value::Str(name.to_string()))],
+        }
+    }
+
+    /// Records an arbitrary JSON value under `key`.
+    pub fn put(&mut self, key: &str, value: Value) {
+        self.fields.push((key.to_string(), value));
+    }
+
+    /// Records a floating-point number (non-finite becomes `null`).
+    pub fn num(&mut self, key: &str, v: f64) {
+        self.put(key, json_num(v));
+    }
+
+    /// Records an integer.
+    pub fn int(&mut self, key: &str, v: u64) {
+        self.put(key, Value::UInt(v));
+    }
+
+    /// Records a string.
+    pub fn text(&mut self, key: &str, v: &str) {
+        self.put(key, Value::Str(v.to_string()));
+    }
+
+    /// Records a validation table as
+    /// `{rows: [{label, truth_s, pred_s, error_pct}], avg_error_pct}` —
+    /// the JSON twin of [`print_table`].
+    pub fn table(&mut self, key: &str, rows: &[Row]) {
+        let json_rows = rows
+            .iter()
+            .map(|r| {
+                json_obj(vec![
+                    ("label", Value::Str(r.label.clone())),
+                    ("truth_s", json_num(r.truth_s)),
+                    ("pred_s", json_num(r.pred_s)),
+                    ("error_pct", json_num(r.error_pct())),
+                ])
+            })
+            .collect();
+        self.put(
+            key,
+            json_obj(vec![
+                ("rows", Value::Array(json_rows)),
+                ("avg_error_pct", json_num(average_error_pct(rows))),
+            ]),
+        );
+    }
+
+    /// The summary as a compact JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&Value::Object(self.fields.clone()))
+            .expect("summary values are pre-sanitized to finite numbers")
+    }
+
+    /// Writes `results/<name>.json` (creating `results/` if needed) and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or
+    /// writing the file.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to(&PathBuf::from("results"))
+    }
+
+    /// Writes `<dir>/<name>.json` (creating `dir` if needed) and returns
+    /// the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or
+    /// writing the file.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes the summary and prints its path; a filesystem refusal is a
+    /// warning, not a failure (the printed table is the primary output).
+    pub fn finish(self) {
+        match self.write() {
+            Ok(path) => println!("\nsummary: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write summary for {}: {e}", self.name),
+        }
+    }
 }
 
 /// Average error percentage across rows.
@@ -210,6 +333,53 @@ mod tests {
             },
         ];
         assert!((average_error_pct(&rows) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_serializes_tables_and_scalars() {
+        let mut s = Summary::new("figtest");
+        s.table(
+            "p1",
+            &[Row {
+                label: "resnet18".into(),
+                truth_s: 2.0,
+                pred_s: 2.2,
+            }],
+        );
+        s.num("paper_avg_error_pct", 7.39);
+        s.int("gpus", 4);
+        s.text("platform", "p2");
+        let json = s.to_json();
+        assert!(json.starts_with(r#"{"figure":"figtest""#));
+        assert!(json.contains(r#""label":"resnet18""#));
+        assert!(json.contains(r#""avg_error_pct":"#));
+        assert!(json.contains(r#""gpus":4"#));
+        // Round-trips through the parser.
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("platform"), Some(&Value::Str("p2".into())));
+    }
+
+    #[test]
+    fn summary_downgrades_non_finite_to_null() {
+        let mut s = Summary::new("nan");
+        s.num("bad", f64::NAN);
+        s.num("worse", f64::INFINITY);
+        let json = s.to_json();
+        assert!(json.contains(r#""bad":null"#));
+        assert!(json.contains(r#""worse":null"#));
+    }
+
+    #[test]
+    fn summary_writes_into_results_dir() {
+        let dir = std::env::temp_dir().join("triosim-summary-test/results");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Summary::new("smoke");
+        s.int("x", 1);
+        let path = s.write_to(&dir).unwrap();
+        assert_eq!(path, dir.join("smoke.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""x":1"#));
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }
 
     #[test]

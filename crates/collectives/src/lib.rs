@@ -39,7 +39,7 @@ mod schedule;
 
 pub use bucket::{Bucket, GradientBucketizer};
 pub use schedule::{
-    all_to_all, halving_doubling_all_reduce, point_to_point, ring_all_gather,
-    ring_all_reduce, ring_all_reduce_unsegmented, ring_broadcast, ring_reduce_scatter,
-    tree_all_reduce, CollectiveKind, CollectiveSchedule, CommTask, Rank,
+    all_to_all, halving_doubling_all_reduce, point_to_point, ring_all_gather, ring_all_reduce,
+    ring_all_reduce_unsegmented, ring_broadcast, ring_reduce_scatter, tree_all_reduce,
+    CollectiveKind, CollectiveSchedule, CommTask, Rank,
 };

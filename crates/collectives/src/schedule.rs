@@ -47,6 +47,27 @@ pub enum CollectiveKind {
     PointToPoint,
 }
 
+impl CollectiveKind {
+    /// Stable lower-case name, used as a metric label and span tag by
+    /// the observability layer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "allreduce",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::AllGather => "allgather",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::AllToAll => "alltoall",
+            CollectiveKind::PointToPoint => "p2p",
+        }
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A stepped schedule of point-to-point transfers implementing one
 /// collective.
 ///
@@ -61,7 +82,12 @@ pub struct CollectiveSchedule {
 }
 
 impl CollectiveSchedule {
-    fn new(kind: CollectiveKind, ranks: usize, payload_bytes: u64, steps: Vec<Vec<CommTask>>) -> Self {
+    fn new(
+        kind: CollectiveKind,
+        ranks: usize,
+        payload_bytes: u64,
+        steps: Vec<Vec<CommTask>>,
+    ) -> Self {
         CollectiveSchedule {
             kind,
             ranks,
@@ -232,7 +258,10 @@ pub fn tree_all_reduce(ranks: usize, bytes: u64) -> CollectiveSchedule {
 /// Panics if `ranks` is not a power of two >= 2 or `bytes == 0`.
 pub fn halving_doubling_all_reduce(ranks: usize, bytes: u64) -> CollectiveSchedule {
     check_group(ranks);
-    assert!(ranks.is_power_of_two(), "halving-doubling needs a power-of-two group");
+    assert!(
+        ranks.is_power_of_two(),
+        "halving-doubling needs a power-of-two group"
+    );
     assert!(bytes > 0, "empty AllReduce payload");
     let levels = ranks.trailing_zeros() as usize;
     let mut steps: Vec<Vec<CommTask>> = Vec::new();
@@ -520,5 +549,12 @@ mod tests {
         assert_eq!(s.ranks(), 2);
         assert_eq!(s.payload_bytes(), 100);
         assert_eq!(format!("{}", Rank(2)), "rank2");
+    }
+
+    #[test]
+    fn kind_names_are_stable_labels() {
+        assert_eq!(CollectiveKind::AllReduce.name(), "allreduce");
+        assert_eq!(CollectiveKind::ReduceScatter.name(), "reduce_scatter");
+        assert_eq!(format!("{}", CollectiveKind::AllToAll), "alltoall");
     }
 }

@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use triosim_collectives::{
-    halving_doubling_all_reduce, ring_all_reduce, ring_all_reduce_unsegmented,
-    tree_all_reduce, CollectiveSchedule, Rank,
+    halving_doubling_all_reduce, ring_all_reduce, ring_all_reduce_unsegmented, tree_all_reduce,
+    CollectiveSchedule, Rank,
 };
 
 /// Runs knowledge propagation over a schedule and returns per-rank

@@ -16,6 +16,7 @@
 
 use std::any::Any;
 use std::fmt;
+use std::time::Instant;
 
 use crate::queue::EventQueue;
 use crate::time::{TimeSpan, VirtualTime};
@@ -54,7 +55,9 @@ pub struct EngineCtx<'a> {
 
 impl fmt::Debug for EngineCtx<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EngineCtx").field("now", &self.now()).finish()
+        f.debug_struct("EngineCtx")
+            .field("now", &self.now())
+            .finish()
     }
 }
 
@@ -95,6 +98,26 @@ struct Envelope {
     payload: Box<dyn Any>,
 }
 
+/// Per-handler dispatch accounting — the engine-level slice of the
+/// AkitaRTM-style monitoring story.
+///
+/// Dispatch counts are always maintained (one integer increment per
+/// event). Wall-clock attribution is opt-in via
+/// [`Engine::set_profiling`], because reading the host clock per event
+/// is not free and wall-clock values are inherently non-deterministic;
+/// they belong only in clearly-marked profile output, never in
+/// deterministic artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerStats {
+    /// The handler's registered name (defaults to its type name).
+    pub name: String,
+    /// Events dispatched to this handler.
+    pub dispatches: u64,
+    /// Wall-clock seconds spent inside this handler's `handle` calls.
+    /// Zero unless profiling is enabled.
+    pub busy_s: f64,
+}
+
 /// A component-oriented event-driven simulation engine.
 ///
 /// # Example
@@ -124,6 +147,8 @@ struct Envelope {
 pub struct Engine {
     queue: EventQueue<Envelope>,
     handlers: Vec<Option<Box<dyn Handler>>>,
+    stats: Vec<HandlerStats>,
+    profiling: bool,
 }
 
 impl Default for Engine {
@@ -138,14 +163,52 @@ impl Engine {
         Engine {
             queue: EventQueue::new(),
             handlers: Vec::new(),
+            stats: Vec::new(),
+            profiling: false,
         }
     }
 
-    /// Registers a component and returns its id.
+    /// Registers a component and returns its id. The handler's stats
+    /// entry is named after its type; use
+    /// [`register_named`](Engine::register_named) for explicit names.
     pub fn register<H: Handler + 'static>(&mut self, handler: H) -> HandlerId {
+        let full = std::any::type_name::<H>();
+        let short = full.rsplit("::").next().unwrap_or(full).to_string();
+        self.register_named(short, handler)
+    }
+
+    /// Registers a component under an explicit stats name.
+    pub fn register_named<H: Handler + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        handler: H,
+    ) -> HandlerId {
         let id = HandlerId(self.handlers.len());
         self.handlers.push(Some(Box::new(handler)));
+        self.stats.push(HandlerStats {
+            name: name.into(),
+            dispatches: 0,
+            busy_s: 0.0,
+        });
         id
+    }
+
+    /// Enables or disables wall-clock attribution per handler. Off by
+    /// default: reading the host clock on every dispatch costs time, and
+    /// the resulting values are non-deterministic (profile-only data).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether wall-clock attribution is currently enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Dispatch accounting for every registered handler, indexed by
+    /// [`HandlerId`] registration order.
+    pub fn handler_stats(&self) -> &[HandlerStats] {
+        &self.stats
     }
 
     /// Current virtual time.
@@ -174,12 +237,17 @@ impl Engine {
             .get_mut(to.0)
             .ok_or(EngineError::UnknownHandler(to))?;
         let mut handler = slot.take().ok_or(EngineError::UnknownHandler(to))?;
+        self.stats[to.0].dispatches += 1;
+        let started = self.profiling.then(Instant::now);
         handler.handle(
             &mut EngineCtx {
                 queue: &mut self.queue,
             },
             payload,
         );
+        if let Some(t0) = started {
+            self.stats[to.0].busy_s += t0.elapsed().as_secs_f64();
+        }
         self.handlers[to.0] = Some(handler);
         Ok(true)
     }
@@ -236,15 +304,8 @@ mod tests {
     #[test]
     fn unknown_handler_is_an_error() {
         let mut engine = Engine::new();
-        engine.schedule(
-            HandlerId(7),
-            VirtualTime::from_seconds(1.0),
-            Box::new(()),
-        );
-        assert_eq!(
-            engine.run(),
-            Err(EngineError::UnknownHandler(HandlerId(7)))
-        );
+        engine.schedule(HandlerId(7), VirtualTime::from_seconds(1.0), Box::new(()));
+        assert_eq!(engine.run(), Err(EngineError::UnknownHandler(HandlerId(7))));
     }
 
     #[test]
@@ -277,5 +338,54 @@ mod tests {
     fn error_display_is_meaningful() {
         let err = EngineError::UnknownHandler(HandlerId(3));
         assert!(err.to_string().contains("unregistered handler"));
+    }
+
+    #[test]
+    fn dispatch_counts_attribute_per_handler() {
+        let mut engine = Engine::new();
+        let sink = engine.register(Echo {
+            seen: vec![],
+            forward_to: None,
+        });
+        let relay = engine.register_named(
+            "relay",
+            Echo {
+                seen: vec![],
+                forward_to: Some(sink),
+            },
+        );
+        for i in 0..3 {
+            engine.schedule(
+                relay,
+                VirtualTime::from_seconds(1.0 + i as f64),
+                Box::new(format!("m{i}")),
+            );
+        }
+        engine.run().unwrap();
+        let stats = engine.handler_stats();
+        assert_eq!(stats[relay.0].name, "relay");
+        assert_eq!(stats[sink.0].name, "Echo", "defaults to the type name");
+        assert_eq!(stats[0].dispatches, 3, "sink got every forwarded event");
+        assert_eq!(stats[1].dispatches, 3);
+        assert_eq!(stats[0].busy_s, 0.0, "profiling is off by default");
+    }
+
+    #[test]
+    fn profiling_attributes_wall_clock() {
+        struct Sleeper;
+        impl Handler for Sleeper {
+            fn handle(&mut self, _: &mut EngineCtx<'_>, _: Box<dyn Any>) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let mut engine = Engine::new();
+        let id = engine.register_named("sleeper", Sleeper);
+        engine.set_profiling(true);
+        assert!(engine.profiling());
+        engine.schedule(id, VirtualTime::from_seconds(1.0), Box::new(()));
+        engine.run().unwrap();
+        let s = &engine.handler_stats()[0];
+        assert_eq!(s.dispatches, 1);
+        assert!(s.busy_s >= 1e-3, "wall-clock attributed: {}", s.busy_s);
     }
 }

@@ -59,7 +59,7 @@ mod stats;
 mod ticker;
 mod time;
 
-pub use engine::{Engine, EngineCtx, EngineError, Handler, HandlerId};
+pub use engine::{Engine, EngineCtx, EngineError, Handler, HandlerId, HandlerStats};
 pub use queue::{EventId, EventQueue};
 pub use stats::QueueStats;
 pub use ticker::{tick_while, Ticker};

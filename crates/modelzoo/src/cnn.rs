@@ -100,7 +100,14 @@ pub fn resnet(variant: ResNetVariant, batch: u64) -> ModelGraph {
             let mut ops = Vec::new();
 
             if variant.bottleneck() {
-                let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, planes, 1, in_size, in_size);
+                let c1 = Operator::conv2d(
+                    format!("{prefix}.conv1"),
+                    &in_shape,
+                    planes,
+                    1,
+                    in_size,
+                    in_size,
+                );
                 let s1 = c1.output.clone();
                 ops.push(c1);
                 ops.push(Operator::batch_norm(format!("{prefix}.bn1"), &s1));
@@ -115,7 +122,8 @@ pub fn resnet(variant: ResNetVariant, batch: u64) -> ModelGraph {
                 ops.push(c3);
                 ops.push(Operator::batch_norm(format!("{prefix}.bn3"), &s3));
             } else {
-                let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, planes, 3, size, size);
+                let c1 =
+                    Operator::conv2d(format!("{prefix}.conv1"), &in_shape, planes, 3, size, size);
                 let s1 = c1.output.clone();
                 ops.push(c1);
                 ops.push(Operator::batch_norm(format!("{prefix}.bn1"), &s1));
@@ -137,10 +145,16 @@ pub fn resnet(variant: ResNetVariant, batch: u64) -> ModelGraph {
                     size,
                 );
                 ops.push(ds);
-                ops.push(Operator::batch_norm(format!("{prefix}.downsample_bn"), &out_shape));
+                ops.push(Operator::batch_norm(
+                    format!("{prefix}.downsample_bn"),
+                    &out_shape,
+                ));
             }
             ops.push(Operator::elementwise(format!("{prefix}.add"), &out_shape));
-            ops.push(Operator::activation(format!("{prefix}.relu_out"), &out_shape));
+            ops.push(Operator::activation(
+                format!("{prefix}.relu_out"),
+                &out_shape,
+            ));
 
             b.push(Layer::new(prefix, LayerKind::Conv, ops));
             in_ch = out_ch;
@@ -243,7 +257,8 @@ pub fn densenet(variant: DenseNetVariant, batch: u64) -> ModelGraph {
             let prefix = format!("transition{}", bi + 1);
             let in_shape = TensorShape::from([n, channels, size, size]);
             channels /= 2;
-            let conv = Operator::conv2d(format!("{prefix}.conv"), &in_shape, channels, 1, size, size);
+            let conv =
+                Operator::conv2d(format!("{prefix}.conv"), &in_shape, channels, 1, size, size);
             let mid = conv.output.clone();
             size /= 2;
             let pool = Operator::pool(format!("{prefix}.pool"), &mid, 2, size, size);
@@ -292,7 +307,9 @@ impl VggVariant {
     fn plan(self) -> &'static [u64] {
         match self {
             VggVariant::V11 => &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
-            VggVariant::V13 => &[64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+            VggVariant::V13 => &[
+                64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0,
+            ],
             VggVariant::V16 => &[
                 64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
             ],
@@ -357,7 +374,10 @@ pub fn vgg(variant: VggVariant, batch: u64) -> ModelGraph {
         LayerKind::Linear,
         vec![fc2, Operator::activation("classifier.relu2", &a2)],
     ));
-    b.push_op(LayerKind::Linear, Operator::linear("classifier.6", n, 4096, 1000));
+    b.push_op(
+        LayerKind::Linear,
+        Operator::linear("classifier.6", n, 4096, 1000),
+    );
     b.push_op(LayerKind::Loss, Operator::loss("cross_entropy", n, 1000));
     b.build()
 }

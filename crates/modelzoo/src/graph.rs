@@ -36,7 +36,10 @@ impl LayerKind {
     pub const fn tp_splittable(self) -> bool {
         matches!(
             self,
-            LayerKind::Conv | LayerKind::Linear | LayerKind::Embedding | LayerKind::TransformerBlock
+            LayerKind::Conv
+                | LayerKind::Linear
+                | LayerKind::Embedding
+                | LayerKind::TransformerBlock
         )
     }
 }
@@ -61,7 +64,10 @@ impl Layer {
     ///
     /// Panics if `ops` is empty.
     pub fn new(name: impl Into<String>, kind: LayerKind, ops: Vec<Operator>) -> Self {
-        assert!(!ops.is_empty(), "a layer must contain at least one operator");
+        assert!(
+            !ops.is_empty(),
+            "a layer must contain at least one operator"
+        );
         let output = ops.last().expect("non-empty").output.clone();
         Layer {
             name: name.into(),
@@ -281,7 +287,12 @@ mod tests {
     #[test]
     fn aggregates_sum_over_layers() {
         let m = tiny_model(4);
-        let manual_flops: f64 = m.layers().iter().flat_map(|l| &l.ops).map(|o| o.flops).sum();
+        let manual_flops: f64 = m
+            .layers()
+            .iter()
+            .flat_map(|l| &l.ops)
+            .map(|o| o.flops)
+            .sum();
         assert_eq!(m.total_flops(), manual_flops);
         assert!(m.param_bytes() > 0);
     }

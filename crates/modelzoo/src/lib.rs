@@ -40,7 +40,9 @@ mod zoo;
 pub use cnn::{densenet, resnet, vgg, DenseNetVariant, ResNetVariant, VggVariant};
 pub use graph::{GraphBuilder, Layer, LayerKind, ModelGraph};
 pub use op::{OpClass, Operator};
-pub use transformer::{bert_base, flan_t5_small, gpt2, llama_3_2_1b, t5_small, transformer, TransformerConfig};
 pub use shapes::{DType, TensorShape};
 pub use synthetic::{random_cnn, random_transformer};
+pub use transformer::{
+    bert_base, flan_t5_small, gpt2, llama_3_2_1b, t5_small, transformer, TransformerConfig,
+};
 pub use zoo::ModelId;

@@ -238,7 +238,13 @@ impl Operator {
 
     /// Max or average pooling with a `kernel x kernel` window producing
     /// the given output spatial size.
-    pub fn pool(name: impl Into<String>, input: &TensorShape, kernel: u64, h_out: u64, w_out: u64) -> Self {
+    pub fn pool(
+        name: impl Into<String>,
+        input: &TensorShape,
+        kernel: u64,
+        h_out: u64,
+        w_out: u64,
+    ) -> Self {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "pool input must be NCHW");
         let output = TensorShape::from([dims[0], dims[1], h_out, w_out]);
@@ -331,7 +337,10 @@ impl Operator {
     ///
     /// Panics if `old_batch` or `new_batch` is zero.
     pub fn with_batch_scaled(&self, old_batch: u64, new_batch: u64) -> Operator {
-        assert!(old_batch > 0 && new_batch > 0, "batch sizes must be positive");
+        assert!(
+            old_batch > 0 && new_batch > 0,
+            "batch sizes must be positive"
+        );
         if old_batch == new_batch || self.class == OpClass::Optimizer {
             return self.clone();
         }
@@ -344,9 +353,9 @@ impl Operator {
             bytes_in: scale_bytes(self.bytes_in),
             bytes_out: scale_bytes(self.bytes_out),
             weight_bytes: self.weight_bytes,
-            output: self.output.with_batch(
-                ((self.output.batch() as f64) * ratio).round().max(1.0) as u64,
-            ),
+            output: self
+                .output
+                .with_batch(((self.output.batch() as f64) * ratio).round().max(1.0) as u64),
         }
     }
 }

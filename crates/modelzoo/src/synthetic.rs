@@ -93,7 +93,14 @@ pub fn random_cnn(seed: u64, batch: u64) -> ModelGraph {
             let in_shape = b.current().clone();
             let in_ch = in_shape.dims()[1];
             let kernel = *rng.pick(&[1u64, 3]);
-            let c1 = Operator::conv2d(format!("{prefix}.conv1"), &in_shape, channels, kernel, size, size);
+            let c1 = Operator::conv2d(
+                format!("{prefix}.conv1"),
+                &in_shape,
+                channels,
+                kernel,
+                size,
+                size,
+            );
             let s1 = c1.output.clone();
             let c2 = Operator::conv2d(format!("{prefix}.conv2"), &s1, channels, 3, size, size);
             let s2 = c2.output.clone();
@@ -125,7 +132,10 @@ pub fn random_cnn(seed: u64, batch: u64) -> ModelGraph {
     let gap = Operator::pool("head.gap", &shape, size, 1, 1);
     b.push_op(LayerKind::Pool, gap);
     let classes = *rng.pick(&[10u64, 100, 1000]);
-    b.push_op(LayerKind::Linear, Operator::linear("head.fc", n, channels, classes));
+    b.push_op(
+        LayerKind::Linear,
+        Operator::linear("head.fc", n, channels, classes),
+    );
     b.push_op(LayerKind::Loss, Operator::loss("head.loss", n, classes));
     b.build()
 }
@@ -146,7 +156,11 @@ pub fn random_transformer(seed: u64, batch: u64) -> ModelGraph {
     let mut rng = Rng::new(seed ^ 0x5EED);
     let d_model = *rng.pick(&[256u64, 512, 768, 1024, 2048]);
     let heads = *rng.pick(&[4u64, 8, 16]);
-    let kv_heads = if rng.range(0, 1) == 1 { heads } else { heads / 2 };
+    let kv_heads = if rng.range(0, 1) == 1 {
+        heads
+    } else {
+        heads / 2
+    };
     let gated = rng.range(0, 1) == 1;
     let cfg = TransformerConfig {
         name: format!("synthetic-tf-{seed}"),

@@ -187,7 +187,10 @@ pub fn transformer(cfg: &TransformerConfig, batch: u64) -> ModelGraph {
     }
     head_ops.push(lm_head);
     b.push(Layer::new("lm_head", LayerKind::Linear, head_ops));
-    b.push_op(LayerKind::Loss, Operator::loss("cross_entropy", n * s, cfg.vocab));
+    b.push_op(
+        LayerKind::Loss,
+        Operator::loss("cross_entropy", n * s, cfg.vocab),
+    );
     b.build()
 }
 
@@ -203,16 +206,47 @@ fn attention_block(cfg: &TransformerConfig, n: u64, prefix: &str, cross_attentio
     let mut ops = Vec::new();
 
     let push_attention = |ops: &mut Vec<Operator>, tag: &str| {
-        ops.push(Operator::layer_norm(format!("{prefix}.{tag}.norm"), &hidden));
+        ops.push(Operator::layer_norm(
+            format!("{prefix}.{tag}.norm"),
+            &hidden,
+        ));
         ops.push(Operator::linear(format!("{prefix}.{tag}.q"), n * s, d, d));
-        ops.push(Operator::linear(format!("{prefix}.{tag}.k"), n * s, d, kv_out));
-        ops.push(Operator::linear(format!("{prefix}.{tag}.v"), n * s, d, kv_out));
+        ops.push(Operator::linear(
+            format!("{prefix}.{tag}.k"),
+            n * s,
+            d,
+            kv_out,
+        ));
+        ops.push(Operator::linear(
+            format!("{prefix}.{tag}.v"),
+            n * s,
+            d,
+            kv_out,
+        ));
         // Scores: per query head, [s, hd] x [hd, s].
-        ops.push(Operator::matmul(format!("{prefix}.{tag}.qk"), n * h, s, hd, s));
-        ops.push(Operator::softmax(format!("{prefix}.{tag}.softmax"), &scores));
-        ops.push(Operator::matmul(format!("{prefix}.{tag}.ctx"), n * h, s, s, hd));
+        ops.push(Operator::matmul(
+            format!("{prefix}.{tag}.qk"),
+            n * h,
+            s,
+            hd,
+            s,
+        ));
+        ops.push(Operator::softmax(
+            format!("{prefix}.{tag}.softmax"),
+            &scores,
+        ));
+        ops.push(Operator::matmul(
+            format!("{prefix}.{tag}.ctx"),
+            n * h,
+            s,
+            s,
+            hd,
+        ));
         ops.push(Operator::linear(format!("{prefix}.{tag}.o"), n * s, d, d));
-        ops.push(Operator::elementwise(format!("{prefix}.{tag}.residual"), &hidden));
+        ops.push(Operator::elementwise(
+            format!("{prefix}.{tag}.residual"),
+            &hidden,
+        ));
     };
 
     push_attention(&mut ops, "self_attn");
@@ -223,19 +257,50 @@ fn attention_block(cfg: &TransformerConfig, n: u64, prefix: &str, cross_attentio
     // MLP.
     ops.push(Operator::layer_norm(format!("{prefix}.mlp.norm"), &hidden));
     if cfg.gated_mlp {
-        ops.push(Operator::linear(format!("{prefix}.mlp.gate"), n * s, d, cfg.d_ff));
-        ops.push(Operator::linear(format!("{prefix}.mlp.up"), n * s, d, cfg.d_ff));
+        ops.push(Operator::linear(
+            format!("{prefix}.mlp.gate"),
+            n * s,
+            d,
+            cfg.d_ff,
+        ));
+        ops.push(Operator::linear(
+            format!("{prefix}.mlp.up"),
+            n * s,
+            d,
+            cfg.d_ff,
+        ));
         let inner = TensorShape::from([n, s, cfg.d_ff]);
         ops.push(Operator::activation(format!("{prefix}.mlp.silu"), &inner));
-        ops.push(Operator::elementwise(format!("{prefix}.mlp.gate_mul"), &inner));
-        ops.push(Operator::linear(format!("{prefix}.mlp.down"), n * s, cfg.d_ff, d));
+        ops.push(Operator::elementwise(
+            format!("{prefix}.mlp.gate_mul"),
+            &inner,
+        ));
+        ops.push(Operator::linear(
+            format!("{prefix}.mlp.down"),
+            n * s,
+            cfg.d_ff,
+            d,
+        ));
     } else {
-        ops.push(Operator::linear(format!("{prefix}.mlp.fc1"), n * s, d, cfg.d_ff));
+        ops.push(Operator::linear(
+            format!("{prefix}.mlp.fc1"),
+            n * s,
+            d,
+            cfg.d_ff,
+        ));
         let inner = TensorShape::from([n, s, cfg.d_ff]);
         ops.push(Operator::activation(format!("{prefix}.mlp.gelu"), &inner));
-        ops.push(Operator::linear(format!("{prefix}.mlp.fc2"), n * s, cfg.d_ff, d));
+        ops.push(Operator::linear(
+            format!("{prefix}.mlp.fc2"),
+            n * s,
+            cfg.d_ff,
+            d,
+        ));
     }
-    ops.push(Operator::elementwise(format!("{prefix}.mlp.residual"), &hidden));
+    ops.push(Operator::elementwise(
+        format!("{prefix}.mlp.residual"),
+        &hidden,
+    ));
     // Blocks end on the hidden shape: make that explicit for the chain.
     let mut layer = Layer::new(prefix, LayerKind::TransformerBlock, ops);
     layer.output = hidden;

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use triosim_des::{TimeSpan, VirtualTime};
 
-use crate::model::{FlowId, NetCommand, NetworkModel};
+use crate::model::{FlowId, LinkObservation, NetCommand, NetObservation, NetworkModel};
 use crate::topology::{LinkId, NodeId, Topology};
 
 /// Fidelity knobs of the flow network.
@@ -121,6 +121,8 @@ pub struct FlowNetwork {
     next_flow: u64,
     bytes_delivered: u64,
     flows_completed: u64,
+    reallocations: u64,
+    reschedules: u64,
     link_stats: Vec<LinkStats>,
     last_progress: VirtualTime,
 }
@@ -142,6 +144,8 @@ impl FlowNetwork {
             next_flow: 0,
             bytes_delivered: 0,
             flows_completed: 0,
+            reallocations: 0,
+            reschedules: 0,
             link_stats: vec![LinkStats::default(); links],
             last_progress: VirtualTime::ZERO,
         }
@@ -174,6 +178,18 @@ impl FlowNetwork {
     /// Total flows completed so far.
     pub fn flows_completed(&self) -> u64 {
         self.flows_completed
+    }
+
+    /// Bandwidth-reallocation rounds performed so far (one per flow
+    /// start or completion).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Delivery events re-armed because a reallocation changed an
+    /// in-flight flow's rate — the model's reallocation churn.
+    pub fn reschedules(&self) -> u64 {
+        self.reschedules
     }
 
     /// Source, destination, and size of an in-flight flow.
@@ -243,8 +259,9 @@ impl FlowNetwork {
     }
 
     /// Recomputes max-min fair rates and returns a `Schedule` command for
-    /// every active flow.
-    fn reallocate(&mut self, now: VirtualTime) -> Vec<NetCommand> {
+    /// every active flow. `new_flow` marks a flow whose schedule is its
+    /// initial arming rather than reallocation churn.
+    fn reallocate(&mut self, now: VirtualTime, new_flow: Option<FlowId>) -> Vec<NetCommand> {
         // Progressive filling: all unfrozen flows grow at the same rate;
         // each iteration saturates at least one link and freezes its
         // flows.
@@ -288,10 +305,9 @@ impl FlowNetwork {
                 }
             }
             // Freeze every unfrozen flow passing a saturated link.
-            let (now_frozen, rest): (Vec<FlowId>, Vec<FlowId>) =
-                unfrozen.into_iter().partition(|id| {
-                    self.flows[id].route.iter().any(|l| saturated.contains(l))
-                });
+            let (now_frozen, rest): (Vec<FlowId>, Vec<FlowId>) = unfrozen
+                .into_iter()
+                .partition(|id| self.flows[id].route.iter().any(|l| saturated.contains(l)));
             debug_assert!(
                 !now_frozen.is_empty(),
                 "progressive filling must freeze at least one flow per round"
@@ -318,6 +334,14 @@ impl FlowNetwork {
             };
             cmds.push(NetCommand::Schedule { flow: id, at });
         }
+        self.reallocations += 1;
+        self.reschedules += cmds
+            .iter()
+            .filter(|c| match c {
+                NetCommand::Schedule { flow, .. } => Some(*flow) != new_flow,
+                NetCommand::Cancel { .. } => false,
+            })
+            .count() as u64;
         cmds
     }
 }
@@ -357,7 +381,7 @@ impl NetworkModel for FlowNetwork {
                 last_update: now,
             },
         );
-        (id, self.reallocate(now))
+        (id, self.reallocate(now, Some(id)))
     }
 
     fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand> {
@@ -373,11 +397,41 @@ impl NetworkModel for FlowNetwork {
         );
         self.bytes_delivered += f.bytes;
         self.flows_completed += 1;
-        self.reallocate(now)
+        self.reallocate(now, None)
     }
 
     fn in_flight(&self) -> usize {
         self.flows.len()
+    }
+
+    fn observe(&self) -> NetObservation {
+        NetObservation {
+            in_flight: self.flows.len(),
+            bytes_delivered: self.bytes_delivered,
+            flows_completed: self.flows_completed,
+            reallocations: self.reallocations,
+            reschedules: self.reschedules,
+        }
+    }
+
+    fn observe_links(&self) -> Vec<LinkObservation> {
+        (0..self.link_stats.len())
+            .map(|i| {
+                let link = LinkId(i);
+                let (src, dst) = self.topo.endpoints(link);
+                LinkObservation {
+                    label: format!("n{}->n{}", src.0, dst.0),
+                    bandwidth: self.topo.bandwidth(link),
+                    bytes: self.link_stats[i].bytes,
+                    busy_s: self.link_stats[i].busy_s,
+                    active_flows: self
+                        .flows
+                        .values()
+                        .filter(|f| f.route.contains(&link))
+                        .count(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -533,13 +587,45 @@ mod tests {
         net.deliver(f, done);
         let route = net.topology().route(NodeId(0), NodeId(1)).unwrap();
         let stats = net.link_stats(route[0]);
-        assert!((stats.bytes - 2_000_000.0).abs() < 1.0, "bytes {}", stats.bytes);
+        assert!(
+            (stats.bytes - 2_000_000.0).abs() < 1.0,
+            "bytes {}",
+            stats.bytes
+        );
         assert!((stats.busy_s - 2e-3).abs() < 1e-9, "busy {}", stats.busy_s);
         // The reverse link carried nothing.
         let back = net.topology().route(NodeId(1), NodeId(0)).unwrap();
         assert_eq!(net.link_stats(back[0]).bytes, 0.0);
         let hottest = net.hottest_links(1);
         assert_eq!(hottest[0].0, route[0]);
+    }
+
+    #[test]
+    fn observation_counts_churn_and_links() {
+        let mut net = one_link_net(1e9, 0.0);
+        let t0 = VirtualTime::ZERO;
+        let (f1, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        // Second send re-arms f1: one reschedule of churn.
+        let (f2, cmds) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        let obs = net.observe();
+        assert_eq!(obs.in_flight, 2);
+        assert_eq!(obs.reallocations, 2, "one round per send");
+        assert_eq!(obs.reschedules, 1, "f1 re-armed when f2 joined");
+        let links = net.observe_links();
+        assert_eq!(links.len(), 2, "duplex pair");
+        assert_eq!(links[0].label, "n0->n1");
+        assert_eq!(links[0].active_flows, 2);
+        assert_eq!(links[1].active_flows, 0);
+
+        let done = sched_time(&cmds, f1);
+        net.deliver(f1, done);
+        net.deliver(f2, done);
+        let obs = net.observe();
+        assert_eq!(obs.flows_completed, 2);
+        assert_eq!(obs.bytes_delivered, 2_000_000);
+        // Delivering f1 re-armed f2; delivering f2 re-armed nothing.
+        assert_eq!(obs.reschedules, 2);
+        assert_eq!(obs.reallocations, 4);
     }
 
     #[test]

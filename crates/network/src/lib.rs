@@ -48,6 +48,6 @@ mod photonic;
 mod topology;
 
 pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats};
-pub use model::{FlowId, NetCommand, NetworkModel};
+pub use model::{FlowId, LinkObservation, NetCommand, NetObservation, NetworkModel};
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

@@ -45,6 +45,42 @@ pub enum NetCommand {
     },
 }
 
+/// Cumulative, whole-network observable counters.
+///
+/// `reallocations` counts bandwidth-reallocation rounds (every flow
+/// start/completion triggers one in a fair-sharing model);
+/// `reschedules` counts delivery events that were re-armed as a result —
+/// the reallocation *churn* that dominates flow-model cost on congested
+/// topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetObservation {
+    /// Flows currently in flight.
+    pub in_flight: usize,
+    /// Payload bytes delivered so far.
+    pub bytes_delivered: u64,
+    /// Flows completed so far.
+    pub flows_completed: u64,
+    /// Bandwidth-reallocation rounds performed.
+    pub reallocations: u64,
+    /// Delivery events re-armed by reallocation (churn).
+    pub reschedules: u64,
+}
+
+/// One link's cumulative observable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkObservation {
+    /// Stable human-readable link name (e.g. `n0->n1`).
+    pub label: String,
+    /// Capacity in bytes/s.
+    pub bandwidth: f64,
+    /// Payload bytes that have crossed the link.
+    pub bytes: f64,
+    /// Seconds during which at least one flow was draining through it.
+    pub busy_s: f64,
+    /// Flows currently routed through the link.
+    pub active_flows: usize,
+}
+
 /// A network performance model that the simulator can drive.
 ///
 /// The protocol:
@@ -65,8 +101,13 @@ pub trait NetworkModel: fmt::Debug {
     ///
     /// Implementations may panic if `src`/`dst` are unknown or
     /// disconnected — a configuration bug, not a runtime condition.
-    fn send(&mut self, now: VirtualTime, src: NodeId, dst: NodeId, bytes: u64)
-        -> (FlowId, Vec<NetCommand>);
+    fn send(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (FlowId, Vec<NetCommand>);
 
     /// Completes `flow` at time `now` (its armed delivery event fired).
     ///
@@ -75,6 +116,22 @@ pub trait NetworkModel: fmt::Debug {
 
     /// Number of flows currently in flight.
     fn in_flight(&self) -> usize;
+
+    /// Whole-network observable counters. The default reports only the
+    /// in-flight count; instrumented models override this with their
+    /// full activity/churn accounting.
+    fn observe(&self) -> NetObservation {
+        NetObservation {
+            in_flight: self.in_flight(),
+            ..NetObservation::default()
+        }
+    }
+
+    /// Per-link observable state, in a stable order. The default (for
+    /// models without link-level accounting) reports no links.
+    fn observe_links(&self) -> Vec<LinkObservation> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -130,7 +130,10 @@ impl PhotonicNetwork {
     /// photonic circuit. Wafer-scale systems keep the host's PCIe uplink
     /// electrical; only chiplet-to-chiplet traffic is photonic.
     pub fn set_electrical_bypass(&mut self, node: NodeId, bandwidth: f64, latency: f64) {
-        assert!(bandwidth > 0.0 && latency >= 0.0, "invalid bypass parameters");
+        assert!(
+            bandwidth > 0.0 && latency >= 0.0,
+            "invalid bypass parameters"
+        );
         self.bypass.insert(node, (bandwidth, latency));
     }
 
@@ -182,7 +185,10 @@ impl PhotonicNetwork {
             .iter()
             .filter(|k| self.circuits[k].busy_until <= now)
             .min_by_key(|k| (self.circuits[k].last_used, **k))
-            .or_else(|| mine.iter().min_by_key(|k| (self.circuits[k].busy_until, **k)))
+            .or_else(|| {
+                mine.iter()
+                    .min_by_key(|k| (self.circuits[k].busy_until, **k))
+            })
             .copied()
             .expect("a full node always has circuits to evict");
         let free_at = self.circuits[&victim].busy_until.max(now);
@@ -227,8 +233,7 @@ impl NetworkModel for PhotonicNetwork {
             if self.ports_in_use(dst) >= self.config.ports_per_node {
                 establish_from = establish_from.max(self.free_port(dst, now));
             }
-            let ready_at =
-                establish_from + TimeSpan::from_seconds(self.config.setup_latency_s);
+            let ready_at = establish_from + TimeSpan::from_seconds(self.config.setup_latency_s);
             self.circuits.insert(
                 key,
                 Circuit {
@@ -242,8 +247,8 @@ impl NetworkModel for PhotonicNetwork {
 
         let circuit = self.circuits.get_mut(&key).expect("just ensured");
         let start = now.max(circuit.ready_at).max(circuit.busy_until);
-        let transfer = self.config.propagation_latency_s
-            + bytes as f64 / self.config.circuit_bandwidth;
+        let transfer =
+            self.config.propagation_latency_s + bytes as f64 / self.config.circuit_bandwidth;
         let done = start + TimeSpan::from_seconds(transfer);
         circuit.busy_until = done;
         circuit.last_used = done;
@@ -347,7 +352,12 @@ mod tests {
     #[test]
     fn local_transfer_immediate() {
         let mut net = PhotonicNetwork::new(2, PhotonicConfig::passage());
-        let (_, cmds) = net.send(VirtualTime::from_seconds(5.0), NodeId(1), NodeId(1), 1 << 30);
+        let (_, cmds) = net.send(
+            VirtualTime::from_seconds(5.0),
+            NodeId(1),
+            NodeId(1),
+            1 << 30,
+        );
         assert_eq!(at_of(&cmds), VirtualTime::from_seconds(5.0));
     }
 

@@ -129,13 +129,19 @@ impl Topology {
     /// Panics if either endpoint is out of range, the bandwidth is not
     /// positive, or the latency is negative.
     pub fn add_link(&mut self, src: NodeId, dst: NodeId, bandwidth: f64, latency: f64) -> LinkId {
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "endpoint out of range");
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "endpoint out of range"
+        );
         assert!(src != dst, "self-links are not allowed");
         assert!(
             bandwidth.is_finite() && bandwidth > 0.0,
             "bandwidth must be positive"
         );
-        assert!(latency.is_finite() && latency >= 0.0, "latency must be non-negative");
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be non-negative"
+        );
         let id = LinkId(self.links.len());
         self.links.push(Link {
             src,
@@ -175,7 +181,10 @@ impl Topology {
     ///
     /// Panics if `factor` is not positive.
     pub fn scale_bandwidth(&mut self, link: LinkId, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.links[link.0].bandwidth *= factor;
     }
 
@@ -367,7 +376,7 @@ impl Topology {
         oversubscription: f64,
     ) -> Self {
         assert!(
-            hosts > 0 && hosts_per_leaf > 0 && hosts % hosts_per_leaf == 0,
+            hosts > 0 && hosts_per_leaf > 0 && hosts.is_multiple_of(hosts_per_leaf),
             "hosts must be a positive multiple of hosts_per_leaf"
         );
         assert!(oversubscription >= 1.0, "oversubscription must be >= 1");
@@ -403,7 +412,10 @@ impl Topology {
     ///
     /// Panics if `n` is not even or less than 6.
     pub fn double_ring(n: usize, bandwidth: f64, latency: f64) -> Self {
-        assert!(n >= 6 && n % 2 == 0, "double ring needs an even n >= 6");
+        assert!(
+            n >= 6 && n.is_multiple_of(2),
+            "double ring needs an even n >= 6"
+        );
         let half = n / 2;
         let mut t = Topology::new(n);
         for i in 0..half {

@@ -88,7 +88,11 @@ pub fn calibration_ops(class: OpClass) -> Vec<Operator> {
         }
         OpClass::Embedding => {
             for &n in &[1u64, 8, 64, 256] {
-                for &(s, v, d) in &[(128u64, 30522u64, 768u64), (512, 50257, 768), (512, 128256, 2048)] {
+                for &(s, v, d) in &[
+                    (128u64, 30522u64, 768u64),
+                    (512, 50257, 768),
+                    (512, 128256, 2048),
+                ] {
                     ops.push(Operator::embedding("cal", n, s, v, d));
                 }
             }

@@ -187,6 +187,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionEr
             if factor == 0.0 {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
@@ -240,8 +241,7 @@ mod tests {
 
     #[test]
     fn ragged_rejected() {
-        let err =
-            LinearRegression::fit(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]).unwrap_err();
+        let err = LinearRegression::fit(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]).unwrap_err();
         assert_eq!(err, RegressionError::RaggedFeatures);
     }
 
@@ -265,24 +265,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong dimensionality")]
     fn predict_checks_dims() {
-        let m = LinearRegression::fit(
-            &[vec![1.0], vec![2.0]],
-            &[1.0, 2.0],
-        )
-        .unwrap();
+        let m = LinearRegression::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
         m.predict(&[1.0, 2.0]);
     }
 
     #[test]
     fn error_messages() {
         assert!(RegressionError::Singular.to_string().contains("singular"));
-        assert!(
-            RegressionError::TooFewSamples {
-                samples: 1,
-                features: 3
-            }
-            .to_string()
-            .contains("at least 3")
-        );
+        assert!(RegressionError::TooFewSamples {
+            samples: 1,
+            features: 3
+        }
+        .to_string()
+        .contains("at least 3"));
     }
 }

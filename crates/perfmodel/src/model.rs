@@ -55,10 +55,7 @@ impl LisModel {
         let mut per_class = HashMap::new();
         for class in OpClass::ALL {
             let ops = calibration_ops(class);
-            let xs: Vec<Vec<f64>> = ops
-                .iter()
-                .map(|o| op_features_with(o, features))
-                .collect();
+            let xs: Vec<Vec<f64>> = ops.iter().map(|o| op_features_with(o, features)).collect();
             let ys: Vec<f64> = ops.iter().map(|o| oracle.op_time_s(o)).collect();
             // Tiny ridge: several classes have FLOPs exactly
             // proportional to bytes, which is singular under plain OLS.
@@ -185,11 +182,7 @@ mod tests {
         let oracle = OracleGpu::new(GpuModel::A100);
         let model = LisModel::calibrated(GpuModel::A100);
         let graph = ModelId::ResNet50.build(128);
-        let ops: Vec<Operator> = graph
-            .layers()
-            .iter()
-            .flat_map(|l| l.ops.clone())
-            .collect();
+        let ops: Vec<Operator> = graph.layers().iter().flat_map(|l| l.ops.clone()).collect();
         let mape = model.validation_mape(&ops, &oracle);
         assert!(mape < 0.35, "mape {mape:.3}");
         // End-to-end totals are much tighter than per-op errors.
@@ -252,8 +245,8 @@ mod tests {
         assert_eq!(model.spec().name, "NextGen");
         let op = Operator::linear("fc", 8192, 4096, 4096);
         let t_next = model.predict(&op);
-        let t_h100 = LisModel::calibrated_with(OracleGpu::with_jitter(GpuModel::H100, 0.0))
-            .predict(&op);
+        let t_h100 =
+            LisModel::calibrated_with(OracleGpu::with_jitter(GpuModel::H100, 0.0)).predict(&op);
         let speedup = t_h100 / t_next;
         assert!((1.6..2.4).contains(&speedup), "speedup {speedup}");
     }

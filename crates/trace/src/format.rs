@@ -71,7 +71,12 @@ impl TensorTable {
     }
 
     /// Registers a tensor and returns its fresh id.
-    pub fn register(&mut self, category: TensorCategory, shape: TensorShape, dtype: DType) -> TensorId {
+    pub fn register(
+        &mut self,
+        category: TensorCategory,
+        shape: TensorShape,
+        dtype: DType,
+    ) -> TensorId {
         let id = TensorId(self.next_id);
         self.next_id += 1;
         self.records.insert(
@@ -325,11 +330,7 @@ mod tests {
             TensorShape::from([16, 8]),
             DType::F32,
         );
-        let x = tensors.register(
-            TensorCategory::Input,
-            TensorShape::from([4, 8]),
-            DType::F32,
-        );
+        let x = tensors.register(TensorCategory::Input, TensorShape::from([4, 8]), DType::F32);
         let y = tensors.register(
             TensorCategory::Activation,
             TensorShape::from([4, 16]),
@@ -377,10 +378,7 @@ mod tests {
             t.tensors().category_bytes(TensorCategory::Weight),
             16 * 8 * 4
         );
-        assert_eq!(
-            t.tensors().category_bytes(TensorCategory::Input),
-            4 * 8 * 4
-        );
+        assert_eq!(t.tensors().category_bytes(TensorCategory::Input), 4 * 8 * 4);
     }
 
     #[test]

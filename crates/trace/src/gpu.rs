@@ -235,7 +235,9 @@ mod tests {
 
     #[test]
     fn nvlink_much_faster_than_pcie() {
-        assert!(LinkKind::NvLink3.achieved_bandwidth() > 5.0 * LinkKind::Pcie4.achieved_bandwidth());
+        assert!(
+            LinkKind::NvLink3.achieved_bandwidth() > 5.0 * LinkKind::Pcie4.achieved_bandwidth()
+        );
     }
 
     #[test]

@@ -83,11 +83,8 @@ impl Tracer {
 
         for (li, layer) in model.layers().iter().enumerate() {
             for op in &layer.ops {
-                let out = tensors.register(
-                    TensorCategory::Activation,
-                    op.output.clone(),
-                    DType::F32,
-                );
+                let out =
+                    tensors.register(TensorCategory::Activation, op.output.clone(), DType::F32);
                 let mut inputs = vec![current_activation];
                 if op.weight_bytes > 0 {
                     if let Some(w) = weight_ids[li] {
@@ -149,11 +146,8 @@ impl Tracer {
         // Forward pass.
         for (li, layer) in model.layers().iter().enumerate() {
             for op in &layer.ops {
-                let out = tensors.register(
-                    TensorCategory::Activation,
-                    op.output.clone(),
-                    DType::F32,
-                );
+                let out =
+                    tensors.register(TensorCategory::Activation, op.output.clone(), DType::F32);
                 let mut inputs = vec![current_activation];
                 if op.weight_bytes > 0 {
                     if let Some(w) = weight_ids[li] {
@@ -188,11 +182,8 @@ impl Tracer {
             grad_ids[li] = grad_id;
             for op in layer.ops.iter().rev() {
                 let bwd = backward_of(op);
-                let out = tensors.register(
-                    TensorCategory::Activation,
-                    bwd.output.clone(),
-                    DType::F32,
-                );
+                let out =
+                    tensors.register(TensorCategory::Activation, bwd.output.clone(), DType::F32);
                 let mut outputs = vec![out];
                 if let Some(g) = grad_id {
                     if op.weight_bytes > 0 {

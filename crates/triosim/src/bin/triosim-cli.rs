@@ -16,10 +16,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::str::FromStr;
 
-use triosim::{
-    estimate_memory, Fidelity, Parallelism, Platform, SimBuilder,
-};
+use triosim::{estimate_memory, Fidelity, Parallelism, Platform, SimBuilder};
+use triosim_des::TimeSpan;
 use triosim_modelzoo::ModelId;
+use triosim_obs::{ChromeTraceSink, JsonlSink, ProgressMonitor, PrometheusSink, RunRecorder};
 use triosim_trace::{GpuModel, Phase, Trace, Tracer};
 
 const USAGE: &str = "\
@@ -42,9 +42,16 @@ COMMANDS:
         --platform <p1|p2:N|p3|ring:GPU:N|pcie:GPU:N>   (default p2:4)
         --parallelism <dp|ddp|tp|pp[:chunks]|hp:groups[:chunks]>  (default ddp)
         --batch <n>             global batch (default: weak scaling)
+        --iterations <n>        back-to-back training iterations (default 1)
         --reference             run the ground-truth reference instead
         --timeline <file>       write the Chrome-trace timeline
         --html <file>           write a self-contained HTML timeline view
+        --events <file>         write structured observability events (JSONL)
+        --trace-events <file>   write a live Chrome/Perfetto trace (spans +
+                                sampled counter tracks; supersedes --timeline)
+        --metrics <file>        write Prometheus text-format metrics
+        --progress              print live progress to stderr
+        --sample-period-us <n>  observability sampling period (default 1000)
     memory                      estimate the per-GPU memory footprint
         --trace <file> --gpus <n> --parallelism <...> --batch <n>
 ";
@@ -83,7 +90,10 @@ fn parse_options(args: &[String]) -> HashMap<String, String> {
     while i < args.len() {
         let key = args[i].trim_start_matches('-').to_string();
         if i + 1 < args.len() && !args[i + 1].starts_with('-') {
-            opts.insert(if key == "o" { "out".into() } else { key }, args[i + 1].clone());
+            opts.insert(
+                if key == "o" { "out".into() } else { key },
+                args[i + 1].clone(),
+            );
             i += 2;
         } else {
             opts.insert(key, "true".into());
@@ -94,7 +104,10 @@ fn parse_options(args: &[String]) -> HashMap<String, String> {
 }
 
 fn cmd_models() -> Result<(), String> {
-    println!("{:<16} {:>10} {:>12} {:>12}", "model", "layers", "params (M)", "GFLOPs@1");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "model", "layers", "params (M)", "GFLOPs@1"
+    );
     for id in ModelId::ALL {
         let m = id.build(1);
         println!(
@@ -109,10 +122,7 @@ fn cmd_models() -> Result<(), String> {
 }
 
 fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
-    let model: ModelId = opts
-        .get("model")
-        .ok_or("missing --model")?
-        .parse()?;
+    let model: ModelId = opts.get("model").ok_or("missing --model")?.parse()?;
     let batch: u64 = parse_num(opts, "batch", 128)?;
     let gpu: GpuModel = opts
         .get("gpu")
@@ -151,10 +161,7 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("tensors    : {}", trace.tensors().len());
     println!("total time : {:.3} ms", trace.total_time_s() * 1e3);
     for phase in [Phase::Forward, Phase::Backward, Phase::Optimizer] {
-        println!(
-            "  {phase:<9}: {:.3} ms",
-            trace.phase_time_s(phase) * 1e3
-        );
+        println!("  {phase:<9}: {:.3} ms", trace.phase_time_s(phase) * 1e3);
     }
     println!(
         "gradients  : {:.1} MB (the DP AllReduce volume)",
@@ -186,8 +193,14 @@ fn parse_platform(spec: &str) -> Result<Platform, String> {
             triosim_trace::LinkKind::NvLink3,
             format!("ring-{n}"),
         )),
-        ["pcie", gpu, n] => Ok(Platform::pcie(GpuModel::from_str(gpu)?, parse(n)?, format!("pcie-{n}"))),
-        _ => Err(format!("unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)")),
+        ["pcie", gpu, n] => Ok(Platform::pcie(
+            GpuModel::from_str(gpu)?,
+            parse(n)?,
+            format!("pcie-{n}"),
+        )),
+        _ => Err(format!(
+            "unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)"
+        )),
     }
 }
 
@@ -199,9 +212,17 @@ fn parse_parallelism(spec: &str) -> Result<Parallelism, String> {
         ["tp"] => Ok(Parallelism::TensorParallel),
         ["pp"] => Ok(Parallelism::Pipeline { chunks: 1 }),
         ["pp", c] => Ok(Parallelism::Pipeline { chunks: parse(c)? }),
-        ["hp", g] => Ok(Parallelism::Hybrid { dp_groups: parse(g)?, chunks: 1 }),
-        ["hp", g, c] => Ok(Parallelism::Hybrid { dp_groups: parse(g)?, chunks: parse(c)? }),
-        _ => Err(format!("unknown parallelism `{spec}` (try dp, ddp, tp, pp:4, hp:2:4)")),
+        ["hp", g] => Ok(Parallelism::Hybrid {
+            dp_groups: parse(g)?,
+            chunks: 1,
+        }),
+        ["hp", g, c] => Ok(Parallelism::Hybrid {
+            dp_groups: parse(g)?,
+            chunks: parse(c)?,
+        }),
+        _ => Err(format!(
+            "unknown parallelism `{spec}` (try dp, ddp, tp, pp:4, hp:2:4)"
+        )),
     }
 }
 
@@ -213,7 +234,10 @@ where
 }
 
 fn parse_num(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    opts.get(key).map(|s| parse(s)).transpose().map(|v| v.unwrap_or(default))
+    opts.get(key)
+        .map(|s| parse(s))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
 }
 
 fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -225,8 +249,45 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(batch) = opts.get("batch") {
         builder = builder.global_batch(parse(batch)?);
     }
+    if let Some(iters) = opts.get("iterations") {
+        let iters: usize = parse(iters)?;
+        if iters == 0 {
+            return Err("--iterations must be at least 1".into());
+        }
+        builder = builder.iterations(iters);
+    }
     if opts.contains_key("reference") {
         builder = builder.fidelity(Fidelity::Reference);
+    }
+
+    // Observability sinks: each flag adds one deterministic output file.
+    let create = |path: &String| -> Result<std::io::BufWriter<std::fs::File>, String> {
+        std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .map_err(|e| format!("{path}: {e}"))
+    };
+    let mut recorder = RunRecorder::new();
+    if let Some(path) = opts.get("events") {
+        recorder.push(Box::new(JsonlSink::new(create(path)?)));
+    }
+    if let Some(path) = opts.get("trace-events") {
+        recorder.push(Box::new(ChromeTraceSink::new(create(path)?)));
+    }
+    if let Some(path) = opts.get("metrics") {
+        recorder.push(Box::new(PrometheusSink::new(create(path)?)));
+    }
+    if !recorder.is_empty() {
+        builder = builder.recorder(Box::new(recorder));
+    }
+    if opts.contains_key("progress") {
+        builder = builder.progress(ProgressMonitor::new());
+    }
+    if let Some(us) = opts.get("sample-period-us") {
+        let us: f64 = parse(us)?;
+        if !us.is_finite() || us <= 0.0 {
+            return Err("--sample-period-us must be positive".into());
+        }
+        builder = builder.sample_period(TimeSpan::from_micros(us));
     }
     let report = builder.run();
 
@@ -239,9 +300,24 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("total time    : {:.3} ms", report.total_time_s() * 1e3);
     println!("compute (max) : {:.3} ms", report.compute_time_s() * 1e3);
-    println!("communication : {:.3} ms ({:.1}%)", report.comm_time_s() * 1e3, 100.0 * report.comm_ratio());
-    println!("network bytes : {:.1} MB", report.bytes_transferred() as f64 / 1e6);
+    println!(
+        "communication : {:.3} ms ({:.1}%)",
+        report.comm_time_s() * 1e3,
+        100.0 * report.comm_ratio()
+    );
+    println!(
+        "network bytes : {:.1} MB",
+        report.bytes_transferred() as f64 / 1e6
+    );
     println!("tasks         : {}", report.tasks_executed());
+    let q = report.queue_stats();
+    println!(
+        "events        : {} scheduled, {} delivered, {} cancelled, {} max pending",
+        q.scheduled(),
+        q.delivered(),
+        q.cancelled(),
+        q.max_pending()
+    );
     // Heaviest layers (the per-layer breakdown of §4.1).
     let per_layer = report.per_layer_compute_s();
     let mut heaviest: Vec<(usize, f64)> = per_layer.iter().copied().enumerate().collect();
@@ -261,7 +337,9 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     for (g, row) in report.gpu_utilization(BUCKETS).iter().enumerate() {
         let strip: String = row
             .iter()
-            .map(|&u| glyphs[((u * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)])
+            .map(|&u| {
+                glyphs[((u * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+            })
             .collect();
         println!("gpu{g:<2} util    : [{strip}]");
     }
@@ -276,6 +354,15 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, html).map_err(|e| e.to_string())?;
         println!("html timeline : {path}");
     }
+    for (key, label) in [
+        ("events", "event log"),
+        ("trace-events", "trace events"),
+        ("metrics", "metrics"),
+    ] {
+        if let Some(path) = opts.get(key) {
+            println!("{label:<14}: {path}");
+        }
+    }
     Ok(())
 }
 
@@ -287,7 +374,10 @@ fn cmd_memory(opts: &HashMap<String, String>) -> Result<(), String> {
     let batch = parse_num(opts, "batch", trace.batch() * gpus)?;
     let est = estimate_memory(&trace, parallelism, gpus as usize, batch);
     let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
-    println!("{} | {gpus} GPUs | {parallelism} | global batch {batch}", trace.model());
+    println!(
+        "{} | {gpus} GPUs | {parallelism} | global batch {batch}",
+        trace.model()
+    );
     println!("weights        : {:>8.2} GB", gb(est.weights));
     println!("gradients      : {:>8.2} GB", gb(est.gradients));
     println!("optimizer state: {:>8.2} GB", gb(est.optimizer_state));

@@ -109,7 +109,13 @@ impl ComputeModel {
     /// `measured_s` and `from` describe the operator as it appears in the
     /// single-GPU trace; `to` is the (possibly rescaled or split)
     /// operator actually executing in the simulated configuration.
-    pub fn op_time_s(&self, measured_s: f64, from: &Operator, to: &Operator, gpu_index: usize) -> f64 {
+    pub fn op_time_s(
+        &self,
+        measured_s: f64,
+        from: &Operator,
+        to: &Operator,
+        gpu_index: usize,
+    ) -> f64 {
         match self {
             ComputeModel::Lis {
                 source,

@@ -9,16 +9,91 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use triosim_des::{EventId, EventQueue, VirtualTime};
+use triosim_des::{EventId, EventQueue, Ticker, TimeSpan, VirtualTime};
 use triosim_network::{FlowId, NetCommand, NetworkModel};
+use triosim_obs::{AttrValue, ProgressMonitor, Recorder};
 
 use crate::report::{union_length, SimReport, TimelineRecord, TimelineTrack};
 use crate::taskgraph::{TaskGraph, TaskId, TaskKind};
 
 #[derive(Debug)]
 enum Event {
-    ComputeDone { gpu: usize, task: TaskId },
-    FlowDelivered { flow: FlowId },
+    ComputeDone {
+        gpu: usize,
+        task: TaskId,
+    },
+    FlowDelivered {
+        flow: FlowId,
+    },
+    /// Observability sampling tick — never affects simulation results.
+    MonitorTick,
+}
+
+/// Observability options for one execution run.
+///
+/// The default is fully off: no recorder, no progress reporting, and the
+/// executor takes the exact same code path as [`execute_iterations`].
+/// With a recorder attached, the executor emits per-operator and
+/// per-collective spans, per-event-kind dispatch counters, and sampled
+/// gauges (queue depth, in-flight flows, per-link utilization) driven by
+/// a virtual-time [`Ticker`] at `sample_period`. Monitor ticks are
+/// carefully kept out of the simulation's critical path: they never
+/// extend the reported total time and are cancelled the moment no real
+/// event remains.
+#[derive(Debug)]
+pub struct Observability {
+    /// Receives spans and metrics. `None` (or a disabled recorder)
+    /// skips all instrumentation.
+    pub recorder: Option<Box<dyn Recorder>>,
+    /// Live wall-clock progress reporting (stderr by default).
+    pub progress: Option<ProgressMonitor>,
+    /// Virtual-time period between monitor samples.
+    pub sample_period: TimeSpan,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability {
+            recorder: None,
+            progress: None,
+            sample_period: TimeSpan::from_millis(1.0),
+        }
+    }
+}
+
+impl Observability {
+    /// No observability: identical behavior to the plain executor.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a recorder.
+    pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a progress monitor.
+    pub fn with_progress(mut self, progress: ProgressMonitor) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Overrides the virtual-time sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_sample_period(mut self, period: TimeSpan) -> Self {
+        assert!(period > TimeSpan::ZERO, "sample period must be positive");
+        self.sample_period = period;
+        self
+    }
+
+    /// True when any observability output is requested.
+    pub fn is_active(&self) -> bool {
+        self.progress.is_some() || self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
 }
 
 /// Executes `graph` against `network`, returning the run report.
@@ -53,6 +128,29 @@ pub fn execute_iterations(
     Executor::new(graph, network).run(iterations)
 }
 
+/// [`execute_iterations`] with observability: spans, metrics, and live
+/// progress flow into `obs` while the simulation runs.
+///
+/// Simulation results are identical to the unobserved run — monitor
+/// ticks advance no state and never extend the reported total — and all
+/// recorder output is a deterministic function of the graph, the network
+/// model, and `obs.sample_period`.
+///
+/// # Panics
+///
+/// Same conditions as [`execute_iterations`].
+pub fn execute_observed(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    obs: Observability,
+) -> SimReport {
+    assert!(iterations > 0, "need at least one iteration");
+    Executor::new(graph, network)
+        .with_observability(obs)
+        .run(iterations)
+}
+
 struct GpuStream {
     ready: VecDeque<TaskId>,
     busy: bool,
@@ -74,6 +172,23 @@ struct Executor<'a> {
     timeline: Vec<TimelineRecord>,
     completed: usize,
     bytes_transferred: u64,
+    // ------- observability (all inert unless `ticking`/`observing`) -------
+    obs: Observability,
+    /// True when a live, enabled recorder is attached.
+    observing: bool,
+    /// True when monitor ticks should be scheduled at all.
+    ticking: bool,
+    ticker: Option<Ticker>,
+    tick_event: Option<EventId>,
+    /// Pending non-tick events; ticks stop when this reaches zero.
+    pending_real: usize,
+    /// Per-kind dispatch counts: [compute, flow, tick].
+    dispatches: [u64; 3],
+    prev_link_busy: Vec<f64>,
+    prev_sample_at: VirtualTime,
+    collective_of_first: HashMap<TaskId, usize>,
+    collective_of_last: HashMap<TaskId, usize>,
+    collective_begin: Vec<Option<VirtualTime>>,
 }
 
 impl<'a> Executor<'a> {
@@ -108,7 +223,36 @@ impl<'a> Executor<'a> {
             timeline: Vec::new(),
             completed: 0,
             bytes_transferred: 0,
+            obs: Observability::off(),
+            observing: false,
+            ticking: false,
+            ticker: None,
+            tick_event: None,
+            pending_real: 0,
+            dispatches: [0; 3],
+            prev_link_busy: Vec::new(),
+            prev_sample_at: VirtualTime::ZERO,
+            collective_of_first: HashMap::new(),
+            collective_of_last: HashMap::new(),
+            collective_begin: Vec::new(),
         }
+    }
+
+    fn with_observability(mut self, obs: Observability) -> Self {
+        self.observing = obs.recorder.as_ref().is_some_and(|r| r.enabled());
+        self.ticking = self.observing || obs.progress.is_some();
+        if self.ticking {
+            self.ticker = Some(Ticker::new(obs.sample_period));
+        }
+        if self.observing {
+            for (ci, meta) in self.graph.collectives().iter().enumerate() {
+                self.collective_of_first.insert(meta.first, ci);
+                self.collective_of_last.insert(meta.last, ci);
+            }
+            self.collective_begin = vec![None; self.graph.collectives().len()];
+        }
+        self.obs = obs;
+        self
     }
 
     fn run(mut self, iterations: usize) -> SimReport {
@@ -118,6 +262,7 @@ impl<'a> Executor<'a> {
                 self.indegree.clone_from(&base_indegree);
                 self.completed = 0;
                 self.compute_start.fill(None);
+                self.collective_begin.fill(None);
             }
             self.run_once();
             assert_eq!(
@@ -128,9 +273,21 @@ impl<'a> Executor<'a> {
                 self.graph.len(),
                 iter
             );
+            if self.observing {
+                let now = self.queue.now();
+                if let Some(r) = self.obs.recorder.as_mut() {
+                    r.instant(
+                        now,
+                        "executor",
+                        "iteration_end",
+                        &[("iteration", AttrValue::U64(iter as u64))],
+                    );
+                }
+            }
         }
 
         let total = self.queue.now() - VirtualTime::ZERO;
+        self.finish_observability(total);
         let per_gpu_compute = self
             .gpus
             .iter()
@@ -145,8 +302,97 @@ impl<'a> Executor<'a> {
             comm_busy,
             self.bytes_transferred,
             self.graph.len() * iterations,
+            *self.queue.stats(),
             timeline,
         )
+    }
+
+    /// Emits the end-of-run metric dump and closes the recorder.
+    fn finish_observability(&mut self, total: TimeSpan) {
+        let stats = *self.queue.stats();
+        if let Some(p) = self.obs.progress.as_mut() {
+            p.report_done(self.queue.now(), stats.delivered());
+        }
+        if !self.observing {
+            return;
+        }
+        let net = self.network.observe();
+        let links = self.network.observe_links();
+        let now = self.queue.now();
+        let total_s = total.as_seconds();
+        let gpu_busy: Vec<f64> = self.gpus.iter().map(|g| g.busy_time).collect();
+        let dispatches = self.dispatches;
+        let Some(r) = self.obs.recorder.as_mut() else {
+            return;
+        };
+        r.counter_add(
+            "triosim_events_scheduled_total",
+            &[],
+            stats.scheduled() as f64,
+        );
+        r.counter_add(
+            "triosim_events_delivered_total",
+            &[],
+            stats.delivered() as f64,
+        );
+        r.counter_add(
+            "triosim_events_cancelled_total",
+            &[],
+            stats.cancelled() as f64,
+        );
+        r.gauge_set(
+            now,
+            "triosim_queue_max_pending",
+            &[],
+            stats.max_pending() as f64,
+        );
+        for (kind, count) in [("compute", 0usize), ("flow", 1), ("tick", 2)] {
+            r.counter_add(
+                "triosim_events_dispatched_total",
+                &[("kind", kind)],
+                dispatches[count] as f64,
+            );
+        }
+        r.counter_add(
+            "triosim_net_bytes_delivered_total",
+            &[],
+            net.bytes_delivered as f64,
+        );
+        r.counter_add(
+            "triosim_net_flows_completed_total",
+            &[],
+            net.flows_completed as f64,
+        );
+        r.counter_add(
+            "triosim_net_reallocations_total",
+            &[],
+            net.reallocations as f64,
+        );
+        r.counter_add("triosim_net_reschedules_total", &[], net.reschedules as f64);
+        for l in &links {
+            r.counter_add("triosim_link_bytes_total", &[("link", &l.label)], l.bytes);
+            r.counter_add(
+                "triosim_link_busy_seconds_total",
+                &[("link", &l.label)],
+                l.busy_s,
+            );
+            if total_s > 0.0 {
+                r.gauge_set(
+                    now,
+                    "triosim_link_utilization_avg",
+                    &[("link", &l.label)],
+                    (l.busy_s / total_s).clamp(0.0, 1.0),
+                );
+            }
+        }
+        for (g, busy) in gpu_busy.iter().enumerate() {
+            let label = g.to_string();
+            r.gauge_set(now, "triosim_gpu_busy_seconds", &[("gpu", &label)], *busy);
+        }
+        r.gauge_set(now, "triosim_sim_time_seconds", &[], total_s);
+        if let Err(e) = r.finish() {
+            eprintln!("warning: observability sink error: {e}");
+        }
     }
 
     /// Seeds the graph's roots at the current virtual time and drains the
@@ -161,9 +407,21 @@ impl<'a> Executor<'a> {
             self.activate(t);
         }
 
+        // Arm the first monitor tick only if real work is pending.
+        if self.ticking && self.pending_real > 0 && self.tick_event.is_none() {
+            let at = self
+                .ticker
+                .as_mut()
+                .expect("ticking implies a ticker")
+                .first_tick(self.queue.now());
+            self.tick_event = Some(self.queue.schedule(at, Event::MonitorTick));
+        }
+
         while let Some((now, event)) = self.queue.pop() {
             match event {
                 Event::ComputeDone { gpu, task } => {
+                    self.pending_real -= 1;
+                    self.dispatches[0] += 1;
                     self.gpus[gpu].busy = false;
                     let start = self.compute_start[task.0].expect("compute was started");
                     self.gpus[gpu].busy_time += (now - start).as_seconds();
@@ -174,10 +432,15 @@ impl<'a> Executor<'a> {
                         end: now,
                         layer: self.graph.tasks()[task.0].layer,
                     });
+                    if self.observing {
+                        self.record_compute(gpu, task, start, now);
+                    }
                     self.complete(task);
                     self.try_start_gpu(gpu);
                 }
                 Event::FlowDelivered { flow } => {
+                    self.pending_real -= 1;
+                    self.dispatches[1] += 1;
                     self.flow_event.remove(&flow);
                     let task = self
                         .flow_task
@@ -195,11 +458,118 @@ impl<'a> Executor<'a> {
                     if let TaskKind::Transfer { bytes, .. } = self.graph.tasks()[task.0].kind {
                         self.bytes_transferred += bytes;
                     }
+                    if self.observing {
+                        self.record_flow(task, start, now);
+                    }
                     let cmds = self.network.deliver(flow, now);
                     self.apply(cmds);
                     self.complete(task);
                 }
+                Event::MonitorTick => {
+                    self.tick_event = None;
+                    self.dispatches[2] += 1;
+                    self.sample(now);
+                    if self.pending_real > 0 {
+                        if let Some(at) = self.ticker.as_mut().and_then(|t| t.next_tick(now)) {
+                            self.tick_event = Some(self.queue.schedule(at, Event::MonitorTick));
+                        }
+                    }
+                    continue;
+                }
             }
+            // A tick never outlives the real work: cancel the pending one
+            // as soon as the queue holds nothing else, so the trailing
+            // tick cannot inflate `queue.now()` past the last real event.
+            if self.pending_real == 0 {
+                if let Some(id) = self.tick_event.take() {
+                    self.queue.cancel(id);
+                }
+            }
+        }
+    }
+
+    /// Emits the span and metrics for one finished compute task.
+    fn record_compute(&mut self, gpu: usize, task: TaskId, start: VirtualTime, now: VirtualTime) {
+        let graph = self.graph;
+        let t = &graph.tasks()[task.0];
+        let Some(r) = self.obs.recorder.as_mut() else {
+            return;
+        };
+        let track = format!("gpu{gpu}");
+        match t.layer {
+            Some(layer) => r.span(
+                &track,
+                &t.label,
+                start,
+                now,
+                &[("layer", AttrValue::U64(layer as u64))],
+            ),
+            None => r.span(&track, &t.label, start, now, &[]),
+        }
+        let dur = (now - start).as_seconds();
+        r.histogram_record("triosim_operator_duration_seconds", &[], dur);
+        r.counter_add("triosim_tasks_executed_total", &[("kind", "compute")], 1.0);
+        let label = gpu.to_string();
+        r.counter_add("triosim_gpu_tasks_total", &[("gpu", &label)], 1.0);
+    }
+
+    /// Emits the span and metrics for one delivered transfer.
+    fn record_flow(&mut self, task: TaskId, start: VirtualTime, now: VirtualTime) {
+        let graph = self.graph;
+        let t = &graph.tasks()[task.0];
+        let TaskKind::Transfer { bytes, .. } = t.kind else {
+            return;
+        };
+        let Some(r) = self.obs.recorder.as_mut() else {
+            return;
+        };
+        r.span(
+            "network",
+            &t.label,
+            start,
+            now,
+            &[("bytes", AttrValue::U64(bytes))],
+        );
+        r.histogram_record(
+            "triosim_flow_duration_seconds",
+            &[],
+            (now - start).as_seconds(),
+        );
+        r.counter_add("triosim_tasks_executed_total", &[("kind", "transfer")], 1.0);
+    }
+
+    /// One monitor-tick sample: queue depth, in-flight flows, per-link
+    /// utilization over the window since the previous sample, and the
+    /// live progress line.
+    fn sample(&mut self, now: VirtualTime) {
+        let net = self.network.observe();
+        if self.observing {
+            let depth = self.queue.len() as f64;
+            let links = self.network.observe_links();
+            let dt = (now - self.prev_sample_at).as_seconds();
+            if let Some(r) = self.obs.recorder.as_mut() {
+                r.gauge_set(now, "triosim_queue_depth", &[], depth);
+                r.gauge_set(
+                    now,
+                    "triosim_net_flows_in_flight",
+                    &[],
+                    net.in_flight as f64,
+                );
+                if dt > 0.0 {
+                    if self.prev_link_busy.len() != links.len() {
+                        self.prev_link_busy.resize(links.len(), 0.0);
+                    }
+                    for (i, l) in links.iter().enumerate() {
+                        let util = ((l.busy_s - self.prev_link_busy[i]) / dt).clamp(0.0, 1.0);
+                        r.gauge_set(now, "triosim_link_utilization", &[("link", &l.label)], util);
+                        self.prev_link_busy[i] = l.busy_s;
+                    }
+                }
+            }
+            self.prev_sample_at = now;
+        }
+        if let Some(p) = self.obs.progress.as_mut() {
+            p.sample(now, self.queue.stats().delivered(), net.in_flight);
         }
     }
 
@@ -209,6 +579,9 @@ impl<'a> Executor<'a> {
         let mut work = vec![task];
         while let Some(t) = work.pop() {
             self.completed += 1;
+            if self.observing {
+                self.record_completion(t);
+            }
             for i in 0..self.dependents[t.0].len() {
                 let dep = self.dependents[t.0][i];
                 self.indegree[dep.0] -= 1;
@@ -219,6 +592,50 @@ impl<'a> Executor<'a> {
                 }
             }
         }
+    }
+
+    /// Observability bookkeeping for one completed task: barrier counts
+    /// and, for a collective's final barrier, the retrospective span.
+    fn record_completion(&mut self, task: TaskId) {
+        let graph = self.graph;
+        if matches!(graph.tasks()[task.0].kind, TaskKind::Barrier) {
+            if let Some(r) = self.obs.recorder.as_mut() {
+                r.counter_add("triosim_tasks_executed_total", &[("kind", "barrier")], 1.0);
+            }
+        }
+        let Some(&ci) = self.collective_of_last.get(&task) else {
+            return;
+        };
+        let meta = &graph.collectives()[ci];
+        let now = self.queue.now();
+        let begin = self.collective_begin[ci].take().unwrap_or(now);
+        let Some(r) = self.obs.recorder.as_mut() else {
+            return;
+        };
+        r.span(
+            "collectives",
+            &meta.label,
+            begin,
+            now,
+            &[
+                ("algorithm", AttrValue::Str(meta.algorithm)),
+                ("payload_bytes", AttrValue::U64(meta.payload_bytes)),
+                ("participants", AttrValue::U64(meta.participants as u64)),
+                ("steps", AttrValue::U64(meta.steps as u64)),
+            ],
+        );
+        let labels = [("algorithm", meta.algorithm)];
+        r.counter_add("triosim_collectives_total", &labels, 1.0);
+        r.counter_add(
+            "triosim_collective_payload_bytes_total",
+            &labels,
+            meta.payload_bytes as f64,
+        );
+        r.histogram_record(
+            "triosim_collective_duration_seconds",
+            &labels,
+            (now - begin).as_seconds(),
+        );
     }
 
     fn activate(&mut self, task: TaskId) {
@@ -239,6 +656,11 @@ impl<'a> Executor<'a> {
             }
             TaskKind::Transfer { src, dst, bytes } => {
                 let now = self.queue.now();
+                if self.observing {
+                    if let Some(&ci) = self.collective_of_first.get(&task) {
+                        self.collective_begin[ci].get_or_insert(now);
+                    }
+                }
                 let (flow, cmds) = self.network.send(now, *src, *dst, *bytes);
                 self.flow_task.insert(flow, task);
                 self.flow_start.insert(flow, now);
@@ -261,6 +683,7 @@ impl<'a> Executor<'a> {
         self.gpus[gpu].busy = true;
         let now = self.queue.now();
         self.compute_start[task.0] = Some(now);
+        self.pending_real += 1;
         self.queue
             .schedule(now + duration, Event::ComputeDone { gpu, task });
     }
@@ -270,14 +693,19 @@ impl<'a> Executor<'a> {
             match cmd {
                 NetCommand::Schedule { flow, at } => {
                     if let Some(old) = self.flow_event.remove(&flow) {
-                        self.queue.cancel(old);
+                        if self.queue.cancel(old) {
+                            self.pending_real -= 1;
+                        }
                     }
+                    self.pending_real += 1;
                     let id = self.queue.schedule(at, Event::FlowDelivered { flow });
                     self.flow_event.insert(flow, id);
                 }
                 NetCommand::Cancel { flow } => {
                     if let Some(old) = self.flow_event.remove(&flow) {
-                        self.queue.cancel(old);
+                        if self.queue.cancel(old) {
+                            self.pending_real -= 1;
+                        }
                     }
                 }
             }
@@ -339,7 +767,11 @@ mod tests {
         g.transfer("move", NodeId(0), NodeId(1), 10_000_000, vec![]);
         let mut net = net2();
         let r = execute(&g, &mut net);
-        assert!((r.total_time_s() - 0.010).abs() < 1e-9, "{}", r.total_time_s());
+        assert!(
+            (r.total_time_s() - 0.010).abs() < 1e-9,
+            "{}",
+            r.total_time_s()
+        );
         assert!((r.comm_time_s() - 0.010).abs() < 1e-9);
     }
 
@@ -433,5 +865,125 @@ mod tests {
         let r = execute(&g, &mut net);
         assert!((r.total_time_s() - 0.002).abs() < 1e-9, "fair sharing");
         assert_eq!(r.bytes_transferred(), 2_000_000);
+    }
+
+    // ---------------- observability ----------------
+
+    use std::sync::{Arc, Mutex};
+    use triosim_obs::{JsonlSink, RunRecorder};
+
+    /// A cloneable writer capturing everything written through it, so a
+    /// test can read back sink output after the executor consumed the
+    /// recorder.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn take_string(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn overlap_graph() -> TaskGraph {
+        let mut g = TaskGraph::new(1);
+        g.compute("work", 0, TimeSpan::from_millis(10.0), vec![]);
+        let t = g.transfer("move", NodeId(0), NodeId(1), 10_000_000, vec![]);
+        g.barrier("done", vec![t]);
+        g
+    }
+
+    fn jsonl_obs(buf: &SharedBuf) -> Observability {
+        let mut rec = RunRecorder::new();
+        rec.push(Box::new(JsonlSink::new(buf.clone())));
+        Observability::off()
+            .with_recorder(Box::new(rec))
+            .with_sample_period(TimeSpan::from_millis(1.0))
+    }
+
+    #[test]
+    fn monitor_ticks_never_change_simulation_results() {
+        let g = overlap_graph();
+        let plain = execute_iterations(&g, &mut net2(), 3);
+        let buf = SharedBuf::default();
+        let observed = execute_observed(&g, &mut net2(), 3, jsonl_obs(&buf));
+        assert_eq!(plain.total_time(), observed.total_time());
+        assert_eq!(plain.bytes_transferred(), observed.bytes_transferred());
+        assert_eq!(plain.compute_time_s(), observed.compute_time_s());
+        assert_eq!(plain.timeline().len(), observed.timeline().len());
+        // The ticks really fired: gauges were sampled along the way.
+        let out = buf.take_string();
+        assert!(out.contains("triosim_queue_depth"), "{out}");
+    }
+
+    #[test]
+    fn observed_run_emits_spans_and_end_of_run_metrics() {
+        let g = overlap_graph();
+        let buf = SharedBuf::default();
+        execute_observed(&g, &mut net2(), 1, jsonl_obs(&buf));
+        let out = buf.take_string();
+        assert!(out.contains("\"track\":\"gpu0\""), "compute span: {out}");
+        assert!(out.contains("\"track\":\"network\""), "flow span: {out}");
+        assert!(out.contains("triosim_events_delivered_total"), "{out}");
+        assert!(out.contains("triosim_sim_time_seconds"), "{out}");
+        assert!(out.contains("triosim_net_flows_completed_total"), "{out}");
+    }
+
+    #[test]
+    fn observed_output_is_deterministic() {
+        let run = || {
+            let g = overlap_graph();
+            let buf = SharedBuf::default();
+            execute_observed(&g, &mut net2(), 2, jsonl_obs(&buf));
+            buf.take_string()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "two identical runs must produce identical bytes");
+    }
+
+    #[test]
+    fn collective_completion_emits_tagged_span() {
+        use crate::taskgraph::CollectiveMeta;
+        let mut g = TaskGraph::new(2);
+        let t = g.transfer("ar.s0.0->1", NodeId(0), NodeId(1), 1_000_000, vec![]);
+        let done = g.barrier("ar.s0.done", vec![t]);
+        g.register_collective(CollectiveMeta {
+            label: "ar".into(),
+            algorithm: "allreduce",
+            payload_bytes: 1_000_000,
+            participants: 2,
+            steps: 1,
+            first: t,
+            last: done,
+        });
+        let buf = SharedBuf::default();
+        execute_observed(&g, &mut net2(), 1, jsonl_obs(&buf));
+        let out = buf.take_string();
+        assert!(out.contains("\"track\":\"collectives\""), "{out}");
+        assert!(out.contains("\"algorithm\":\"allreduce\""), "{out}");
+        assert!(out.contains("triosim_collectives_total"), "{out}");
+    }
+
+    #[test]
+    fn progress_monitor_reports_through_executor() {
+        let g = overlap_graph();
+        let buf = SharedBuf::default();
+        let monitor = triosim_obs::ProgressMonitor::with_writer(Box::new(buf.clone()))
+            .throttle(std::time::Duration::ZERO);
+        let obs = Observability::off().with_progress(monitor);
+        execute_observed(&g, &mut net2(), 1, obs);
+        let out = buf.take_string();
+        assert!(out.contains("progress: done"), "{out}");
     }
 }

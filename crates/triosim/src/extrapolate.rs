@@ -12,8 +12,8 @@
 //! clean, separately testable component.
 
 use triosim_collectives::{
-    halving_doubling_all_reduce, ring_all_gather, ring_all_reduce,
-    ring_all_reduce_unsegmented, tree_all_reduce, CollectiveSchedule, GradientBucketizer,
+    halving_doubling_all_reduce, ring_all_gather, ring_all_reduce, ring_all_reduce_unsegmented,
+    tree_all_reduce, CollectiveSchedule, GradientBucketizer,
 };
 use triosim_des::TimeSpan;
 use triosim_modelzoo::{OpClass, Operator};
@@ -23,7 +23,7 @@ use crate::compute::ComputeModel;
 use crate::layers::{summarize_layers, LayerSummary};
 use crate::parallelism::{CollectiveStyle, Parallelism};
 use crate::platform::Platform;
-use crate::taskgraph::{TaskGraph, TaskId};
+use crate::taskgraph::{CollectiveMeta, TaskGraph, TaskId};
 
 /// Extrapolates a single-GPU `trace` onto `platform` under `parallelism`.
 ///
@@ -85,9 +85,7 @@ pub fn extrapolate_with_style(
         Parallelism::DataParallel { overlap } => ex.data_parallel(global_batch, overlap),
         Parallelism::TensorParallel => ex.tensor_parallel(global_batch),
         Parallelism::Pipeline { chunks } => ex.pipeline(global_batch, chunks),
-        Parallelism::Hybrid { dp_groups, chunks } => {
-            ex.hybrid(global_batch, dp_groups, chunks)
-        }
+        Parallelism::Hybrid { dp_groups, chunks } => ex.hybrid(global_batch, dp_groups, chunks),
     }
 }
 
@@ -177,6 +175,7 @@ impl Extrapolator<'_> {
         gpu_map: &[usize],
     ) -> TaskId {
         let mut prev_step: Option<TaskId> = None;
+        let mut first_send: Option<TaskId> = None;
         for (si, step) in schedule.steps().iter().enumerate() {
             let mut sends = Vec::with_capacity(step.len());
             for t in step {
@@ -188,17 +187,29 @@ impl Extrapolator<'_> {
                 }
                 let src = self.platform.gpu_node(gpu_map[t.src.0]);
                 let dst = self.platform.gpu_node(gpu_map[t.dst.0]);
-                sends.push(g.transfer(
+                let id = g.transfer(
                     format!("{label}.s{si}.{}->{}", t.src, t.dst),
                     src,
                     dst,
                     t.bytes,
                     task_deps,
-                ));
+                );
+                first_send.get_or_insert(id);
+                sends.push(id);
             }
             prev_step = Some(g.barrier(format!("{label}.s{si}.done"), sends));
         }
-        prev_step.expect("collective schedules have at least one step")
+        let done = prev_step.expect("collective schedules have at least one step");
+        g.register_collective(CollectiveMeta {
+            label: label.to_string(),
+            algorithm: schedule.kind().name(),
+            payload_bytes: schedule.payload_bytes(),
+            participants: schedule.ranks(),
+            steps: schedule.step_count(),
+            first: first_send.unwrap_or(done),
+            last: done,
+        });
+        done
     }
 
     // ---------------- data parallelism ----------------
@@ -228,21 +239,30 @@ impl Extrapolator<'_> {
 
         // Forward + backward chains, replicated per GPU at the per-GPU
         // batch size. Track where each layer's backward finishes.
-        let mut bwd_done: Vec<Vec<Option<TaskId>>> =
-            vec![vec![None; self.layers.len()]; n];
+        let mut bwd_done: Vec<Vec<Option<TaskId>>> = vec![vec![None; self.layers.len()]; n];
         let mut cursors: Vec<TaskId> = inputs.clone();
         for gpu in 0..n {
             let mut cursor = cursors[gpu];
             for l in &self.layers {
                 for &ei in &l.fwd {
-                    cursor =
-                        self.compute_task(&mut g, &self.trace.entries()[ei], per_gpu, gpu, Some(cursor));
+                    cursor = self.compute_task(
+                        &mut g,
+                        &self.trace.entries()[ei],
+                        per_gpu,
+                        gpu,
+                        Some(cursor),
+                    );
                 }
             }
             for l in self.layers.iter().rev() {
                 for &ei in &l.bwd {
-                    cursor =
-                        self.compute_task(&mut g, &self.trace.entries()[ei], per_gpu, gpu, Some(cursor));
+                    cursor = self.compute_task(
+                        &mut g,
+                        &self.trace.entries()[ei],
+                        per_gpu,
+                        gpu,
+                        Some(cursor),
+                    );
                 }
                 bwd_done[gpu][l.index] = Some(cursor);
             }
@@ -294,8 +314,13 @@ impl Extrapolator<'_> {
             let mut cursor = sync_done;
             for l in &self.layers {
                 for &ei in &l.opt {
-                    cursor =
-                        self.compute_task(&mut g, &self.trace.entries()[ei], per_gpu, gpu, Some(cursor));
+                    cursor = self.compute_task(
+                        &mut g,
+                        &self.trace.entries()[ei],
+                        per_gpu,
+                        gpu,
+                        Some(cursor),
+                    );
                 }
             }
         }
@@ -328,6 +353,7 @@ impl Extrapolator<'_> {
         // Forward: splittable layers shard compute then AllGather the
         // partial outputs; other layers run replicated.
         for l in &self.layers {
+            #[allow(clippy::needless_range_loop)]
             for gpu in 0..n {
                 let mut cursor = cursors[gpu];
                 for &ei in &l.fwd {
@@ -360,6 +386,7 @@ impl Extrapolator<'_> {
         // Backward: mirrored; splittable layers AllReduce the gradient of
         // their input activation.
         for l in self.layers.iter().rev() {
+            #[allow(clippy::needless_range_loop)]
             for gpu in 0..n {
                 let mut cursor = cursors[gpu];
                 for &ei in &l.bwd {
@@ -399,6 +426,7 @@ impl Extrapolator<'_> {
         // Optimizer: each GPU updates its own shard (1/n of splittable
         // layers' parameters, full copy of replicated layers).
         for l in &self.layers {
+            #[allow(clippy::needless_range_loop)]
             for gpu in 0..n {
                 let mut cursor = cursors[gpu];
                 for &ei in &l.opt {
@@ -496,6 +524,7 @@ impl Extrapolator<'_> {
         let mut fwd_done: Vec<Vec<Option<TaskId>>> = vec![vec![None; chunks as usize]; n];
         let mut prev_chunk: Vec<Option<TaskId>> = vec![None; n];
         let mut all_fwd: Vec<TaskId> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for c in 0..chunks as usize {
             let mut carry: Option<TaskId> = None;
             for (s, stage_layers) in stages.iter().enumerate() {
@@ -596,7 +625,12 @@ impl Extrapolator<'_> {
 
         let bwd_done = bwd_done
             .into_iter()
-            .map(|per_chunk| per_chunk.into_iter().map(|t| t.expect("bwd built")).collect())
+            .map(|per_chunk| {
+                per_chunk
+                    .into_iter()
+                    .map(|t| t.expect("bwd built"))
+                    .collect()
+            })
             .collect();
         (stages, bwd_done)
     }
@@ -611,9 +645,12 @@ impl Extrapolator<'_> {
     /// credits to DistSim/vTrain — implemented here as an extension.
     fn hybrid(&self, global_batch: u64, dp_groups: usize, chunks: u64) -> TaskGraph {
         let n = self.gpus();
-        assert!(dp_groups >= 2, "hybrid needs at least two data-parallel groups");
         assert!(
-            n % dp_groups == 0,
+            dp_groups >= 2,
+            "hybrid needs at least two data-parallel groups"
+        );
+        assert!(
+            n.is_multiple_of(dp_groups),
             "{n} GPUs do not divide into {dp_groups} groups"
         );
         let stages_per_group = n / dp_groups;
@@ -629,8 +666,9 @@ impl Extrapolator<'_> {
         // gr*stages .. (gr+1)*stages-1.
         let mut group_builds = Vec::with_capacity(dp_groups);
         for gr in 0..dp_groups {
-            let gpu_map: Vec<usize> =
-                (0..stages_per_group).map(|s| gr * stages_per_group + s).collect();
+            let gpu_map: Vec<usize> = (0..stages_per_group)
+                .map(|s| gr * stages_per_group + s)
+                .collect();
             let build = self.build_gpipe(&mut g, micro, chunks, &gpu_map, &format!("hp{gr}"));
             group_builds.push(build);
         }
@@ -650,9 +688,8 @@ impl Extrapolator<'_> {
             let gate = g.barrier(format!("hp.s{s}.bwd.done"), deps);
             let sync = if grad_bytes > 0 {
                 let sched = self.all_reduce(dp_groups, grad_bytes);
-                let gpu_map: Vec<usize> = (0..dp_groups)
-                    .map(|gr| gr * stages_per_group + s)
-                    .collect();
+                let gpu_map: Vec<usize> =
+                    (0..dp_groups).map(|gr| gr * stages_per_group + s).collect();
                 self.collective_mapped(
                     &mut g,
                     &format!("hp.s{s}.allreduce"),
@@ -689,7 +726,10 @@ impl Extrapolator<'_> {
     /// one layer.
     fn assign_stages(&self, n: usize) -> Vec<Vec<usize>> {
         let len = self.layers.len();
-        assert!(len >= n, "model has fewer layers ({len}) than pipeline stages ({n})");
+        assert!(
+            len >= n,
+            "model has fewer layers ({len}) than pipeline stages ({n})"
+        );
         let mut prefix = Vec::with_capacity(len);
         let mut acc = 0.0;
         for l in &self.layers {
@@ -912,14 +952,25 @@ mod tests {
         let g = extrapolate(
             &trace,
             &platform,
-            Parallelism::Hybrid { dp_groups: 2, chunks: 2 },
+            Parallelism::Hybrid {
+                dp_groups: 2,
+                chunks: 2,
+            },
             64,
             &compute,
         );
         // Two groups, each with its own activation sends (1 boundary x 2
         // chunks each) and a per-stage AllReduce.
-        let hp0 = g.tasks().iter().filter(|t| t.label.starts_with("hp0.act")).count();
-        let hp1 = g.tasks().iter().filter(|t| t.label.starts_with("hp1.act")).count();
+        let hp0 = g
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("hp0.act"))
+            .count();
+        let hp1 = g
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("hp1.act"))
+            .count();
         assert_eq!(hp0, 2);
         assert_eq!(hp1, 2);
         let allreduces = g
@@ -936,7 +987,10 @@ mod tests {
         let g = extrapolate(
             &trace,
             &platform,
-            Parallelism::Hybrid { dp_groups: 2, chunks: 1 },
+            Parallelism::Hybrid {
+                dp_groups: 2,
+                chunks: 1,
+            },
             64,
             &compute,
         );
@@ -964,7 +1018,10 @@ mod tests {
         extrapolate(
             &trace,
             &platform,
-            Parallelism::Hybrid { dp_groups: 3, chunks: 1 },
+            Parallelism::Hybrid {
+                dp_groups: 3,
+                chunks: 1,
+            },
             96,
             &compute,
         );

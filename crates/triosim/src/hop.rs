@@ -47,7 +47,10 @@ impl HopGraph {
     ///
     /// Panics if `n < 4` or `n` is odd.
     pub fn ring_based(n: usize) -> Self {
-        assert!(n >= 4 && n % 2 == 0, "ring-based graph needs an even n >= 4");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "ring-based graph needs an even n >= 4"
+        );
         let mut neighbors = vec![Vec::new(); n];
         for (i, nbrs) in neighbors.iter_mut().enumerate() {
             nbrs.push((i + 1) % n);
@@ -68,7 +71,10 @@ impl HopGraph {
     ///
     /// Panics if `n < 6` or `n` is odd.
     pub fn double_ring(n: usize) -> Self {
-        assert!(n >= 6 && n % 2 == 0, "double ring needs an even n >= 6");
+        assert!(
+            n >= 6 && n.is_multiple_of(2),
+            "double ring needs an even n >= 6"
+        );
         let half = n / 2;
         let mut neighbors = vec![Vec::new(); n];
         for i in 0..half {
@@ -184,7 +190,7 @@ impl HopSimulator {
         // Per-worker state.
         let mut started = vec![0usize; n]; // iterations started so far
         let mut compute_done = vec![0usize; n]; // iterations whose compute finished
-        // received[w] counts updates tagged with each iteration.
+                                                // received[w] counts updates tagged with each iteration.
         let mut received: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n];
         let mut finish = vec![0.0f64; n];
         let mut updates_skipped = 0u64;
@@ -228,7 +234,9 @@ impl HopSimulator {
         // A straggler skips its compute when it lags its fastest
         // neighbour by at least `skip_lag` iterations.
         let should_skip = |w: usize, started: &[usize]| -> bool {
-            let Some(lag) = cfg.skip_lag else { return false };
+            let Some(lag) = cfg.skip_lag else {
+                return false;
+            };
             let fastest = self
                 .graph
                 .neighbors(w)
@@ -249,7 +257,13 @@ impl HopSimulator {
                 } else {
                     TimeSpan::from_seconds(cfg.compute_time_s * compute_factor(w).max(1.0))
                 };
-                queue.schedule_in(span, HopEvent::ComputeDone { worker: w, iter: it });
+                queue.schedule_in(
+                    span,
+                    HopEvent::ComputeDone {
+                        worker: w,
+                        iter: it,
+                    },
+                );
             };
 
         for w in 0..n {
@@ -338,7 +352,11 @@ mod tests {
     fn homogeneous_cluster_finishes_in_lockstep() {
         let sim = HopSimulator::new(HopGraph::ring_based(8), config(0));
         let r = sim.run(&|_, _| 1.0);
-        let min = r.per_worker_finish_s.iter().copied().fold(f64::MAX, f64::min);
+        let min = r
+            .per_worker_finish_s
+            .iter()
+            .copied()
+            .fold(f64::MAX, f64::min);
         assert!((r.total_time_s - min).abs() < 1e-9, "all workers tie");
         // 10 iterations of 0.1 s compute plus comm waits.
         assert!(r.total_time_s >= 1.0);
@@ -395,10 +413,10 @@ mod tests {
         let compute = |w: usize| if w == 5 { 4.0 } else { 1.0 };
         let mut with_skip = config(1);
         with_skip.skip_lag = Some(2);
-        let base = HopSimulator::new(HopGraph::ring_based(8), config(1))
-            .run_with(&|_, _| 1.0, &compute);
-        let skipping = HopSimulator::new(HopGraph::ring_based(8), with_skip)
-            .run_with(&|_, _| 1.0, &compute);
+        let base =
+            HopSimulator::new(HopGraph::ring_based(8), config(1)).run_with(&|_, _| 1.0, &compute);
+        let skipping =
+            HopSimulator::new(HopGraph::ring_based(8), with_skip).run_with(&|_, _| 1.0, &compute);
         assert_eq!(base.iterations_skipped, 0);
         assert!(skipping.iterations_skipped > 0);
         assert!(

@@ -65,14 +65,14 @@ mod taskgraph;
 mod viz;
 
 pub use compute::{ComputeModel, Fidelity};
-pub use executor::{execute, execute_iterations};
+pub use executor::{execute, execute_iterations, execute_observed, Observability};
 pub use extrapolate::{extrapolate, extrapolate_with_style};
 pub use hop::{HopConfig, HopGraph, HopReport, HopSimulator};
-pub use layers::{LayerSummary, summarize_layers};
+pub use layers::{summarize_layers, LayerSummary};
 pub use memory::{estimate_memory, MemoryEstimate};
 pub use parallelism::{CollectiveStyle, Parallelism};
 pub use platform::Platform;
 pub use report::{SimReport, TimelineRecord, TimelineTrack};
 pub use session::SimBuilder;
-pub use taskgraph::{Task, TaskGraph, TaskId, TaskKind};
+pub use taskgraph::{CollectiveMeta, Task, TaskGraph, TaskId, TaskKind};
 pub use viz::render_html_timeline;

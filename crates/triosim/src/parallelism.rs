@@ -94,11 +94,25 @@ mod tests {
         assert_eq!(Parallelism::DataParallel { overlap: false }.label(), "DP");
         assert_eq!(Parallelism::DataParallel { overlap: true }.label(), "DDP");
         assert_eq!(Parallelism::TensorParallel.to_string(), "TP");
-        assert_eq!(Parallelism::Pipeline { chunks: 4 }.to_string(), "PP(chunks=4)");
         assert_eq!(
-            Parallelism::Hybrid { dp_groups: 2, chunks: 4 }.to_string(),
+            Parallelism::Pipeline { chunks: 4 }.to_string(),
+            "PP(chunks=4)"
+        );
+        assert_eq!(
+            Parallelism::Hybrid {
+                dp_groups: 2,
+                chunks: 4
+            }
+            .to_string(),
             "HP(dp=2,chunks=4)"
         );
-        assert_eq!(Parallelism::Hybrid { dp_groups: 2, chunks: 1 }.label(), "HP");
+        assert_eq!(
+            Parallelism::Hybrid {
+                dp_groups: 2,
+                chunks: 1
+            }
+            .label(),
+            "HP"
+        );
     }
 }

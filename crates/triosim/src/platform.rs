@@ -57,11 +57,7 @@ impl Platform {
     /// Panics if `gpus` is zero.
     pub fn pcie(gpu: GpuModel, gpus: usize, name: impl Into<String>) -> Self {
         let link = LinkKind::Pcie4;
-        let topology = Topology::pcie_host_tree(
-            gpus,
-            link.achieved_bandwidth(),
-            link.latency_s(),
-        );
+        let topology = Topology::pcie_host_tree(gpus, link.achieved_bandwidth(), link.latency_s());
         Platform {
             name: name.into(),
             gpu,
@@ -212,12 +208,7 @@ impl Platform {
     /// # Panics
     ///
     /// Panics if the topology has fewer than `gpus + 1` nodes.
-    pub fn custom(
-        gpu: GpuModel,
-        gpus: usize,
-        topology: Topology,
-        name: impl Into<String>,
-    ) -> Self {
+    pub fn custom(gpu: GpuModel, gpus: usize, topology: Topology, name: impl Into<String>) -> Self {
         assert!(
             topology.node_count() > gpus,
             "topology must contain the host plus {gpus} GPU nodes"
@@ -300,20 +291,14 @@ mod tests {
         assert_eq!(p.gpu_count(), 2);
         assert_eq!(p.gpu(), GpuModel::A40);
         // GPU-GPU crosses the host: 2 hops.
-        let r = p
-            .topology()
-            .route(p.gpu_node(0), p.gpu_node(1))
-            .unwrap();
+        let r = p.topology().route(p.gpu_node(0), p.gpu_node(1)).unwrap();
         assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn p2_is_direct_nvlink() {
         let p = Platform::p2(4);
-        let r = p
-            .topology()
-            .route(p.gpu_node(0), p.gpu_node(3))
-            .unwrap();
+        let r = p.topology().route(p.gpu_node(0), p.gpu_node(3)).unwrap();
         assert_eq!(r.len(), 1, "NVSwitch is single-hop");
         let bw = p.topology().bandwidth(r[0]);
         assert!(bw > 100e9, "NVLink-class bandwidth, got {bw}");
@@ -354,13 +339,9 @@ mod tests {
             .topology()
             .route(slowed.gpu_node(0), slowed.gpu_node(1))
             .unwrap();
-        let orig = p
-            .topology()
-            .route(p.gpu_node(0), p.gpu_node(1))
-            .unwrap();
+        let orig = p.topology().route(p.gpu_node(0), p.gpu_node(1)).unwrap();
         assert!(
-            (slowed.topology().bandwidth(r[0]) - 0.1 * p.topology().bandwidth(orig[0])).abs()
-                < 1.0
+            (slowed.topology().bandwidth(r[0]) - 0.1 * p.topology().bandwidth(orig[0])).abs() < 1.0
         );
         // Host uplink untouched.
         let hr = slowed

@@ -7,9 +7,8 @@
 //! (the same format the PyTorch profiler uses), so it can be inspected in
 //! any trace viewer.
 
-use triosim_des::{TimeSpan, VirtualTime};
-
-use serde::Serialize;
+use triosim_des::{QueueStats, TimeSpan, VirtualTime};
+use triosim_obs::{AttrValue, ChromeTraceSink, Recorder};
 
 /// Which resource a timeline record occupied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +42,7 @@ pub struct SimReport {
     comm_busy: TimeSpan,
     bytes_transferred: u64,
     tasks_executed: usize,
+    queue: QueueStats,
     timeline: Vec<TimelineRecord>,
 }
 
@@ -53,6 +53,7 @@ impl SimReport {
         comm_busy: TimeSpan,
         bytes_transferred: u64,
         tasks_executed: usize,
+        queue: QueueStats,
         timeline: Vec<TimelineRecord>,
     ) -> Self {
         SimReport {
@@ -61,6 +62,7 @@ impl SimReport {
             comm_busy,
             bytes_transferred,
             tasks_executed,
+            queue,
             timeline,
         }
     }
@@ -116,6 +118,13 @@ impl SimReport {
         self.tasks_executed
     }
 
+    /// Event-queue statistics of the run: how many simulation events were
+    /// scheduled, delivered, and lazily cancelled, and the high-water
+    /// mark of pending events (the AkitaRTM-style engine counters).
+    pub fn queue_stats(&self) -> &QueueStats {
+        &self.queue
+    }
+
     /// The full execution timeline.
     pub fn timeline(&self) -> &[TimelineRecord] {
         &self.timeline
@@ -162,6 +171,7 @@ impl SimReport {
             let (s, e) = (r.start.as_seconds(), r.end.as_seconds());
             let first = ((s / width) as usize).min(buckets - 1);
             let last = ((e / width) as usize).min(buckets - 1);
+            #[allow(clippy::needless_range_loop)]
             for b in first..=last {
                 let bucket_start = b as f64 * width;
                 let overlap = (e.min(bucket_start + width) - s.max(bucket_start)).max(0.0);
@@ -178,36 +188,36 @@ impl SimReport {
 
     /// Exports the timeline as Chrome `about:tracing` JSON.
     ///
+    /// Streams the timeline through the same
+    /// [`ChromeTraceSink`] the live observability layer uses, so the
+    /// post-hoc export and `--trace-events` produce the same dialect
+    /// (named per-track threads, `"X"` complete events).
+    ///
     /// # Errors
     ///
     /// Returns the underlying `serde_json` error if serialization fails
     /// (practically impossible for this data).
     pub fn to_chrome_trace(&self) -> Result<String, serde_json::Error> {
-        #[derive(Serialize)]
-        struct ChromeEvent<'a> {
-            name: &'a str,
-            ph: &'static str,
-            ts: f64,
-            dur: f64,
-            pid: u32,
-            tid: u32,
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        for r in &self.timeline {
+            let track = match r.track {
+                TimelineTrack::Gpu(i) => format!("gpu{i}"),
+                TimelineTrack::Network => "network".to_string(),
+            };
+            match r.layer {
+                Some(layer) => sink.span(
+                    &track,
+                    &r.label,
+                    r.start,
+                    r.end,
+                    &[("layer", AttrValue::U64(layer as u64))],
+                ),
+                None => sink.span(&track, &r.label, r.start, r.end, &[]),
+            }
         }
-        let events: Vec<ChromeEvent<'_>> = self
-            .timeline
-            .iter()
-            .map(|r| ChromeEvent {
-                name: &r.label,
-                ph: "X",
-                ts: r.start.as_seconds() * 1e6,
-                dur: (r.end - r.start).as_seconds() * 1e6,
-                pid: 0,
-                tid: match r.track {
-                    TimelineTrack::Gpu(i) => i as u32,
-                    TimelineTrack::Network => 1000,
-                },
-            })
-            .collect();
-        serde_json::to_string(&events)
+        sink.finish().expect("in-memory trace write cannot fail");
+        let bytes = sink.into_inner();
+        Ok(String::from_utf8(bytes).expect("trace sink emits UTF-8"))
     }
 }
 
@@ -268,6 +278,7 @@ mod tests {
             TimeSpan::from_seconds(2.0),
             1234,
             7,
+            QueueStats::default(),
             vec![],
         );
         assert_eq!(report.total_time_s(), 10.0);
@@ -287,6 +298,7 @@ mod tests {
             TimeSpan::ZERO,
             0,
             1,
+            QueueStats::default(),
             vec![TimelineRecord {
                 label: "op".into(),
                 track: TimelineTrack::Gpu(0),
@@ -311,6 +323,7 @@ mod tests {
             TimeSpan::ZERO,
             0,
             1,
+            QueueStats::default(),
             vec![TimelineRecord {
                 label: "op".into(),
                 track: TimelineTrack::Gpu(0),
@@ -333,6 +346,7 @@ mod tests {
             TimeSpan::ZERO,
             0,
             1,
+            QueueStats::default(),
             vec![TimelineRecord {
                 label: "conv1@g0".into(),
                 track: TimelineTrack::Gpu(0),

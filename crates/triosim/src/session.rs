@@ -2,12 +2,14 @@
 
 use std::str::FromStr;
 
+use triosim_des::TimeSpan;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel};
+use triosim_obs::{ProgressMonitor, Recorder};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, OracleGpu, Trace};
 
 use crate::compute::{ComputeModel, Fidelity};
-use crate::executor::execute_iterations;
+use crate::executor::{execute_iterations, execute_observed, Observability};
 use crate::extrapolate::extrapolate_with_style;
 use crate::parallelism::{CollectiveStyle, Parallelism};
 use crate::platform::Platform;
@@ -54,6 +56,7 @@ pub struct SimBuilder<'a> {
     network: Option<Box<dyn NetworkModel>>,
     collective_style: CollectiveStyle,
     iterations: usize,
+    observability: Observability,
 }
 
 impl<'a> SimBuilder<'a> {
@@ -69,6 +72,7 @@ impl<'a> SimBuilder<'a> {
             network: None,
             collective_style: CollectiveStyle::default(),
             iterations: 1,
+            observability: Observability::off(),
         }
     }
 
@@ -125,14 +129,37 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Attaches an observability recorder (e.g. a
+    /// [`RunRecorder`](triosim_obs::RunRecorder) fanning out to JSONL,
+    /// Chrome-trace, and Prometheus sinks). The run emits spans and
+    /// metrics into it and calls `finish` when done.
+    pub fn recorder(mut self, r: Box<dyn Recorder>) -> Self {
+        self.observability.recorder = Some(r);
+        self
+    }
+
+    /// Attaches a live progress monitor (wall-clock throttled, stderr).
+    pub fn progress(mut self, p: ProgressMonitor) -> Self {
+        self.observability.progress = Some(p);
+        self
+    }
+
+    /// Sets the virtual-time period between observability samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn sample_period(mut self, period: TimeSpan) -> Self {
+        self.observability = std::mem::take(&mut self.observability).with_sample_period(period);
+        self
+    }
+
     fn resolved_batch(&self) -> u64 {
         self.global_batch.unwrap_or(match self.parallelism {
             Parallelism::DataParallel { .. } => {
                 self.trace.batch() * self.platform.gpu_count() as u64
             }
-            Parallelism::Hybrid { dp_groups, .. } => {
-                self.trace.batch() * dp_groups as u64
-            }
+            Parallelism::Hybrid { dp_groups, .. } => self.trace.batch() * dp_groups as u64,
             _ => self.trace.batch(),
         })
     }
@@ -190,9 +217,10 @@ impl<'a> SimBuilder<'a> {
         let topo = self.platform.topology().clone();
         match self.fidelity {
             Fidelity::TrioSim => Box::new(FlowNetwork::new(topo)),
-            Fidelity::Reference => {
-                Box::new(FlowNetwork::with_config(topo, FlowNetworkConfig::reference()))
-            }
+            Fidelity::Reference => Box::new(FlowNetwork::with_config(
+                topo,
+                FlowNetworkConfig::reference(),
+            )),
         }
     }
 
@@ -213,7 +241,16 @@ impl<'a> SimBuilder<'a> {
     pub fn run(mut self) -> SimReport {
         let graph = self.build_graph();
         let mut network = self.resolved_network();
-        execute_iterations(&graph, network.as_mut(), self.iterations)
+        if self.observability.is_active() {
+            execute_observed(
+                &graph,
+                network.as_mut(),
+                self.iterations,
+                self.observability,
+            )
+        } else {
+            execute_iterations(&graph, network.as_mut(), self.iterations)
+        }
     }
 }
 

@@ -51,6 +51,31 @@ pub struct Task {
     pub layer: Option<usize>,
 }
 
+/// Metadata describing one collective operation lowered into the graph.
+///
+/// The extrapolator registers one entry per collective it emits; the
+/// executor uses the `first`/`last` task ids to reconstruct a single
+/// span per collective (tagged with algorithm, payload, and
+/// participants) for the observability layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveMeta {
+    /// The label prefix shared by the collective's tasks
+    /// (e.g. `ddp.bucket3.allreduce`).
+    pub label: String,
+    /// Algorithm tag (e.g. `allreduce`, `allgather`, `p2p`).
+    pub algorithm: &'static str,
+    /// Logical payload size being reduced/gathered, in bytes.
+    pub payload_bytes: u64,
+    /// Number of participating ranks.
+    pub participants: usize,
+    /// Number of synchronous communication steps.
+    pub steps: usize,
+    /// The collective's first transfer task.
+    pub first: TaskId,
+    /// The collective's final barrier (completion marker).
+    pub last: TaskId,
+}
+
 /// The extrapolated multi-GPU execution plan.
 ///
 /// # Example
@@ -70,6 +95,7 @@ pub struct Task {
 pub struct TaskGraph {
     gpus: usize,
     tasks: Vec<Task>,
+    collectives: Vec<CollectiveMeta>,
 }
 
 impl TaskGraph {
@@ -78,6 +104,7 @@ impl TaskGraph {
         TaskGraph {
             gpus,
             tasks: Vec::new(),
+            collectives: Vec::new(),
         }
     }
 
@@ -180,6 +207,27 @@ impl TaskGraph {
         })
     }
 
+    /// Registers collective metadata for a group of already-added tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `first`/`last` task ids are out of range or out of
+    /// order — the extrapolator registers a collective only after
+    /// emitting all of its tasks.
+    pub fn register_collective(&mut self, meta: CollectiveMeta) {
+        assert!(
+            meta.first <= meta.last && meta.last.0 < self.tasks.len(),
+            "collective {:?} references tasks outside the graph",
+            meta.label
+        );
+        self.collectives.push(meta);
+    }
+
+    /// Collectives lowered into this graph, in emission order.
+    pub fn collectives(&self) -> &[CollectiveMeta] {
+        &self.collectives
+    }
+
     /// Total bytes moved by all transfer tasks.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.tasks
@@ -233,6 +281,39 @@ mod tests {
     fn gpu_bounds_checked() {
         let mut g = TaskGraph::new(2);
         g.compute("x", 2, TimeSpan::ZERO, vec![]);
+    }
+
+    #[test]
+    fn collective_registry_tracks_bounds() {
+        let mut g = TaskGraph::new(2);
+        let t = g.transfer("ar.s0.0->1", NodeId(0), NodeId(1), 64, vec![]);
+        let b = g.barrier("ar.done", vec![t]);
+        g.register_collective(CollectiveMeta {
+            label: "ar".into(),
+            algorithm: "allreduce",
+            payload_bytes: 64,
+            participants: 2,
+            steps: 1,
+            first: t,
+            last: b,
+        });
+        assert_eq!(g.collectives().len(), 1);
+        assert_eq!(g.collectives()[0].algorithm, "allreduce");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn collective_registry_rejects_dangling_ids() {
+        let mut g = TaskGraph::new(1);
+        g.register_collective(CollectiveMeta {
+            label: "bad".into(),
+            algorithm: "allreduce",
+            payload_bytes: 0,
+            participants: 1,
+            steps: 0,
+            first: TaskId(0),
+            last: TaskId(3),
+        });
     }
 
     #[test]

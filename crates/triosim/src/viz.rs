@@ -59,7 +59,11 @@ impl Lane {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&#39;")
 }
 
 /// Renders the report's timeline as a standalone HTML document.
@@ -223,6 +227,16 @@ mod tests {
         let html = render_html_timeline(&sample_report(), "a<b>&c");
         assert!(html.contains("a&lt;b&gt;&amp;c"));
         assert!(!html.contains("<b>&c"));
+    }
+
+    #[test]
+    fn quotes_are_escaped_in_attribute_context() {
+        // A hostile label must not be able to break out of the title=""
+        // attribute the span labels are interpolated into.
+        let html = render_html_timeline(&sample_report(), r#"x" onmouseover="alert('p0wn')"#);
+        assert!(!html.contains(r#"x" onmouseover"#), "quote escaped");
+        assert!(html.contains("&quot;"));
+        assert!(html.contains("&#39;"));
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn candidates(gpus: usize, traced_batch: u64) -> Vec<Config> {
             for dp_groups in [2usize, gpus / 2] {
                 v.push(Config {
                     gpus,
-                    parallelism: Parallelism::Hybrid { dp_groups, chunks: 2 },
+                    parallelism: Parallelism::Hybrid {
+                        dp_groups,
+                        chunks: 2,
+                    },
                     global_batch: (traced_batch * mult).max(1) * dp_groups as u64,
                 });
             }

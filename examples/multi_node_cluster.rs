@@ -40,7 +40,10 @@ fn main() {
             .global_batch(tb * 8)
             .run();
         let hp = SimBuilder::new(&trace, &platform)
-            .parallelism(Parallelism::Hybrid { dp_groups: 2, chunks: 4 })
+            .parallelism(Parallelism::Hybrid {
+                dp_groups: 2,
+                chunks: 4,
+            })
             .global_batch(tb * 2)
             .run();
         println!(

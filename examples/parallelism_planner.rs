@@ -39,7 +39,10 @@ fn main() {
 
     let mut candidates: Vec<(String, Parallelism)> = vec![
         ("DDP".into(), Parallelism::DataParallel { overlap: true }),
-        ("DP (no ovl)".into(), Parallelism::DataParallel { overlap: false }),
+        (
+            "DP (no ovl)".into(),
+            Parallelism::DataParallel { overlap: false },
+        ),
         ("TP".into(), Parallelism::TensorParallel),
     ];
     for chunks in [1u64, 2, 4, 8] {

@@ -19,7 +19,12 @@ fn main() {
     let gpus = 16usize;
     let model = ModelId::ResNet50.build(64);
     let trace = Tracer::new(GpuModel::A100).trace(&model);
-    let platform = Platform::ring(GpuModel::A100, gpus, LinkKind::WaferElectrical, "mini-wafer");
+    let platform = Platform::ring(
+        GpuModel::A100,
+        gpus,
+        LinkKind::WaferElectrical,
+        "mini-wafer",
+    );
     let batch = 64 * gpus as u64;
 
     let electrical = SimBuilder::new(&trace, &platform)
@@ -43,8 +48,14 @@ fn main() {
         .network(Box::new(photonic_net))
         .run();
 
-    println!("{} on a {gpus}-chiplet wafer, data parallelism:", trace.model());
-    for (name, r) in [("electrical ring", &electrical), ("photonic passage", &photonic)] {
+    println!(
+        "{} on a {gpus}-chiplet wafer, data parallelism:",
+        trace.model()
+    );
+    for (name, r) in [
+        ("electrical ring", &electrical),
+        ("photonic passage", &photonic),
+    ] {
         println!(
             "  {name:<17}: total {:>7.1} ms | compute {:>7.1} ms | comm {:>7.1} ms ({:.0}%)",
             r.total_time_s() * 1e3,

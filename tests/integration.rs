@@ -111,7 +111,12 @@ fn more_chunks_shrink_the_bubble_at_large_batch() {
             .run()
             .total_time_s()
     };
-    assert!(time(4) < time(1), "4 chunks {} vs 1 chunk {}", time(4), time(1));
+    assert!(
+        time(4) < time(1),
+        "4 chunks {} vs 1 chunk {}",
+        time(4),
+        time(1)
+    );
 }
 
 /// At tiny micro-batches, launch-overhead floors make extra chunks
@@ -127,7 +132,12 @@ fn tiny_microbatches_invert_the_chunk_benefit() {
             .run()
             .total_time_s()
     };
-    assert!(time(4) > time(1), "expected inversion: {} vs {}", time(4), time(1));
+    assert!(
+        time(4) > time(1),
+        "expected inversion: {} vs {}",
+        time(4),
+        time(1)
+    );
 }
 
 /// Tensor parallelism across more GPUs shrinks per-GPU compute time.
@@ -159,7 +169,10 @@ fn nvlink_beats_pcie_on_comm() {
             .comm_time_s()
     };
     let pcie = comm(&trace_a40, &Platform::p1());
-    let nvlink = comm(&trace_a100, &Platform::nvswitch(GpuModel::A100, 2, triosim_trace::LinkKind::NvLink3, "P2-2"));
+    let nvlink = comm(
+        &trace_a100,
+        &Platform::nvswitch(GpuModel::A100, 2, triosim_trace::LinkKind::NvLink3, "P2-2"),
+    );
     assert!(nvlink < pcie / 3.0, "nvlink {nvlink} vs pcie {pcie}");
 }
 
@@ -169,10 +182,25 @@ fn nvlink_beats_pcie_on_comm() {
 fn validation_errors_within_paper_bands() {
     let cases: Vec<(ModelId, Parallelism, u64, f64)> = vec![
         // (model, parallelism, global batch, max error)
-        (ModelId::ResNet18, Parallelism::DataParallel { overlap: true }, 64, 0.10),
-        (ModelId::Vgg11, Parallelism::DataParallel { overlap: false }, 64, 0.15),
+        (
+            ModelId::ResNet18,
+            Parallelism::DataParallel { overlap: true },
+            64,
+            0.10,
+        ),
+        (
+            ModelId::Vgg11,
+            Parallelism::DataParallel { overlap: false },
+            64,
+            0.15,
+        ),
         (ModelId::ResNet18, Parallelism::TensorParallel, 32, 0.20),
-        (ModelId::ResNet18, Parallelism::Pipeline { chunks: 2 }, 32, 0.25),
+        (
+            ModelId::ResNet18,
+            Parallelism::Pipeline { chunks: 2 },
+            32,
+            0.25,
+        ),
     ];
     let platform = Platform::p1();
     for (model, parallelism, batch, max_err) in cases {
@@ -253,7 +281,10 @@ fn per_layer_breakdown_accounts_for_all_compute() {
         .iter()
         .map(|t| t.as_seconds())
         .sum();
-    assert!((sum - total).abs() / total < 1e-9, "sum {sum} vs total {total}");
+    assert!(
+        (sum - total).abs() / total < 1e-9,
+        "sum {sum} vs total {total}"
+    );
     assert!(per_layer.iter().all(|&t| t > 0.0), "every layer ran");
 }
 
@@ -275,6 +306,9 @@ fn transformers_all_parallelisms() {
             .run();
         assert!(report.total_time_s() > 0.0, "{parallelism}");
         assert!(report.comm_time_s() > 0.0, "{parallelism}");
-        assert!(report.total_time_s() < 60.0, "{parallelism} took absurdly long");
+        assert!(
+            report.total_time_s() < 60.0,
+            "{parallelism} took absurdly long"
+        );
     }
 }

@@ -1,0 +1,478 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment of this repository has no network access and no
+//! crates.io mirror, so the workspace vendors a minimal-but-functional
+//! re-implementation of the handful of serde features it actually uses
+//! (see `third_party/README.md`). Instead of serde's zero-copy
+//! `Serializer`/`Deserializer` visitor machinery, everything round-trips
+//! through one owned [`Value`] tree — slower, but simple, dependency-free,
+//! and format-compatible with `serde_json` for the constructs this
+//! workspace serializes (structs with named fields, newtype structs,
+//! externally tagged enums, sequences, maps with scalar keys).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type lowers to.
+///
+/// Object fields keep insertion order (a `Vec`, not a map), matching the
+/// field order of `#[derive(Serialize)]` structs exactly like serde_json.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (serialized without a decimal point).
+    Int(i64),
+    /// Unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Key/value map preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be converted into the requested
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts a data-model value back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field is absent from its object.
+    ///
+    /// `None` (the default) makes the field required; `Option<T>`
+    /// overrides this to recover serde's "missing field is `None`"
+    /// behavior.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserializes field `name` from a struct object (derive support).
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if the field is absent (and the target type has
+/// no missing-field default) or fails to convert.
+pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_missing().ok_or_else(|| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    _ => return Err(DeError::expected("unsigned integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range")))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain a `'static` borrow. Only needed because
+    /// `GpuSpec` derives `Deserialize` with a `&'static str` field; specs
+    /// are a handful of small names, so the leak is bounded and harmless.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", v)),
+        }
+    }
+}
+
+/// Serializes a scalar map key to its string form (serde_json stringifies
+/// integer keys).
+fn key_to_string(v: &Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        _ => Err(DeError(format!("unsupported map key kind `{}`", v.kind()))),
+    }
+}
+
+/// Recovers a scalar map key from its string form.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError(format!("cannot parse map key `{s}`")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(&k.to_value()).expect("map key must be scalar"),
+                        v.to_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl<K, V> Serialize for HashMap<K, V>
+where
+    K: Serialize + Ord + std::hash::Hash,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (HashMap iteration order is not
+        // stable across runs).
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(&k.to_value()).expect("map key must be scalar"),
+                        v.to_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+    }
+
+    #[test]
+    fn option_handles_missing_fields() {
+        let fields: Vec<(String, Value)> = vec![];
+        let missing: Option<u64> = field(&fields, "absent").unwrap();
+        assert_eq!(missing, None);
+        let required: Result<u64, _> = field(&fields, "absent");
+        assert!(required.is_err());
+    }
+
+    #[test]
+    fn integer_keyed_maps_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(3u64, "x".to_string());
+        let v = m.to_value();
+        assert_eq!(v.get("3"), Some(&Value::Str("x".into())));
+        let back: BTreeMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,398 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! subset (see `third_party/README.md`).
+//!
+//! Implemented directly on `proc_macro::TokenStream` — no `syn`/`quote`,
+//! which are unavailable in this offline build environment. The parser
+//! handles exactly the item shapes this workspace uses: plain structs
+//! (named, tuple, unit) with at most lifetime generics, and enums whose
+//! variants are unit, tuple, or struct-like. No `#[serde(...)]` attributes
+//! are supported; none are used in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+struct Input {
+    name: String,
+    /// `"<'a>"`-style generics text, or empty. Only lifetimes occur in this
+    /// workspace, so the same text serves as both impl and type generics.
+    generics: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes any number of leading `#[...]` attributes (doc comments appear
+/// here too, as `#[doc = ...]`).
+fn skip_attrs(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute: expected [...], got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(it: &mut Tokens) {
+    if let Some(TokenTree::Ident(i)) = it.peek() {
+        if i.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected {what}, got {other:?}"),
+    }
+}
+
+/// Consumes `<...>` generics (if present) and returns their text including
+/// the angle brackets.
+fn parse_generics(it: &mut Tokens) -> String {
+    match it.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    let mut depth = 0usize;
+    let mut collected: Vec<TokenTree> = Vec::new();
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        collected.push(tt);
+        if depth == 0 {
+            break;
+        }
+    }
+    collected.into_iter().collect::<TokenStream>().to_string()
+}
+
+/// Counts the comma-separated fields of a tuple payload `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut arity = 0usize;
+    let mut in_field = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    in_field = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_field {
+            in_field = true;
+            arity += 1;
+        }
+    }
+    arity
+}
+
+/// Extracts the field names of a named payload `{ ... }`, skipping the
+/// types (whose text is never needed: serialization is inferred from the
+/// field expression, deserialization from the struct literal).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            return names;
+        }
+        skip_vis(&mut it);
+        names.push(expect_ident(&mut it, "field name"));
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma. Commas nested in
+        // generic arguments (e.g. `BTreeMap<K, V>`) sit at angle depth > 0;
+        // commas inside parenthesized/tuple types are inside a Group token
+        // and invisible at this level.
+        let mut depth = 0usize;
+        while let Some(tt) = it.next() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if it.peek().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        if it.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut it, "variant name");
+        let data = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                VariantData::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantData::Named(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: Tokens = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kind = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    let generics = parse_generics(&mut it);
+    let data = match (kind.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Data::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream()))
+        }
+        (kind, other) => panic!("cannot derive for {kind} with body {other:?}"),
+    };
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\nimpl{g} {trait_path} for {n}{g}",
+        g = input.generics,
+        n = input.name,
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantData::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("_f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(_f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(_f{i})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})]),"
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    let code = format!(
+        "{header} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n",
+        header = impl_header(&input, "::serde::Serialize"),
+    );
+    code.parse().expect("derived Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(_fields, \"{f}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let _fields = _v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", _v))?;\n        ::std::result::Result::Ok({name} {{\n            {inits}\n        }})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(_v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&_items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match _v.as_array() {{\n            ::std::option::Option::Some(_items) if _items.len() == {n} => ::std::result::Result::Ok({name}({items})),\n            _ => ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", _v)),\n        }}"
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => None,
+                        VariantData::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(_payload)?)),"
+                        )),
+                        VariantData::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&_items[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => match _payload.as_array() {{\n                    ::std::option::Option::Some(_items) if _items.len() == {n} => ::std::result::Result::Ok({name}::{vn}({items})),\n                    _ => ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", _payload)),\n                }},"
+                            ))
+                        }
+                        VariantData::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(_pf, \"{f}\")?,"))
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            Some(format!(
+                                "\"{vn}\" => {{\n                    let _pf = _payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", _payload))?;\n                    ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n                }},"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "match _v {{\n            ::serde::Value::Str(_s) => match _s.as_str() {{\n                {unit_arms}\n                _other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{_other}}` of {name}\"))),\n            }},\n            ::serde::Value::Object(_fields) if _fields.len() == 1 => {{\n                let (_tag, _payload) = &_fields[0];\n                match _tag.as_str() {{\n                {data_arms}\n                    _other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{_other}}` of {name}\"))),\n                }}\n            }}\n            _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum value\", _v)),\n        }}"
+            )
+        }
+    };
+    let code = format!(
+        "{header} {{\n    fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n",
+        header = impl_header(&input, "::serde::Deserialize"),
+    );
+    code.parse().expect("derived Deserialize impl must parse")
+}
