@@ -148,7 +148,30 @@ impl<E> EventQueue<E> {
         }
         self.cancelled.insert(id.0);
         self.stats.record_cancelled();
+        if self.cancelled.len() >= Self::COMPACT_MIN_CANCELLED
+            && self.cancelled.len() * 2 > self.heap.len()
+        {
+            self.compact();
+        }
         true
+    }
+
+    /// Don't bother compacting tiny queues: the rebuild costs more than
+    /// lazily skipping a handful of entries.
+    const COMPACT_MIN_CANCELLED: usize = 64;
+
+    /// Rebuilds the heap without its lazily-cancelled entries. Every
+    /// cancelled id is by construction still in the heap (ids leave
+    /// `cancelled` only when their entry surfaces), so the set drains to
+    /// empty and memory stops growing O(cancellations) between pops.
+    fn compact(&mut self) {
+        let heap = std::mem::take(&mut self.heap);
+        self.heap = heap
+            .into_iter()
+            .filter(|s| !self.cancelled.remove(&s.seq))
+            .collect();
+        debug_assert!(self.cancelled.is_empty(), "compaction must drain cancelled");
+        self.stats.record_compaction();
     }
 
     /// Removes and returns the earliest pending event, advancing the clock
@@ -314,6 +337,32 @@ mod tests {
         let a = q.schedule(VirtualTime::from_seconds(1.0), ());
         q.cancel(a);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_evicts_cancelled_entries_and_preserves_order() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..200)
+            .map(|i| q.schedule(VirtualTime::from_seconds(i as f64), i))
+            .collect();
+        // Cancel 150 of 200: crosses both the minimum-size and the
+        // half-the-heap thresholds, forcing at least one rebuild.
+        for id in &ids[0..150] {
+            q.cancel(*id);
+        }
+        assert!(q.stats().compactions() >= 1);
+        assert_eq!(q.len(), 50);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (150..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_queues_skip_compaction() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(VirtualTime::from_seconds(1.0), ());
+        q.schedule(VirtualTime::from_seconds(2.0), ());
+        q.cancel(a);
+        assert_eq!(q.stats().compactions(), 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct QueueStats {
     delivered: u64,
     cancelled: u64,
     max_pending: usize,
+    compactions: u64,
 }
 
 impl QueueStats {
@@ -49,6 +50,11 @@ impl QueueStats {
         self.max_pending
     }
 
+    /// Times the heap was rebuilt to evict lazily-cancelled entries.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     pub(crate) fn record_scheduled(&mut self, pending: usize) {
         self.scheduled += 1;
         if pending > self.max_pending {
@@ -62,5 +68,9 @@ impl QueueStats {
 
     pub(crate) fn record_cancelled(&mut self) {
         self.cancelled += 1;
+    }
+
+    pub(crate) fn record_compaction(&mut self) {
+        self.compactions += 1;
     }
 }

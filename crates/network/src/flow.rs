@@ -1,6 +1,14 @@
 //! The packet-switching flow network (§4.5 of the paper).
+//!
+//! Beyond the paper's 4-step model, this implementation carries a *fast
+//! path* (see `DESIGN.md` §5, "Network fast path"): per-source route
+//! caching, slab-indexed flow storage with a per-link membership index,
+//! max-min reallocation scoped to the connected component of links the
+//! triggering flow touches, and delta-rescheduling that re-arms only the
+//! flows whose rate actually changed.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use triosim_des::{TimeSpan, VirtualTime};
 
@@ -57,12 +65,42 @@ impl FlowNetworkConfig {
     }
 }
 
+/// How the network recomputes fair shares when a flow starts or finishes.
+///
+/// All three modes produce bit-identical per-flow rates (progressive
+/// filling decomposes over connected components of the flow-interference
+/// graph, and every mode runs the same component-local filling
+/// arithmetic). They differ in how much work they do per event:
+///
+/// * [`Incremental`](ReallocationMode::Incremental) — the default fast
+///   path. Refills only the connected component of links touched by the
+///   starting/finishing flow, and emits `Schedule` commands only for
+///   flows whose rate actually changed.
+/// * [`Full`](ReallocationMode::Full) — refills every component from
+///   scratch but still delta-reschedules. The equivalence oracle the
+///   incremental path is validated against.
+/// * [`FullReschedule`](ReallocationMode::FullReschedule) — refills every
+///   component *and* re-arms every in-flight delivery, whether or not its
+///   rate changed: the pre-fast-path behaviour, kept as the benchmark
+///   baseline for the O(F²) event churn it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReallocationMode {
+    /// Component-scoped refill + delta-rescheduling (the fast path).
+    #[default]
+    Incremental,
+    /// From-scratch refill + delta-rescheduling (equivalence oracle).
+    Full,
+    /// From-scratch refill + re-arm everything (legacy baseline).
+    FullReschedule,
+}
+
 #[derive(Debug, Clone)]
 struct ActiveFlow {
+    id: FlowId,
     src: NodeId,
     dst: NodeId,
     bytes: u64,
-    route: Vec<LinkId>,
+    route: Arc<[LinkId]>,
     /// Bytes (including ramp) still to drain.
     remaining: f64,
     /// Currently allocated rate in bytes/s.
@@ -70,6 +108,13 @@ struct ActiveFlow {
     /// Draining starts only after the latency + protocol overhead phase.
     drain_start: VirtualTime,
     last_update: VirtualTime,
+}
+
+/// One `(src, dst)` entry of the per-source route cache.
+#[derive(Debug, Clone)]
+struct CachedRoute {
+    route: Arc<[LinkId]>,
+    latency_s: f64,
 }
 
 /// Cumulative per-link activity counters.
@@ -81,15 +126,86 @@ pub struct LinkStats {
     pub busy_s: f64,
 }
 
+/// Reusable, epoch-stamped working memory for reallocation and progress
+/// accounting. Buffers are sized once (per link / per flow slot) and
+/// validity is tracked by comparing stamps, so no buffer is ever cleared
+/// or reallocated on the per-event hot path.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Component-gather generation; buffers stamped with an older value
+    /// are logically empty.
+    epoch: u64,
+    /// Per-link stamp: link belongs to the current component.
+    link_epoch: Vec<u64>,
+    /// Remaining capacity per link (valid where `link_epoch == epoch`).
+    cap: Vec<f64>,
+    /// Unfrozen-flow count per link (valid where `link_epoch == epoch`).
+    count: Vec<u32>,
+    /// Per-link stamp: link saturated in filling round `sat[l]`.
+    sat: Vec<u64>,
+    /// Global filling-round counter backing `sat`.
+    round: u64,
+    /// Per-slot stamp: flow belongs to the current component.
+    flow_epoch: Vec<u64>,
+    /// Per-slot stamp for full-refill sweeps over all components.
+    visit: Vec<u64>,
+    /// Sweep generation backing `visit`.
+    sweep: u64,
+    /// New rate per slot (written by the most recent fill touching it).
+    rates: Vec<f64>,
+    /// Links of the component being filled.
+    comp_links: Vec<LinkId>,
+    /// Flow slots of the component being filled.
+    comp_flows: Vec<u32>,
+    /// BFS worklist for component gathering.
+    stack: Vec<u32>,
+    /// Flows not yet frozen by progressive filling.
+    unfrozen: Vec<u32>,
+    /// Seed slots for the deliver path's per-component refills.
+    seeds: Vec<u32>,
+    /// Flow slots whose schedule commands this reallocation may emit.
+    emit: Vec<u32>,
+    /// Per-link stamp: link was busy in the current progress window.
+    busy: Vec<u64>,
+    /// Progress-window generation backing `busy`.
+    busy_epoch: u64,
+}
+
+impl Scratch {
+    fn ensure_links(&mut self, links: usize) {
+        if self.link_epoch.len() < links {
+            self.link_epoch.resize(links, 0);
+            self.cap.resize(links, 0.0);
+            self.count.resize(links, 0);
+            self.sat.resize(links, 0);
+            self.busy.resize(links, 0);
+        }
+    }
+
+    fn ensure_slots(&mut self, slots: usize) {
+        if self.flow_epoch.len() < slots {
+            self.flow_epoch.resize(slots, 0);
+            self.visit.resize(slots, 0);
+            self.rates.resize(slots, 0.0);
+        }
+    }
+}
+
 /// The paper's lightweight packet-switching network model.
 ///
 /// Message transfer follows the 4-step process of Figure 5: shortest-path
 /// routing, fair bandwidth allocation, scheduling a potential delivery
-/// event, and — on any flow start or completion — recomputation of all
-/// allocations and rescheduling of all in-transit deliveries.
+/// event, and — on any flow start or completion — recomputation of the
+/// affected allocations and rescheduling of the deliveries they move.
 ///
 /// Bandwidth sharing is *max-min fair* (progressive filling): concurrent
 /// flows through a link split it evenly unless bottlenecked elsewhere.
+///
+/// Routing runs against a per-source route cache (one BFS amortized over
+/// all destinations, invalidated on topology mutation), reallocation is
+/// scoped to the connected component of links the triggering flow
+/// touches, and only flows whose rate changed are rescheduled — see
+/// [`ReallocationMode`].
 ///
 /// # Example
 ///
@@ -117,7 +233,18 @@ pub struct LinkStats {
 pub struct FlowNetwork {
     topo: Topology,
     config: FlowNetworkConfig,
-    flows: BTreeMap<FlowId, ActiveFlow>,
+    mode: ReallocationMode,
+    /// Slab of in-flight flows; `FlowId`s map to slots via `slot_of`.
+    slots: Vec<Option<ActiveFlow>>,
+    free_slots: Vec<u32>,
+    slot_of: HashMap<u64, u32>,
+    /// Per-link membership index: slots of the flows routed through it.
+    link_flows: Vec<Vec<u32>>,
+    /// Per-source route table, built lazily by one BFS per source and
+    /// cleared whenever the topology is mutated.
+    route_cache: Vec<Option<Box<[Option<CachedRoute>]>>>,
+    route_hits: u64,
+    route_misses: u64,
     next_flow: u64,
     bytes_delivered: u64,
     flows_completed: u64,
@@ -125,6 +252,7 @@ pub struct FlowNetwork {
     reschedules: u64,
     link_stats: Vec<LinkStats>,
     last_progress: VirtualTime,
+    scratch: Scratch,
 }
 
 impl FlowNetwork {
@@ -137,10 +265,20 @@ impl FlowNetwork {
     /// Creates the model with explicit fidelity knobs.
     pub fn with_config(topo: Topology, config: FlowNetworkConfig) -> Self {
         let links = topo.link_count();
+        let nodes = topo.node_count();
+        let mut scratch = Scratch::default();
+        scratch.ensure_links(links);
         FlowNetwork {
             topo,
             config,
-            flows: BTreeMap::new(),
+            mode: ReallocationMode::default(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            slot_of: HashMap::new(),
+            link_flows: vec![Vec::new(); links],
+            route_cache: vec![None; nodes],
+            route_hits: 0,
+            route_misses: 0,
             next_flow: 0,
             bytes_delivered: 0,
             flows_completed: 0,
@@ -148,7 +286,18 @@ impl FlowNetwork {
             reschedules: 0,
             link_stats: vec![LinkStats::default(); links],
             last_progress: VirtualTime::ZERO,
+            scratch,
         }
+    }
+
+    /// Selects how reallocation scopes its work (see [`ReallocationMode`]).
+    pub fn set_reallocation_mode(&mut self, mode: ReallocationMode) {
+        self.mode = mode;
+    }
+
+    /// The active reallocation mode.
+    pub fn reallocation_mode(&self) -> ReallocationMode {
+        self.mode
     }
 
     /// The underlying topology.
@@ -157,16 +306,18 @@ impl FlowNetwork {
     }
 
     /// Mutable topology access (used to inject Hop-style slowdowns between
-    /// simulations; do not mutate while flows are in flight).
+    /// simulations; do not mutate while flows are in flight). Invalidates
+    /// the route cache.
     ///
     /// # Panics
     ///
     /// Panics if flows are currently in flight.
     pub fn topology_mut(&mut self) -> &mut Topology {
         assert!(
-            self.flows.is_empty(),
+            self.slot_of.is_empty(),
             "cannot mutate the topology while flows are in flight"
         );
+        self.route_cache.fill(None);
         &mut self.topo
     }
 
@@ -187,19 +338,33 @@ impl FlowNetwork {
     }
 
     /// Delivery events re-armed because a reallocation changed an
-    /// in-flight flow's rate — the model's reallocation churn.
+    /// in-flight flow's rate — the model's genuine reallocation churn.
+    /// (In [`ReallocationMode::FullReschedule`] this reverts to counting
+    /// every re-arm, changed or not.)
     pub fn reschedules(&self) -> u64 {
         self.reschedules
     }
 
+    /// Route-cache effectiveness: `(hits, misses)` where a miss runs one
+    /// single-source BFS that populates the table for every destination.
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        (self.route_hits, self.route_misses)
+    }
+
     /// Source, destination, and size of an in-flight flow.
     pub fn flow(&self, id: FlowId) -> Option<(NodeId, NodeId, u64)> {
-        self.flows.get(&id).map(|f| (f.src, f.dst, f.bytes))
+        let f = self.get(id)?;
+        Some((f.src, f.dst, f.bytes))
     }
 
     /// The current fair-share rate of an in-flight flow, bytes/s.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+        Some(self.get(id)?.rate)
+    }
+
+    fn get(&self, id: FlowId) -> Option<&ActiveFlow> {
+        let &slot = self.slot_of.get(&id.0)?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Protocol overhead for a message under the current config.
@@ -212,28 +377,78 @@ impl FlowNetwork {
         o
     }
 
+    /// Grows link-indexed state after out-of-band topology mutation
+    /// (links may be added between simulations via `topology_mut`).
+    fn sync_links(&mut self) {
+        let links = self.topo.link_count();
+        if self.link_stats.len() != links {
+            self.link_stats.resize(links, LinkStats::default());
+            self.link_flows.resize(links, Vec::new());
+        }
+        self.scratch.ensure_links(links);
+    }
+
+    /// The cached route and latency for `(src, dst)`; one BFS per source,
+    /// amortized over every destination.
+    fn cached_route(&mut self, src: NodeId, dst: NodeId) -> CachedRoute {
+        assert!(
+            src.0 < self.route_cache.len(),
+            "send source must be a known node"
+        );
+        if self.route_cache[src.0].is_none() {
+            self.route_misses += 1;
+            let table = self
+                .topo
+                .routes_from(src)
+                .expect("source bounds checked above");
+            let table: Box<[Option<CachedRoute>]> = table
+                .into_iter()
+                .map(|r| {
+                    r.map(|route| CachedRoute {
+                        latency_s: self.topo.route_latency(&route),
+                        route: route.into(),
+                    })
+                })
+                .collect();
+            self.route_cache[src.0] = Some(table);
+        } else {
+            self.route_hits += 1;
+        }
+        self.route_cache[src.0].as_ref().expect("just ensured")[dst.0]
+            .clone()
+            .expect("send endpoints must be connected")
+    }
+
     /// Advances every flow's drained-bytes accounting to `now`, crediting
     /// per-link byte and busy-time counters along the way.
     fn update_progress(&mut self, now: VirtualTime) {
-        let mut busy: Vec<bool> = vec![false; self.link_stats.len()];
-        for f in self.flows.values_mut() {
+        let sc = &mut self.scratch;
+        let stats = &mut self.link_stats;
+        sc.busy_epoch += 1;
+        let be = sc.busy_epoch;
+        let mut any_busy = false;
+        for slot in self.slots.iter_mut() {
+            let Some(f) = slot else { continue };
             let from = f.last_update.max(f.drain_start);
             if now > from && f.rate > 0.0 {
                 let dt = (now - from).as_seconds();
                 let drained = (f.rate * dt).min(f.remaining);
                 f.remaining -= drained;
-                for &l in &f.route {
-                    self.link_stats[l.0].bytes += drained;
-                    busy[l.0] = true;
+                for &l in f.route.iter() {
+                    stats[l.0].bytes += drained;
+                    sc.busy[l.0] = be;
+                    any_busy = true;
                 }
             }
             f.last_update = now;
         }
         if now > self.last_progress {
-            let dt = (now - self.last_progress).as_seconds();
-            for (stat, was_busy) in self.link_stats.iter_mut().zip(&busy) {
-                if *was_busy {
-                    stat.busy_s += dt;
+            if any_busy {
+                let dt = (now - self.last_progress).as_seconds();
+                for (stat, mark) in stats.iter_mut().zip(&sc.busy) {
+                    if *mark == be {
+                        stat.busy_s += dt;
+                    }
                 }
             }
             self.last_progress = now;
@@ -253,95 +468,277 @@ impl FlowNetwork {
             .enumerate()
             .map(|(i, &s)| (LinkId(i), s))
             .collect();
-        v.sort_by(|a, b| b.1.bytes.partial_cmp(&a.1.bytes).expect("finite"));
+        // total_cmp: byte counters are accumulated floats, and a NaN from
+        // a degenerate accumulation must not panic a monitoring call.
+        v.sort_by(|a, b| b.1.bytes.total_cmp(&a.1.bytes));
         v.truncate(k);
         v
     }
 
-    /// Recomputes max-min fair rates and returns a `Schedule` command for
-    /// every active flow. `new_flow` marks a flow whose schedule is its
-    /// initial arming rather than reallocation churn.
-    fn reallocate(&mut self, now: VirtualTime, new_flow: Option<FlowId>) -> Vec<NetCommand> {
-        // Progressive filling: all unfrozen flows grow at the same rate;
-        // each iteration saturates at least one link and freezes its
-        // flows.
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
-        let mut unfrozen: Vec<FlowId> = ids
-            .iter()
-            .copied()
-            .filter(|id| !self.flows[id].route.is_empty())
-            .collect();
-        let mut cap: BTreeMap<LinkId, f64> = BTreeMap::new();
-        for id in &unfrozen {
-            for &l in &self.flows[id].route {
-                cap.entry(l).or_insert_with(|| self.topo.bandwidth(l));
+    /// Collects into `scratch.comp_flows`/`comp_links` the connected
+    /// component of the flow-interference graph containing `seed`.
+    fn gather_component(&mut self, seed: u32) {
+        let sc = &mut self.scratch;
+        let slots = &self.slots;
+        let link_flows = &self.link_flows;
+        sc.epoch += 1;
+        let e = sc.epoch;
+        sc.comp_links.clear();
+        sc.comp_flows.clear();
+        sc.stack.clear();
+        sc.flow_epoch[seed as usize] = e;
+        sc.comp_flows.push(seed);
+        sc.stack.push(seed);
+        while let Some(s) = sc.stack.pop() {
+            let f = slots[s as usize].as_ref().expect("component slot live");
+            for &l in f.route.iter() {
+                if sc.link_epoch[l.0] != e {
+                    sc.link_epoch[l.0] = e;
+                    sc.comp_links.push(l);
+                    for &s2 in &link_flows[l.0] {
+                        if sc.flow_epoch[s2 as usize] != e {
+                            sc.flow_epoch[s2 as usize] = e;
+                            sc.comp_flows.push(s2);
+                            sc.stack.push(s2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Progressive filling over the gathered component, writing the new
+    /// rate of each member into `scratch.rates[slot]`.
+    ///
+    /// The arithmetic is a pure function of the component's member set
+    /// (order-insensitive: the headroom `delta` is a min over links and
+    /// capacity updates are per-link), which is what makes incremental and
+    /// full refills bit-identical.
+    fn fill_component(&mut self) {
+        let sc = &mut self.scratch;
+        let slots = &self.slots;
+        let topo = &self.topo;
+        sc.unfrozen.clear();
+        for &l in &sc.comp_links {
+            sc.cap[l.0] = topo.bandwidth(l);
+            sc.count[l.0] = 0;
+        }
+        for &s in &sc.comp_flows {
+            let f = slots[s as usize].as_ref().expect("component slot live");
+            if f.route.is_empty() {
+                // Local (src == dst) flows carry no bandwidth.
+                sc.rates[s as usize] = 0.0;
+                continue;
+            }
+            sc.unfrozen.push(s);
+            for &l in f.route.iter() {
+                sc.count[l.0] += 1;
             }
         }
         let mut level = 0.0f64;
-        while !unfrozen.is_empty() {
-            // Count unfrozen flows per link.
-            let mut count: BTreeMap<LinkId, usize> = BTreeMap::new();
-            for id in &unfrozen {
-                for &l in &self.flows[id].route {
-                    *count.entry(l).or_insert(0) += 1;
+        while !sc.unfrozen.is_empty() {
+            // Uniform headroom until the tightest link saturates.
+            let mut delta = f64::INFINITY;
+            for &l in &sc.comp_links {
+                let c = sc.count[l.0];
+                if c > 0 {
+                    delta = delta.min(sc.cap[l.0] / c as f64);
                 }
             }
-            // Uniform headroom until the tightest link saturates.
-            let delta = count
-                .iter()
-                .map(|(l, &c)| cap[l] / c as f64)
-                .fold(f64::INFINITY, f64::min);
             debug_assert!(delta.is_finite() && delta >= 0.0);
             level += delta;
-            // Drain capacity and find saturated links.
-            let mut saturated: Vec<LinkId> = Vec::new();
-            for (&l, &c) in &count {
-                let e = cap.get_mut(&l).expect("capacity tracked");
-                *e -= delta * c as f64;
-                if *e <= 1e-6 * self.topo.bandwidth(l) {
-                    *e = 0.0;
-                    saturated.push(l);
+            // Drain capacity and stamp saturated links with this round.
+            sc.round += 1;
+            let round = sc.round;
+            let mut any_saturated = false;
+            for &l in &sc.comp_links {
+                let c = sc.count[l.0];
+                if c == 0 {
+                    continue;
+                }
+                let cap = &mut sc.cap[l.0];
+                *cap -= delta * c as f64;
+                if *cap <= 1e-6 * topo.bandwidth(l) {
+                    *cap = 0.0;
+                    sc.sat[l.0] = round;
+                    any_saturated = true;
                 }
             }
-            // Freeze every unfrozen flow passing a saturated link.
-            let (now_frozen, rest): (Vec<FlowId>, Vec<FlowId>) = unfrozen
-                .into_iter()
-                .partition(|id| self.flows[id].route.iter().any(|l| saturated.contains(l)));
             debug_assert!(
-                !now_frozen.is_empty(),
-                "progressive filling must freeze at least one flow per round"
+                any_saturated,
+                "progressive filling must saturate at least one link per round"
             );
-            for id in now_frozen {
-                frozen.insert(id, level);
+            // Freeze every unfrozen flow crossing a saturated link.
+            let mut i = 0;
+            while i < sc.unfrozen.len() {
+                let s = sc.unfrozen[i];
+                let f = slots[s as usize].as_ref().expect("component slot live");
+                if f.route.iter().any(|l| sc.sat[l.0] == round) {
+                    sc.rates[s as usize] = level;
+                    for &l in f.route.iter() {
+                        sc.count[l.0] -= 1;
+                    }
+                    sc.unfrozen.swap_remove(i);
+                } else {
+                    i += 1;
+                }
             }
-            unfrozen = rest;
         }
+    }
 
-        let mut cmds = Vec::with_capacity(ids.len());
-        for id in ids {
-            let f = self.flows.get_mut(&id).expect("flow exists");
-            f.rate = frozen.get(&id).copied().unwrap_or(0.0);
+    /// From-scratch refill: every connected component, one at a time.
+    fn fill_all(&mut self) {
+        self.scratch.sweep += 1;
+        let sweep = self.scratch.sweep;
+        for s in 0..self.slots.len() as u32 {
+            if self.slots[s as usize].is_none() || self.scratch.visit[s as usize] == sweep {
+                continue;
+            }
+            self.gather_component(s);
+            for i in 0..self.scratch.comp_flows.len() {
+                let m = self.scratch.comp_flows[i];
+                self.scratch.visit[m as usize] = sweep;
+            }
+            self.fill_component();
+        }
+    }
+
+    /// Debug oracle: a from-scratch refill must reproduce, bit for bit,
+    /// the rates the incremental path left behind (fresh values for the
+    /// touched component, previously computed values everywhere else).
+    #[cfg(debug_assertions)]
+    fn assert_full_equivalence(&mut self) {
+        let sweep = self.scratch.sweep;
+        let expected: Vec<(u32, f64)> = (0..self.slots.len() as u32)
+            .filter_map(|s| {
+                let f = self.slots[s as usize].as_ref()?;
+                let want = if self.scratch.visit[s as usize] == sweep {
+                    self.scratch.rates[s as usize]
+                } else {
+                    f.rate
+                };
+                Some((s, want))
+            })
+            .collect();
+        self.fill_all();
+        for (s, want) in expected {
+            let got = self.scratch.rates[s as usize];
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "incremental refill diverged from full progressive filling: \
+                 slot {s} got {got}, full recompute says {want}"
+            );
+        }
+    }
+
+    /// Recomputes the fair rates affected by a flow start (`new_slot`) or
+    /// completion (`seed_route` = the finished flow's links) and returns
+    /// `Schedule` commands for the flows whose delivery time moved.
+    fn reallocate(
+        &mut self,
+        now: VirtualTime,
+        new_slot: Option<u32>,
+        seed_route: &[LinkId],
+    ) -> Vec<NetCommand> {
+        self.reallocations += 1;
+        match self.mode {
+            ReallocationMode::Incremental => {
+                let mut emit = std::mem::take(&mut self.scratch.emit);
+                emit.clear();
+                self.scratch.sweep += 1;
+                let sweep = self.scratch.sweep;
+                if let Some(s) = new_slot {
+                    // A starting flow connects everything it touches into
+                    // one component.
+                    self.gather_component(s);
+                    for i in 0..self.scratch.comp_flows.len() {
+                        let m = self.scratch.comp_flows[i];
+                        self.scratch.visit[m as usize] = sweep;
+                    }
+                    emit.extend_from_slice(&self.scratch.comp_flows);
+                    self.fill_component();
+                } else {
+                    // A finishing flow may have been the bridge holding
+                    // its component together: the survivors on its links
+                    // can now fall into several disconnected components,
+                    // and each must be refilled *separately* — a single
+                    // merged fill would interleave the components' level
+                    // accumulation and drift from a from-scratch refill
+                    // by float-rounding ulps.
+                    let mut seeds = std::mem::take(&mut self.scratch.seeds);
+                    seeds.clear();
+                    for &l in seed_route {
+                        seeds.extend_from_slice(&self.link_flows[l.0]);
+                    }
+                    for &s in &seeds {
+                        if self.scratch.visit[s as usize] == sweep {
+                            continue;
+                        }
+                        self.gather_component(s);
+                        for j in 0..self.scratch.comp_flows.len() {
+                            let m = self.scratch.comp_flows[j];
+                            self.scratch.visit[m as usize] = sweep;
+                        }
+                        emit.extend_from_slice(&self.scratch.comp_flows);
+                        self.fill_component();
+                    }
+                    self.scratch.seeds = seeds;
+                }
+                self.scratch.emit = emit;
+                #[cfg(debug_assertions)]
+                self.assert_full_equivalence();
+            }
+            ReallocationMode::Full | ReallocationMode::FullReschedule => {
+                let mut emit = std::mem::take(&mut self.scratch.emit);
+                emit.clear();
+                emit.extend(
+                    (0..self.slots.len() as u32).filter(|&s| self.slots[s as usize].is_some()),
+                );
+                self.scratch.emit = emit;
+                self.fill_all();
+            }
+        }
+        self.emit_commands(now, new_slot)
+    }
+
+    /// Emits `Schedule` commands — in `FlowId` order for determinism —
+    /// for the candidate flows whose rate changed (plus the new flow,
+    /// plus everything in [`ReallocationMode::FullReschedule`]).
+    fn emit_commands(&mut self, now: VirtualTime, new_slot: Option<u32>) -> Vec<NetCommand> {
+        let sc = &mut self.scratch;
+        let slots = &mut self.slots;
+        sc.emit
+            .sort_unstable_by_key(|&s| slots[s as usize].as_ref().expect("candidate live").id);
+        let rearm_all = self.mode == ReallocationMode::FullReschedule;
+        let mut cmds = Vec::with_capacity(sc.emit.len());
+        let mut reschedules = 0u64;
+        for &s in &sc.emit {
+            let f = slots[s as usize].as_mut().expect("candidate live");
+            let new_rate = sc.rates[s as usize];
+            let is_new = new_slot == Some(s);
+            let changed = new_rate.to_bits() != f.rate.to_bits();
+            f.rate = new_rate;
+            if !(is_new || changed || rearm_all) {
+                // Delta-rescheduling: an unchanged rate means the armed
+                // delivery event is still exact — leave it alone.
+                continue;
+            }
             let base = now.max(f.drain_start);
             let at = if f.remaining <= 0.0 {
                 base
-            } else if f.rate > 0.0 {
-                base + TimeSpan::from_seconds(f.remaining / f.rate)
+            } else if new_rate > 0.0 {
+                base + TimeSpan::from_seconds(f.remaining / new_rate)
             } else {
                 // Local (src == dst) flows have empty routes and zero
                 // remaining; any other rate-0 case is a config bug.
                 unreachable!("a routed flow always receives bandwidth")
             };
-            cmds.push(NetCommand::Schedule { flow: id, at });
+            cmds.push(NetCommand::Schedule { flow: f.id, at });
+            if !is_new {
+                reschedules += 1;
+            }
         }
-        self.reallocations += 1;
-        self.reschedules += cmds
-            .iter()
-            .filter(|c| match c {
-                NetCommand::Schedule { flow, .. } => Some(*flow) != new_flow,
-                NetCommand::Cancel { .. } => false,
-            })
-            .count() as u64;
+        self.reschedules += reschedules;
         cmds
     }
 }
@@ -354,59 +751,85 @@ impl NetworkModel for FlowNetwork {
         dst: NodeId,
         bytes: u64,
     ) -> (FlowId, Vec<NetCommand>) {
-        let route = self
-            .topo
-            .route(src, dst)
-            .expect("send endpoints must be connected");
+        self.sync_links();
+        let cached = self.cached_route(src, dst);
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
 
-        let latency = self.topo.route_latency(&route) + self.message_overhead_s(bytes);
-        let remaining = if route.is_empty() {
+        let latency = cached.latency_s + self.message_overhead_s(bytes);
+        let remaining = if cached.route.is_empty() {
             0.0 // local copy: modeled as instantaneous (same-device data)
         } else {
             bytes as f64 + self.config.bandwidth_ramp_bytes
         };
         self.update_progress(now);
-        self.flows.insert(
+        let flow = ActiveFlow {
             id,
-            ActiveFlow {
-                src,
-                dst,
-                bytes,
-                route,
-                remaining,
-                rate: 0.0,
-                drain_start: now + TimeSpan::from_seconds(latency),
-                last_update: now,
-            },
-        );
-        (id, self.reallocate(now, Some(id)))
+            src,
+            dst,
+            bytes,
+            route: cached.route,
+            remaining,
+            rate: 0.0,
+            drain_start: now + TimeSpan::from_seconds(latency),
+            last_update: now,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(flow);
+                s
+            }
+            None => {
+                self.slots.push(Some(flow));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.scratch.ensure_slots(self.slots.len());
+        self.slot_of.insert(id.0, slot);
+        let route = self.slots[slot as usize]
+            .as_ref()
+            .expect("just inserted")
+            .route
+            .clone();
+        for &l in route.iter() {
+            self.link_flows[l.0].push(slot);
+        }
+        (id, self.reallocate(now, Some(slot), &[]))
     }
 
     fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand> {
         self.update_progress(now);
-        let f = self
-            .flows
-            .remove(&flow)
+        let slot = self
+            .slot_of
+            .remove(&flow.0)
             .expect("delivered flow must be in flight");
+        let f = self.slots[slot as usize].take().expect("slot occupied");
         debug_assert!(
             f.remaining <= 1.0,
             "flow {flow} delivered with {} bytes left",
             f.remaining
         );
+        for &l in f.route.iter() {
+            let members = &mut self.link_flows[l.0];
+            let pos = members
+                .iter()
+                .position(|&s| s == slot)
+                .expect("membership index tracks every routed flow");
+            members.swap_remove(pos);
+        }
+        self.free_slots.push(slot);
         self.bytes_delivered += f.bytes;
         self.flows_completed += 1;
-        self.reallocate(now, None)
+        self.reallocate(now, None, &f.route)
     }
 
     fn in_flight(&self) -> usize {
-        self.flows.len()
+        self.slot_of.len()
     }
 
     fn observe(&self) -> NetObservation {
         NetObservation {
-            in_flight: self.flows.len(),
+            in_flight: self.slot_of.len(),
             bytes_delivered: self.bytes_delivered,
             flows_completed: self.flows_completed,
             reallocations: self.reallocations,
@@ -424,11 +847,7 @@ impl NetworkModel for FlowNetwork {
                     bandwidth: self.topo.bandwidth(link),
                     bytes: self.link_stats[i].bytes,
                     busy_s: self.link_stats[i].busy_s,
-                    active_flows: self
-                        .flows
-                        .values()
-                        .filter(|f| f.route.contains(&link))
-                        .count(),
+                    active_flows: self.link_flows[i].len(),
                 }
             })
             .collect()
@@ -504,8 +923,15 @@ mod tests {
         let t0 = VirtualTime::ZERO;
         let (f1, _) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
         let (f2, cmds) = net.send(t0, NodeId(1), NodeId(0), 1_000_000);
-        assert!((sched_time(&cmds, f1).as_seconds() - 1e-3).abs() < 1e-9);
-        assert!((sched_time(&cmds, f2).as_seconds() - 1e-3).abs() < 1e-9);
+        let f2_at = sched_time(&cmds, f2);
+        assert!((f2_at.as_seconds() - 1e-3).abs() < 1e-9);
+        // f1's rate is untouched by the disjoint f2 — delta-rescheduling
+        // leaves its armed delivery alone.
+        assert!((net.flow_rate(f1).unwrap() - 1e9).abs() < 1.0);
+        assert!(!cmds.iter().any(|c| matches!(
+            c,
+            NetCommand::Schedule { flow, .. } if *flow == f1
+        )));
     }
 
     #[test]
@@ -626,6 +1052,118 @@ mod tests {
         // Delivering f1 re-armed f2; delivering f2 re-armed nothing.
         assert_eq!(obs.reschedules, 2);
         assert_eq!(obs.reallocations, 4);
+    }
+
+    #[test]
+    fn route_cache_amortizes_bfs() {
+        let mut net = FlowNetwork::new(Topology::ring(8, 1e9, 0.0));
+        let t0 = VirtualTime::ZERO;
+        net.send(t0, NodeId(0), NodeId(3), 1_000);
+        net.send(t0, NodeId(0), NodeId(5), 1_000);
+        net.send(t0, NodeId(0), NodeId(3), 1_000);
+        net.send(t0, NodeId(2), NodeId(4), 1_000);
+        // One BFS per distinct source, every later send is a cache hit.
+        assert_eq!(net.route_cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn topology_mutation_invalidates_route_cache() {
+        let mut net = one_link_net(1e9, 0.0);
+        let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let done = sched_time(&cmds, f);
+        net.deliver(f, done);
+        let link = net.topology().route(NodeId(0), NodeId(1)).unwrap()[0];
+        net.topology_mut().scale_bandwidth(link, 0.5);
+        let (f2, _) = net.send(done, NodeId(0), NodeId(1), 1_000_000);
+        assert!(
+            (net.flow_rate(f2).unwrap() - 0.5e9).abs() < 1.0,
+            "post-mutation send must see the rebuilt cache and new bandwidth"
+        );
+    }
+
+    /// Drives the same send script through two modes — delivering flows
+    /// at exactly their armed times — and asserts bit-identical command
+    /// streams and delivery sequences.
+    fn assert_modes_agree(a: ReallocationMode, b: ReallocationMode, delta_only: bool) {
+        use std::collections::BTreeMap;
+        let run = |mode: ReallocationMode| {
+            let mut net = FlowNetwork::new(Topology::ring(6, 1e9, 1e-6));
+            net.set_reallocation_mode(mode);
+            let t = VirtualTime::from_seconds;
+            let sends = [
+                (t(0.0), NodeId(0), NodeId(2), 4_000_000u64),
+                (t(0.0), NodeId(1), NodeId(2), 2_000_000),
+                (t(0.001), NodeId(3), NodeId(4), 8_000_000),
+                (t(0.002), NodeId(2), NodeId(0), 1_000_000),
+            ];
+            let mut armed: BTreeMap<FlowId, VirtualTime> = BTreeMap::new();
+            let mut log: Vec<Vec<NetCommand>> = Vec::new();
+            let mut deliveries: Vec<(VirtualTime, FlowId)> = Vec::new();
+            let apply = |armed: &mut BTreeMap<FlowId, VirtualTime>, cmds: &[NetCommand]| {
+                for c in cmds {
+                    match *c {
+                        NetCommand::Schedule { flow, at } => {
+                            armed.insert(flow, at);
+                        }
+                        NetCommand::Cancel { flow } => {
+                            armed.remove(&flow);
+                        }
+                    }
+                }
+            };
+            let mut sends = sends.iter().peekable();
+            loop {
+                let next_due = armed.iter().map(|(&f, &at)| (at, f)).min();
+                let take_send = match (sends.peek(), next_due) {
+                    (Some(&&(at, ..)), Some((due, _))) => at <= due,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_send {
+                    let &&(at, src, dst, bytes) = sends.peek().unwrap();
+                    sends.next();
+                    let (_, cmds) = net.send(at, src, dst, bytes);
+                    apply(&mut armed, &cmds);
+                    log.push(cmds);
+                } else {
+                    let (due, flow) = next_due.unwrap();
+                    armed.remove(&flow);
+                    deliveries.push((due, flow));
+                    let cmds = net.deliver(flow, due);
+                    apply(&mut armed, &cmds);
+                    log.push(cmds);
+                }
+            }
+            (log, deliveries, net.reschedules())
+        };
+        let (log_a, del_a, resched_a) = run(a);
+        let (log_b, del_b, resched_b) = run(b);
+        assert_eq!(log_a, log_b, "{a:?} and {b:?} command streams diverged");
+        assert_eq!(del_a, del_b, "{a:?} and {b:?} delivery order diverged");
+        if delta_only {
+            assert_eq!(resched_a, resched_b);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_bitwise() {
+        assert_modes_agree(ReallocationMode::Incremental, ReallocationMode::Full, true);
+    }
+
+    #[test]
+    fn delta_skips_disjoint_flows() {
+        // Two disjoint duplex pairs: a send on the second pair must not
+        // touch (or reschedule) the flow on the first.
+        let mut topo = Topology::new(4);
+        topo.add_duplex(NodeId(0), NodeId(1), 1e9, 0.0);
+        topo.add_duplex(NodeId(2), NodeId(3), 1e9, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        let (f1, _) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let (_f2, cmds) = net.send(VirtualTime::ZERO, NodeId(2), NodeId(3), 1_000_000);
+        assert_eq!(cmds.len(), 1, "only the new flow is scheduled");
+        assert_eq!(net.reschedules(), 0);
+        assert!((net.flow_rate(f1).unwrap() - 1e9).abs() < 1.0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod model;
 mod photonic;
 mod topology;
 
-pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats};
+pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats, ReallocationMode};
 pub use model::{FlowId, LinkObservation, NetCommand, NetObservation, NetworkModel};
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

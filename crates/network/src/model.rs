@@ -29,6 +29,12 @@ impl fmt::Display for FlowId {
 /// cancelling any previously armed delivery for the same flow. `Cancel`
 /// means: disarm it without a replacement (the flow's finish time is
 /// currently unknown, e.g. it is queued behind a busy photonic circuit).
+///
+/// Models are not required to re-emit `Schedule` for flows whose rate a
+/// reallocation left unchanged: the previously armed delivery event is
+/// still exact, so the absence of a command *is* the delta-rescheduling
+/// contract. Callers must keep armed events live until a new `Schedule`
+/// or `Cancel` replaces them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetCommand {
     /// Arm (or re-arm) the delivery event for a flow.
@@ -111,7 +117,9 @@ pub trait NetworkModel: fmt::Debug {
 
     /// Completes `flow` at time `now` (its armed delivery event fired).
     ///
-    /// Returns commands re-arming the remaining flows.
+    /// Returns commands re-arming the remaining flows whose delivery
+    /// times moved (flows with unchanged rates may be omitted — see
+    /// [`NetCommand`]).
     fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand>;
 
     /// Number of flows currently in flight.

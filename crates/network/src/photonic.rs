@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 use triosim_des::{TimeSpan, VirtualTime};
 
-use crate::model::{FlowId, NetCommand, NetworkModel};
+use crate::model::{FlowId, NetCommand, NetObservation, NetworkModel};
 use crate::topology::NodeId;
 
 /// Parameters of the photonic interconnect.
@@ -98,6 +98,7 @@ pub struct PhotonicNetwork {
     circuits_established: u64,
     circuits_evicted: u64,
     bytes_delivered: u64,
+    flows_completed: u64,
     /// Nodes reached over a plain electrical side channel instead of
     /// photonic circuits (the host's PCIe uplink on a wafer system).
     bypass: BTreeMap<NodeId, (f64, f64)>,
@@ -121,6 +122,7 @@ impl PhotonicNetwork {
             circuits_established: 0,
             circuits_evicted: 0,
             bytes_delivered: 0,
+            flows_completed: 0,
             bypass: BTreeMap::new(),
         }
     }
@@ -262,11 +264,24 @@ impl NetworkModel for PhotonicNetwork {
             .remove(&flow)
             .expect("delivered flow must be in flight");
         self.bytes_delivered += f.bytes;
+        self.flows_completed += 1;
         Vec::new()
     }
 
     fn in_flight(&self) -> usize {
         self.flows.len()
+    }
+
+    fn observe(&self) -> NetObservation {
+        NetObservation {
+            in_flight: self.flows.len(),
+            bytes_delivered: self.bytes_delivered,
+            flows_completed: self.flows_completed,
+            // Circuit switching never reallocates shared bandwidth, so
+            // the churn counters are structurally zero.
+            reallocations: 0,
+            reschedules: 0,
+        }
     }
 }
 

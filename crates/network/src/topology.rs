@@ -243,6 +243,58 @@ impl Topology {
         Err(TopologyError::Unreachable { src, dst })
     }
 
+    /// Shortest paths from `src` to *every* node, as one BFS pass.
+    ///
+    /// `result[dst]` is `Some(route)` for every reachable destination
+    /// (`src` itself maps to the empty route) and `None` for unreachable
+    /// nodes. Each individual route is identical — link for link — to
+    /// what [`route`](Topology::route) returns for that pair, because
+    /// both walk the same deterministic BFS predecessor tree. This is
+    /// the bulk primitive behind the flow network's per-source route
+    /// cache: one BFS amortizes over all destinations instead of paying
+    /// a fresh traversal per `send`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if `src` is out of range.
+    pub fn routes_from(&self, src: NodeId) -> Result<Vec<Option<Vec<LinkId>>>, TopologyError> {
+        if src.0 >= self.nodes {
+            return Err(TopologyError::UnknownNode(src));
+        }
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; self.nodes];
+        let mut visited = vec![false; self.nodes];
+        visited[src.0] = true;
+        let mut queue = VecDeque::from([src]);
+        while let Some(node) = queue.pop_front() {
+            if node != src && !self.transit[node.0] {
+                continue;
+            }
+            for &(next, link) in &self.adjacency[node.0] {
+                if !visited[next.0] {
+                    visited[next.0] = true;
+                    prev[next.0] = Some((node, link));
+                    queue.push_back(next);
+                }
+            }
+        }
+        Ok((0..self.nodes)
+            .map(|dst| {
+                if !visited[dst] {
+                    return None;
+                }
+                let mut path = Vec::new();
+                let mut cur = NodeId(dst);
+                while cur != src {
+                    let (p, l) = prev[cur.0].expect("visited nodes have predecessors");
+                    path.push(l);
+                    cur = p;
+                }
+                path.reverse();
+                Some(path)
+            })
+            .collect())
+    }
+
     /// Total latency along a route.
     pub fn route_latency(&self, route: &[LinkId]) -> f64 {
         route.iter().map(|&l| self.latency(l)).sum()
@@ -543,6 +595,33 @@ mod tests {
             t.route(NodeId(0), NodeId(9)),
             Err(TopologyError::UnknownNode(NodeId(9)))
         ));
+        assert!(matches!(
+            t.routes_from(NodeId(9)),
+            Err(TopologyError::UnknownNode(NodeId(9)))
+        ));
+    }
+
+    #[test]
+    fn routes_from_matches_per_pair_route() {
+        // The bulk table must be link-for-link identical to route() for
+        // every reachable pair — including through non-transit hosts.
+        for topo in [
+            Topology::ring(6, 1e9, 1e-6),
+            Topology::pcie_host_tree(4, 16e9, 1e-6),
+            Topology::fat_tree(8, 2, 1e9, 1e-6, 2.0),
+        ] {
+            for src in 0..topo.node_count() {
+                let table = topo.routes_from(NodeId(src)).unwrap();
+                assert_eq!(table.len(), topo.node_count());
+                for (dst, entry) in table.iter().enumerate() {
+                    match topo.route(NodeId(src), NodeId(dst)) {
+                        Ok(route) => assert_eq!(entry.as_ref(), Some(&route)),
+                        Err(TopologyError::Unreachable { .. }) => assert!(entry.is_none()),
+                        Err(e) => panic!("unexpected {e:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -312,16 +312,24 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("tasks         : {}", report.tasks_executed());
     let q = report.queue_stats();
     println!(
-        "events        : {} scheduled, {} delivered, {} cancelled, {} max pending",
+        "events        : {} scheduled, {} delivered, {} cancelled, {} max pending, {} compactions",
         q.scheduled(),
         q.delivered(),
         q.cancelled(),
-        q.max_pending()
+        q.max_pending(),
+        q.compactions()
+    );
+    let net = report.network_stats();
+    println!(
+        "reallocation  : {} rounds, {} reschedules ({:.1}% rate churn)",
+        net.reallocations,
+        net.reschedules,
+        100.0 * report.rate_change_ratio()
     );
     // Heaviest layers (the per-layer breakdown of §4.1).
     let per_layer = report.per_layer_compute_s();
     let mut heaviest: Vec<(usize, f64)> = per_layer.iter().copied().enumerate().collect();
-    heaviest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    heaviest.sort_by(|a, b| b.1.total_cmp(&a.1));
     let shown: Vec<String> = heaviest
         .iter()
         .take(5)

@@ -303,6 +303,7 @@ impl<'a> Executor<'a> {
             self.bytes_transferred,
             self.graph.len() * iterations,
             *self.queue.stats(),
+            self.network.observe(),
             timeline,
         )
     }
@@ -339,6 +340,11 @@ impl<'a> Executor<'a> {
             "triosim_events_cancelled_total",
             &[],
             stats.cancelled() as f64,
+        );
+        r.counter_add(
+            "triosim_queue_compactions_total",
+            &[],
+            stats.compactions() as f64,
         );
         r.gauge_set(
             now,

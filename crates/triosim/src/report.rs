@@ -8,6 +8,7 @@
 //! any trace viewer.
 
 use triosim_des::{QueueStats, TimeSpan, VirtualTime};
+use triosim_network::NetObservation;
 use triosim_obs::{AttrValue, ChromeTraceSink, Recorder};
 
 /// Which resource a timeline record occupied.
@@ -43,10 +44,12 @@ pub struct SimReport {
     bytes_transferred: u64,
     tasks_executed: usize,
     queue: QueueStats,
+    net: NetObservation,
     timeline: Vec<TimelineRecord>,
 }
 
 impl SimReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         total: TimeSpan,
         per_gpu_compute: Vec<TimeSpan>,
@@ -54,6 +57,7 @@ impl SimReport {
         bytes_transferred: u64,
         tasks_executed: usize,
         queue: QueueStats,
+        net: NetObservation,
         timeline: Vec<TimelineRecord>,
     ) -> Self {
         SimReport {
@@ -63,6 +67,7 @@ impl SimReport {
             bytes_transferred,
             tasks_executed,
             queue,
+            net,
             timeline,
         }
     }
@@ -123,6 +128,25 @@ impl SimReport {
     /// mark of pending events (the AkitaRTM-style engine counters).
     pub fn queue_stats(&self) -> &QueueStats {
         &self.queue
+    }
+
+    /// Final network-model counters of the run: flows completed, bytes
+    /// delivered, and the reallocation/reschedule churn the bandwidth
+    /// sharing produced.
+    pub fn network_stats(&self) -> &NetObservation {
+        &self.net
+    }
+
+    /// Fraction of reallocation rounds that actually moved a delivery
+    /// event (`reschedules / reallocations`). Under delta-rescheduling
+    /// this measures genuine rate churn; a low ratio means most flow
+    /// starts/finishes left every other flow's bandwidth untouched.
+    pub fn rate_change_ratio(&self) -> f64 {
+        if self.net.reallocations == 0 {
+            0.0
+        } else {
+            self.net.reschedules as f64 / self.net.reallocations as f64
+        }
     }
 
     /// The full execution timeline.
@@ -279,6 +303,7 @@ mod tests {
             1234,
             7,
             QueueStats::default(),
+            NetObservation::default(),
             vec![],
         );
         assert_eq!(report.total_time_s(), 10.0);
@@ -299,6 +324,7 @@ mod tests {
             0,
             1,
             QueueStats::default(),
+            NetObservation::default(),
             vec![TimelineRecord {
                 label: "op".into(),
                 track: TimelineTrack::Gpu(0),
@@ -324,6 +350,7 @@ mod tests {
             0,
             1,
             QueueStats::default(),
+            NetObservation::default(),
             vec![TimelineRecord {
                 label: "op".into(),
                 track: TimelineTrack::Gpu(0),
@@ -347,6 +374,7 @@ mod tests {
             0,
             1,
             QueueStats::default(),
+            NetObservation::default(),
             vec![TimelineRecord {
                 label: "conv1@g0".into(),
                 track: TimelineTrack::Gpu(0),
