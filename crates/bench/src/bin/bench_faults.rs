@@ -1,0 +1,191 @@
+//! Fault-injection benchmark: cost and accounting of the fault matrix on
+//! a DDP ring — the robustness counterpart to `bench_net`.
+//!
+//! Runs the same data-parallel ResNet-50 simulation (16 GPUs by default,
+//! `--gpus` to change) four times:
+//!
+//! * `baseline` — no fault plan attached (the bit-identity reference).
+//! * `straggler` — one GPU computing 1.5x slower (Hop's straggler case).
+//! * `link_degrade` — one ring link at 25% bandwidth from t=0.
+//! * `link_fail_repair` — one ring link dies mid-allreduce and comes back
+//!   shortly after; in-flight flows must be rerouted the long way and the
+//!   run must still complete.
+//!
+//! The binary *asserts* the robustness contract: every faulted scenario is
+//! run twice and must produce byte-identical reports (seeded determinism),
+//! the empty-plan run must match the plain baseline exactly, and the
+//! fail/repair scenario must actually reroute. A violation panics and
+//! fails CI's fault-smoke job. Results land in `results/BENCH_faults.json`.
+
+use serde::Value;
+use triosim::{
+    FaultPlan, GpuSlowdown, LinkDegradation, LinkFailure, Parallelism, Platform, SimBuilder,
+    SimReport, TimelineTrack,
+};
+use triosim_bench::{arg_u64, json_num, json_obj, paper_trace, time_it, trace_batch, Summary};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, LinkKind, Trace};
+
+fn run_plan(
+    platform: &Platform,
+    trace: &Trace,
+    global_batch: u64,
+    plan: Option<&FaultPlan>,
+) -> (SimReport, f64) {
+    time_it(|| {
+        let mut builder = SimBuilder::new(trace, platform)
+            .parallelism(Parallelism::DataParallel { overlap: true })
+            .global_batch(global_batch);
+        if let Some(plan) = plan {
+            builder = builder.faults(plan.clone());
+        }
+        builder
+            .try_run()
+            .unwrap_or_else(|e| panic!("fault scenario must degrade gracefully, got: {e}"))
+    })
+}
+
+/// Midpoint of the first allreduce step crossing the rank1->rank2 ring
+/// link — failing the link then guarantees a flow is in flight on it.
+fn mid_allreduce_s(baseline: &SimReport) -> f64 {
+    let step = baseline
+        .timeline()
+        .iter()
+        .find(|r| {
+            matches!(r.track, TimelineTrack::Network)
+                && r.label.contains("allreduce")
+                && r.label.contains("rank1->rank2")
+        })
+        .expect("ring DDP has allreduce traffic on rank1->rank2");
+    (step.start.as_seconds() + step.end.as_seconds()) / 2.0
+}
+
+fn reports_identical(a: &SimReport, b: &SimReport) -> bool {
+    a.total_time() == b.total_time()
+        && a.timeline() == b.timeline()
+        && a.bytes_transferred() == b.bytes_transferred()
+        && a.fault_stats() == b.fault_stats()
+}
+
+fn scenario_json(name: &str, baseline_s: f64, report: &SimReport, wall_s: f64) -> Value {
+    let net = report.network_stats();
+    let (injected, lost_compute_s) = report
+        .fault_stats()
+        .map(|s| (s.faults_injected, s.lost_compute_s.iter().sum::<f64>()))
+        .unwrap_or((0, 0.0));
+    json_obj(vec![
+        ("scenario", Value::Str(name.to_string())),
+        ("wall_s", json_num(wall_s)),
+        ("total_time_s", json_num(report.total_time_s())),
+        (
+            "slowdown_vs_baseline",
+            json_num(report.total_time_s() / baseline_s),
+        ),
+        ("faults_injected", Value::UInt(injected)),
+        ("lost_compute_s", json_num(lost_compute_s)),
+        ("link_faults", Value::UInt(net.link_faults)),
+        ("reroutes", Value::UInt(net.reroutes)),
+        ("added_hops", Value::UInt(net.added_hops)),
+    ])
+}
+
+fn main() {
+    let gpus = arg_u64("gpus", 16) as usize;
+    let model = ModelId::ResNet50;
+    let gpu = GpuModel::A100;
+    let platform = Platform::ring(gpu, gpus, LinkKind::NvLink3, format!("ring{gpus}"));
+    let trace = paper_trace(model, gpu);
+    let global_batch = gpus as u64 * trace_batch(model);
+
+    println!("fault-injection bench: {model} DDP on {gpus}x{gpu} ring");
+    let (baseline, baseline_wall) = run_plan(&platform, &trace, global_batch, None);
+    let baseline_s = baseline.total_time_s();
+    let fail_at = mid_allreduce_s(&baseline);
+
+    // Empty-plan oracle: attaching a plan with no faults must be
+    // byte-identical to never mentioning faults at all.
+    let (empty, _) = run_plan(&platform, &trace, global_batch, Some(&FaultPlan::default()));
+    assert!(
+        reports_identical(&baseline, &empty),
+        "empty fault plan diverged from the fault-free baseline"
+    );
+
+    let straggler = FaultPlan {
+        gpu_slowdowns: vec![GpuSlowdown {
+            gpu: 0,
+            factor: 1.5,
+        }],
+        ..FaultPlan::default()
+    };
+    let link_degrade = FaultPlan {
+        link_degradations: vec![LinkDegradation {
+            src: 2,
+            dst: 3,
+            factor: 0.25,
+            at_s: 0.0,
+        }],
+        ..FaultPlan::default()
+    };
+    let link_fail_repair = FaultPlan {
+        link_failures: vec![LinkFailure {
+            src: 2,
+            dst: 3,
+            at_s: fail_at,
+            repair_s: Some(fail_at + baseline_s / 4.0),
+        }],
+        ..FaultPlan::default()
+    };
+
+    let mut scenarios = vec![(
+        "baseline".to_string(),
+        scenario_json("baseline", baseline_s, &baseline, baseline_wall),
+    )];
+    for (name, plan) in [
+        ("straggler", &straggler),
+        ("link_degrade", &link_degrade),
+        ("link_fail_repair", &link_fail_repair),
+    ] {
+        let (report, wall_s) = run_plan(&platform, &trace, global_batch, Some(plan));
+        let (rerun, _) = run_plan(&platform, &trace, global_batch, Some(plan));
+        assert!(
+            reports_identical(&report, &rerun),
+            "{name}: two runs of the same seeded plan diverged"
+        );
+        let stats = report.fault_stats().expect("faulted run carries stats");
+        let net = report.network_stats();
+        println!(
+            "{name:<16} wall {wall_s:>7.3} s | sim total {:.6} s ({:+.1}% vs baseline) | \
+             {} faults, {} reroutes (+{} hops), lost compute {:.3} ms",
+            report.total_time_s(),
+            100.0 * (report.total_time_s() / baseline_s - 1.0),
+            stats.faults_injected,
+            net.reroutes,
+            net.added_hops,
+            1e3 * stats.lost_compute_s.iter().sum::<f64>(),
+        );
+        if name == "link_fail_repair" {
+            assert!(
+                net.reroutes > 0,
+                "mid-allreduce link failure must reroute in-flight flows"
+            );
+        }
+        scenarios.push((
+            name.to_string(),
+            scenario_json(name, baseline_s, &report, wall_s),
+        ));
+    }
+
+    let mut summary = Summary::new("BENCH_faults");
+    summary.text("model", &model.to_string());
+    summary.text("gpu", &gpu.to_string());
+    summary.int("gpus", gpus as u64);
+    summary.text("parallelism", "ddp-overlap");
+    summary.int("global_batch", global_batch);
+    summary.num("baseline_total_time_s", baseline_s);
+    summary.put(
+        "scenarios",
+        Value::Array(scenarios.into_iter().map(|(_, v)| v).collect()),
+    );
+    summary.put("empty_plan_identical", Value::Bool(true));
+    summary.finish();
+}

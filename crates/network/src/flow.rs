@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use triosim_des::{TimeSpan, VirtualTime};
 
-use crate::model::{FlowId, LinkObservation, NetCommand, NetObservation, NetworkModel};
+use crate::model::{
+    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetworkModel, PartitionedError,
+};
 use crate::topology::{LinkId, NodeId, Topology};
 
 /// Fidelity knobs of the flow network.
@@ -250,6 +252,9 @@ pub struct FlowNetwork {
     flows_completed: u64,
     reallocations: u64,
     reschedules: u64,
+    link_faults: u64,
+    reroutes: u64,
+    added_hops: u64,
     link_stats: Vec<LinkStats>,
     last_progress: VirtualTime,
     scratch: Scratch,
@@ -284,6 +289,9 @@ impl FlowNetwork {
             flows_completed: 0,
             reallocations: 0,
             reschedules: 0,
+            link_faults: 0,
+            reroutes: 0,
+            added_hops: 0,
             link_stats: vec![LinkStats::default(); links],
             last_progress: VirtualTime::ZERO,
             scratch,
@@ -351,6 +359,22 @@ impl FlowNetwork {
         (self.route_hits, self.route_misses)
     }
 
+    /// Link faults applied so far (degradations, failures, repairs).
+    pub fn link_faults(&self) -> u64 {
+        self.link_faults
+    }
+
+    /// In-flight flows rerouted around failed links so far.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Extra hops accumulated by reroutes (new minus old route length,
+    /// summed over every rerouted flow).
+    pub fn added_hops(&self) -> u64 {
+        self.added_hops
+    }
+
     /// Source, destination, and size of an in-flight flow.
     pub fn flow(&self, id: FlowId) -> Option<(NodeId, NodeId, u64)> {
         let f = self.get(id)?;
@@ -389,8 +413,13 @@ impl FlowNetwork {
     }
 
     /// The cached route and latency for `(src, dst)`; one BFS per source,
-    /// amortized over every destination.
-    fn cached_route(&mut self, src: NodeId, dst: NodeId) -> CachedRoute {
+    /// amortized over every destination. A missing path (the topology is
+    /// partitioned between the endpoints) is a typed error.
+    fn try_cached_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<CachedRoute, PartitionedError> {
         assert!(
             src.0 < self.route_cache.len(),
             "send source must be a known node"
@@ -416,7 +445,7 @@ impl FlowNetwork {
         }
         self.route_cache[src.0].as_ref().expect("just ensured")[dst.0]
             .clone()
-            .expect("send endpoints must be connected")
+            .ok_or(PartitionedError { src, dst })
     }
 
     /// Advances every flow's drained-bytes accounting to `now`, crediting
@@ -741,6 +770,66 @@ impl FlowNetwork {
         self.reschedules += reschedules;
         cmds
     }
+
+    /// From-scratch refill of every component with every live flow as an
+    /// emit candidate — the recovery path after a link failure rewires
+    /// routes across component boundaries.
+    fn refill_all_and_emit(&mut self, now: VirtualTime) -> Vec<NetCommand> {
+        self.reallocations += 1;
+        let mut emit = std::mem::take(&mut self.scratch.emit);
+        emit.clear();
+        emit.extend((0..self.slots.len() as u32).filter(|&s| self.slots[s as usize].is_some()));
+        self.scratch.emit = emit;
+        self.fill_all();
+        self.emit_commands(now, None)
+    }
+
+    /// Moves every in-flight flow crossing a downed link onto a fresh
+    /// shortest path that avoids down links, updating the per-link
+    /// membership index and the reroute counters.
+    ///
+    /// Rerouted flows keep their drained progress and original latency
+    /// phase; only the remaining bytes travel the detour.
+    fn reroute_around(
+        &mut self,
+        now: VirtualTime,
+        downed: &[LinkId],
+    ) -> Result<Vec<NetCommand>, PartitionedError> {
+        let mut moved: Vec<u32> = Vec::new();
+        for &l in downed {
+            for &s in &self.link_flows[l.0] {
+                if !moved.contains(&s) {
+                    moved.push(s);
+                }
+            }
+        }
+        // Deterministic processing order regardless of membership layout.
+        moved.sort_unstable();
+        for &s in &moved {
+            let (src, dst, old_route) = {
+                let f = self.slots[s as usize].as_ref().expect("rerouted slot live");
+                (f.src, f.dst, f.route.clone())
+            };
+            let new_route = self
+                .topo
+                .route(src, dst)
+                .map_err(|_| PartitionedError { src, dst })?;
+            for &l in old_route.iter() {
+                let members = &mut self.link_flows[l.0];
+                if let Some(pos) = members.iter().position(|&x| x == s) {
+                    members.swap_remove(pos);
+                }
+            }
+            for &l in &new_route {
+                self.link_flows[l.0].push(s);
+            }
+            self.reroutes += 1;
+            self.added_hops += new_route.len().saturating_sub(old_route.len()) as u64;
+            let f = self.slots[s as usize].as_mut().expect("rerouted slot live");
+            f.route = new_route.into();
+        }
+        Ok(self.refill_all_and_emit(now))
+    }
 }
 
 impl NetworkModel for FlowNetwork {
@@ -751,8 +840,21 @@ impl NetworkModel for FlowNetwork {
         dst: NodeId,
         bytes: u64,
     ) -> (FlowId, Vec<NetCommand>) {
+        match self.try_send(now, src, dst, bytes) {
+            Ok(r) => r,
+            Err(e) => panic!("send endpoints must be connected: {e}"),
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<(FlowId, Vec<NetCommand>), PartitionedError> {
         self.sync_links();
-        let cached = self.cached_route(src, dst);
+        let cached = self.try_cached_route(src, dst)?;
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
 
@@ -794,7 +896,59 @@ impl NetworkModel for FlowNetwork {
         for &l in route.iter() {
             self.link_flows[l.0].push(slot);
         }
-        (id, self.reallocate(now, Some(slot), &[]))
+        Ok((id, self.reallocate(now, Some(slot), &[])))
+    }
+
+    fn apply_link_fault(
+        &mut self,
+        now: VirtualTime,
+        a: NodeId,
+        b: NodeId,
+        fault: LinkFault,
+    ) -> Result<Vec<NetCommand>, PartitionedError> {
+        self.sync_links();
+        // Drain progress at pre-fault rates before anything changes.
+        self.update_progress(now);
+        let affected: Vec<LinkId> = (0..self.topo.link_count())
+            .map(LinkId)
+            .filter(|&l| {
+                let (s, d) = self.topo.endpoints(l);
+                (s == a && d == b) || (s == b && d == a)
+            })
+            .collect();
+        if affected.is_empty() {
+            // No direct link between the endpoints; a validated plan never
+            // gets here, and an unmatched fault is a no-op by design.
+            return Ok(Vec::new());
+        }
+        self.link_faults += 1;
+        match fault {
+            LinkFault::Degrade { factor } => {
+                for &l in &affected {
+                    self.topo.scale_bandwidth(l, factor);
+                }
+                // Routes are hop-count shortest paths: a bandwidth change
+                // moves rates, not routes, so the route cache stays valid.
+                Ok(self.reallocate(now, None, &affected))
+            }
+            LinkFault::Fail => {
+                for &l in &affected {
+                    self.topo.set_link_up(l, false);
+                }
+                self.route_cache.fill(None);
+                self.reroute_around(now, &affected)
+            }
+            LinkFault::Repair => {
+                for &l in &affected {
+                    self.topo.set_link_up(l, true);
+                }
+                self.route_cache.fill(None);
+                // In-flight flows keep their detours (no re-optimization on
+                // repair); only new sends see the restored link, so no
+                // rates move and there is nothing to re-arm.
+                Ok(Vec::new())
+            }
+        }
     }
 
     fn deliver(&mut self, flow: FlowId, now: VirtualTime) -> Vec<NetCommand> {
@@ -834,6 +988,9 @@ impl NetworkModel for FlowNetwork {
             flows_completed: self.flows_completed,
             reallocations: self.reallocations,
             reschedules: self.reschedules,
+            link_faults: self.link_faults,
+            reroutes: self.reroutes,
+            added_hops: self.added_hops,
         }
     }
 
@@ -1172,5 +1329,135 @@ mod tests {
         let mut net = one_link_net(1e9, 0.0);
         net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1);
         let _ = net.topology_mut();
+    }
+
+    #[test]
+    fn degrade_slows_inflight_flow() {
+        let mut net = one_link_net(1e9, 0.0);
+        let t0 = VirtualTime::ZERO;
+        // 2 MB at 1 GB/s: due at 2 ms.
+        let (f, cmds) = net.send(t0, NodeId(0), NodeId(1), 2_000_000);
+        assert!((sched_time(&cmds, f).as_seconds() - 2e-3).abs() < 1e-9);
+        // Halve the link at 1 ms: 1 MB drained, the rest drains at
+        // 0.5 GB/s -> 2 ms more, done at 3 ms.
+        let cmds = net
+            .apply_link_fault(
+                VirtualTime::from_seconds(1e-3),
+                NodeId(0),
+                NodeId(1),
+                LinkFault::Degrade { factor: 0.5 },
+            )
+            .unwrap();
+        let at = sched_time(&cmds, f);
+        assert!(
+            (at.as_seconds() - 3e-3).abs() < 1e-9,
+            "got {}",
+            at.as_seconds()
+        );
+        assert_eq!(net.link_faults(), 1);
+        assert_eq!(net.reroutes(), 0);
+    }
+
+    #[test]
+    fn degrade_without_flows_is_quiet() {
+        let mut net = one_link_net(1e9, 0.0);
+        let cmds = net
+            .apply_link_fault(
+                VirtualTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                LinkFault::Degrade { factor: 0.5 },
+            )
+            .unwrap();
+        assert!(cmds.is_empty());
+        // A later send sees the degraded bandwidth.
+        let (f, cmds) = net.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        assert!((sched_time(&cmds, f).as_seconds() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_failure_reroutes_with_added_hops() {
+        // Ring of 4: flow 0->1 takes the 1-hop direct link; failing it
+        // forces the 3-hop detour 0->3->2->1.
+        let mut net = FlowNetwork::new(Topology::ring(4, 1e9, 0.0));
+        let t0 = VirtualTime::ZERO;
+        let (f, cmds) = net.send(t0, NodeId(0), NodeId(1), 1_000_000);
+        assert!((sched_time(&cmds, f).as_seconds() - 1e-3).abs() < 1e-9);
+        let cmds = net
+            .apply_link_fault(t0, NodeId(0), NodeId(1), LinkFault::Fail)
+            .unwrap();
+        // Same bandwidth on the detour, so the delivery time is unchanged
+        // bitwise and delta-rescheduling may emit nothing — but the route
+        // and the counters must show the detour.
+        let _ = cmds;
+        assert_eq!(net.reroutes(), 1);
+        assert_eq!(net.added_hops(), 2, "1-hop route became 3 hops");
+        assert_eq!(net.link_faults(), 1);
+        // New sends also avoid the downed link.
+        let (f2, _) = net.send(t0, NodeId(0), NodeId(1), 1_000);
+        let done = VirtualTime::from_seconds(1.0);
+        net.deliver(f, done);
+        net.deliver(f2, done);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn link_failure_partitions_inflight_flow() {
+        // Chain 0-1-2: failing 1<->2 strands an in-flight 0->2 flow.
+        let mut net = FlowNetwork::new(Topology::chain(3, 1e9, 0.0));
+        let t0 = VirtualTime::ZERO;
+        net.send(t0, NodeId(0), NodeId(2), 1_000_000);
+        let err = net
+            .apply_link_fault(t0, NodeId(1), NodeId(2), LinkFault::Fail)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionedError {
+                src: NodeId(0),
+                dst: NodeId(2)
+            }
+        );
+        assert!(err.to_string().contains("no path from n0 to n2"));
+    }
+
+    #[test]
+    fn try_send_reports_partition_as_error() {
+        let mut net = FlowNetwork::new(Topology::chain(3, 1e9, 0.0));
+        let t0 = VirtualTime::ZERO;
+        net.apply_link_fault(t0, NodeId(1), NodeId(2), LinkFault::Fail)
+            .unwrap();
+        let err = net.try_send(t0, NodeId(0), NodeId(2), 1_000).unwrap_err();
+        assert_eq!(err.dst, NodeId(2));
+    }
+
+    #[test]
+    fn repair_restores_direct_routes_for_new_sends() {
+        let mut net = FlowNetwork::new(Topology::ring(4, 1e9, 0.0));
+        let t0 = VirtualTime::ZERO;
+        net.apply_link_fault(t0, NodeId(0), NodeId(1), LinkFault::Fail)
+            .unwrap();
+        let (fa, _) = net.send(t0, NodeId(0), NodeId(1), 1_000);
+        // Detour while down...
+        let (_, _, _) = net.flow(fa).unwrap();
+        let cmds = net
+            .apply_link_fault(t0, NodeId(0), NodeId(1), LinkFault::Repair)
+            .unwrap();
+        assert!(cmds.is_empty(), "repair re-arms nothing");
+        // ...and a fresh send after repair uses the direct hop again: with
+        // the link up, 1 MB alone finishes in ~1 ms, unaffected by the
+        // detoured fa on the other links.
+        let (fb, cmds) = net.send(t0, NodeId(1), NodeId(0), 1_000_000);
+        assert!((sched_time(&cmds, fb).as_seconds() - 1e-3).abs() < 1e-9);
+        assert_eq!(net.link_faults(), 2);
+    }
+
+    #[test]
+    fn fault_on_unlinked_pair_is_a_noop() {
+        let mut net = FlowNetwork::new(Topology::ring(4, 1e9, 0.0));
+        let cmds = net
+            .apply_link_fault(VirtualTime::ZERO, NodeId(0), NodeId(2), LinkFault::Fail)
+            .unwrap();
+        assert!(cmds.is_empty());
+        assert_eq!(net.link_faults(), 0, "unmatched faults are not counted");
     }
 }

@@ -41,6 +41,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Part of the hardened error path: production code in this crate must
+// surface typed errors, not unwrap. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod flow;
 mod model;
@@ -48,6 +51,8 @@ mod photonic;
 mod topology;
 
 pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats, ReallocationMode};
-pub use model::{FlowId, LinkObservation, NetCommand, NetObservation, NetworkModel};
+pub use model::{
+    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetworkModel, PartitionedError,
+};
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

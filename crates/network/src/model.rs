@@ -70,7 +70,54 @@ pub struct NetObservation {
     pub reallocations: u64,
     /// Delivery events re-armed by reallocation (churn).
     pub reschedules: u64,
+    /// Link faults applied (degradations, failures, repairs).
+    pub link_faults: u64,
+    /// In-flight flows rerouted around a failed link.
+    pub reroutes: u64,
+    /// Extra hops accumulated by those reroutes (new route length minus
+    /// old, summed over all rerouted flows).
+    pub added_hops: u64,
 }
+
+/// A fault applied to the duplex link between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFault {
+    /// Scale the link's bandwidth (both directions) by `factor`.
+    Degrade {
+        /// Bandwidth multiplier, finite and positive.
+        factor: f64,
+    },
+    /// Take the link down (both directions). In-flight flows crossing it
+    /// are rerouted; new sends route around it.
+    Fail,
+    /// Bring the link back up (both directions). Already-rerouted flows
+    /// keep their detours; new sends may use the link again.
+    Repair,
+}
+
+/// A send or link failure left two endpoints with no connecting path.
+///
+/// This is the structured alternative to hanging (a flow that can never
+/// drain) or panicking: the simulator surfaces it as a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedError {
+    /// Source endpoint of the path that no longer exists.
+    pub src: NodeId,
+    /// Destination endpoint of the path that no longer exists.
+    pub dst: NodeId,
+}
+
+impl fmt::Display for PartitionedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network partitioned: no path from {} to {}",
+            self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for PartitionedError {}
 
 /// One link's cumulative observable state.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +161,44 @@ pub trait NetworkModel: fmt::Debug {
         dst: NodeId,
         bytes: u64,
     ) -> (FlowId, Vec<NetCommand>);
+
+    /// Fallible variant of [`send`](NetworkModel::send): reports a
+    /// missing path as a typed [`PartitionedError`] instead of panicking.
+    /// The default delegates to `send` (and therefore inherits its panic
+    /// behavior); models that support fault injection override this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionedError`] when no path connects `src` to `dst`.
+    fn try_send(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<(FlowId, Vec<NetCommand>), PartitionedError> {
+        Ok(self.send(now, src, dst, bytes))
+    }
+
+    /// Applies a fault to the duplex link between `a` and `b` at time
+    /// `now`, returning event commands for flows whose delivery times
+    /// moved. The default (for models without fault support) ignores the
+    /// fault and returns no commands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionedError`] when a link failure leaves an
+    /// in-flight flow with no path between its endpoints.
+    fn apply_link_fault(
+        &mut self,
+        now: VirtualTime,
+        a: NodeId,
+        b: NodeId,
+        fault: LinkFault,
+    ) -> Result<Vec<NetCommand>, PartitionedError> {
+        let _ = (now, a, b, fault);
+        Ok(Vec::new())
+    }
 
     /// Completes `flow` at time `now` (its armed delivery event fired).
     ///

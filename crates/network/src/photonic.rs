@@ -277,10 +277,10 @@ impl NetworkModel for PhotonicNetwork {
             in_flight: self.flows.len(),
             bytes_delivered: self.bytes_delivered,
             flows_completed: self.flows_completed,
-            // Circuit switching never reallocates shared bandwidth, so
-            // the churn counters are structurally zero.
-            reallocations: 0,
-            reschedules: 0,
+            // Circuit switching never reallocates shared bandwidth and
+            // has no fault support, so the churn and fault counters are
+            // structurally zero.
+            ..NetObservation::default()
         }
     }
 }

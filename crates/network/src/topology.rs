@@ -27,6 +27,16 @@ struct Link {
     dst: NodeId,
     bandwidth: f64,
     latency: f64,
+    /// Operational state for fault injection. `None` (the serialized
+    /// default for topologies written before this field existed) means
+    /// *up*; `Some(false)` marks a failed link that routing must avoid.
+    up: Option<bool>,
+}
+
+impl Link {
+    fn is_up(&self) -> bool {
+        self.up.unwrap_or(true)
+    }
 }
 
 /// Error raised by topology construction or routing.
@@ -41,6 +51,31 @@ pub enum TopologyError {
         /// Destination node.
         dst: NodeId,
     },
+    /// A link's endpoints are the same node.
+    SelfLink(NodeId),
+    /// A link's bandwidth is not finite and positive.
+    BadBandwidth {
+        /// Source node of the offending link.
+        src: NodeId,
+        /// Destination node of the offending link.
+        dst: NodeId,
+        /// The rejected bandwidth value.
+        bandwidth: f64,
+    },
+    /// A link's latency is not finite and non-negative.
+    BadLatency {
+        /// Source node of the offending link.
+        src: NodeId,
+        /// Destination node of the offending link.
+        dst: NodeId,
+        /// The rejected latency value.
+        latency: f64,
+    },
+    /// A node cannot reach the rest of the topology.
+    Disconnected {
+        /// The unreachable node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -49,6 +84,22 @@ impl fmt::Display for TopologyError {
             TopologyError::UnknownNode(n) => write!(f, "node {n} does not exist"),
             TopologyError::Unreachable { src, dst } => {
                 write!(f, "no path from {src} to {dst}")
+            }
+            TopologyError::SelfLink(n) => write!(f, "self-link on {n} is not allowed"),
+            TopologyError::BadBandwidth {
+                src,
+                dst,
+                bandwidth,
+            } => write!(
+                f,
+                "link {src}->{dst}: bandwidth {bandwidth} must be finite and positive"
+            ),
+            TopologyError::BadLatency { src, dst, latency } => write!(
+                f,
+                "link {src}->{dst}: latency {latency} must be finite and non-negative"
+            ),
+            TopologyError::Disconnected { node } => {
+                write!(f, "topology is not connected: {node} is unreachable")
             }
         }
     }
@@ -127,30 +178,63 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if either endpoint is out of range, the bandwidth is not
-    /// positive, or the latency is negative.
+    /// positive, or the latency is negative. Use
+    /// [`try_add_link`](Topology::try_add_link) for a fallible variant.
     pub fn add_link(&mut self, src: NodeId, dst: NodeId, bandwidth: f64, latency: f64) -> LinkId {
-        assert!(
-            src.0 < self.nodes && dst.0 < self.nodes,
-            "endpoint out of range"
-        );
-        assert!(src != dst, "self-links are not allowed");
-        assert!(
-            bandwidth.is_finite() && bandwidth > 0.0,
-            "bandwidth must be positive"
-        );
-        assert!(
-            latency.is_finite() && latency >= 0.0,
-            "latency must be non-negative"
-        );
+        match self.try_add_link(src, dst, bandwidth, latency) {
+            Ok(id) => id,
+            Err(TopologyError::UnknownNode(_)) => panic!("endpoint out of range"),
+            Err(TopologyError::SelfLink(_)) => panic!("self-links are not allowed"),
+            Err(TopologyError::BadBandwidth { .. }) => panic!("bandwidth must be positive"),
+            Err(TopologyError::BadLatency { .. }) => panic!("latency must be non-negative"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds a directed link and returns its id, reporting invalid
+    /// parameters as a typed error naming the offending link instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`], [`TopologyError::SelfLink`],
+    /// [`TopologyError::BadBandwidth`], or [`TopologyError::BadLatency`].
+    pub fn try_add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: f64,
+        latency: f64,
+    ) -> Result<LinkId, TopologyError> {
+        if src.0 >= self.nodes {
+            return Err(TopologyError::UnknownNode(src));
+        }
+        if dst.0 >= self.nodes {
+            return Err(TopologyError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(TopologyError::SelfLink(src));
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(TopologyError::BadBandwidth {
+                src,
+                dst,
+                bandwidth,
+            });
+        }
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(TopologyError::BadLatency { src, dst, latency });
+        }
         let id = LinkId(self.links.len());
         self.links.push(Link {
             src,
             dst,
             bandwidth,
             latency,
+            up: None,
         });
         self.adjacency[src.0].push((dst, id));
-        id
+        Ok(id)
     }
 
     /// Adds a full-duplex connection (both directions, same parameters).
@@ -188,9 +272,48 @@ impl Topology {
         self.links[link.0].bandwidth *= factor;
     }
 
-    /// All links leaving `node`, in insertion order.
+    /// All links leaving `node`, in insertion order (including links that
+    /// are currently down).
     pub fn links_from(&self, node: NodeId) -> &[(NodeId, LinkId)] {
         &self.adjacency[node.0]
+    }
+
+    /// Marks a link up or down. Routing ([`route`](Topology::route) /
+    /// [`routes_from`](Topology::routes_from)) never crosses a down link;
+    /// this is the fault-injection hook behind transient link failures.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.0].up = Some(up);
+    }
+
+    /// Whether a link is currently up (links start up).
+    pub fn is_link_up(&self, link: LinkId) -> bool {
+        self.links[link.0].is_up()
+    }
+
+    /// Checks that every node can be reached from node 0 by following
+    /// *up* links (ignoring transit restrictions — this is graph
+    /// connectivity, not routability).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Disconnected`] naming the first
+    /// unreachable node.
+    pub fn validate_connected(&self) -> Result<(), TopologyError> {
+        let mut visited = vec![false; self.nodes];
+        visited[0] = true;
+        let mut queue = VecDeque::from([NodeId(0)]);
+        while let Some(node) = queue.pop_front() {
+            for &(next, link) in &self.adjacency[node.0] {
+                if self.links[link.0].is_up() && !visited[next.0] {
+                    visited[next.0] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        match visited.iter().position(|&v| !v) {
+            None => Ok(()),
+            Some(n) => Err(TopologyError::Disconnected { node: NodeId(n) }),
+        }
     }
 
     /// Shortest path (fewest hops; deterministic tie-break by insertion
@@ -222,6 +345,9 @@ impl Topology {
                 continue;
             }
             for &(next, link) in &self.adjacency[node.0] {
+                if !self.links[link.0].is_up() {
+                    continue;
+                }
                 if !visited[next.0] {
                     visited[next.0] = true;
                     prev[next.0] = Some((node, link));
@@ -270,6 +396,9 @@ impl Topology {
                 continue;
             }
             for &(next, link) in &self.adjacency[node.0] {
+                if !self.links[link.0].is_up() {
+                    continue;
+                }
                 if !visited[next.0] {
                     visited[next.0] = true;
                     prev[next.0] = Some((node, link));
@@ -644,5 +773,60 @@ mod tests {
     fn self_link_rejected() {
         let mut t = Topology::new(2);
         t.add_link(NodeId(0), NodeId(0), 1e9, 0.0);
+    }
+
+    #[test]
+    fn try_add_link_names_the_offence() {
+        let mut t = Topology::new(2);
+        assert!(matches!(
+            t.try_add_link(NodeId(0), NodeId(5), 1e9, 0.0),
+            Err(TopologyError::UnknownNode(NodeId(5)))
+        ));
+        assert!(matches!(
+            t.try_add_link(NodeId(1), NodeId(1), 1e9, 0.0),
+            Err(TopologyError::SelfLink(NodeId(1)))
+        ));
+        let err = t.try_add_link(NodeId(0), NodeId(1), -1.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("n0->n1"), "got: {err}");
+        assert!(matches!(
+            t.try_add_link(NodeId(0), NodeId(1), 1e9, f64::NAN),
+            Err(TopologyError::BadLatency { .. })
+        ));
+        assert!(t.try_add_link(NodeId(0), NodeId(1), 1e9, 0.0).is_ok());
+    }
+
+    #[test]
+    fn down_links_are_routed_around() {
+        let mut t = Topology::ring(4, 1e9, 0.0);
+        // 0 -> 1 direct.
+        let direct = t.route(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(direct.len(), 1);
+        t.set_link_up(direct[0], false);
+        assert!(!t.is_link_up(direct[0]));
+        // Now the only way is the long way around.
+        let detour = t.route(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(detour.len(), 3);
+        let table = t.routes_from(NodeId(0)).unwrap();
+        assert_eq!(table[1].as_ref().map(Vec::len), Some(3));
+        // Repair restores the direct route.
+        t.set_link_up(direct[0], true);
+        assert_eq!(t.route(NodeId(0), NodeId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn connectivity_validation_names_the_node() {
+        let t = Topology::ring(4, 1e9, 0.0);
+        assert!(t.validate_connected().is_ok());
+        let mut chain = Topology::chain(3, 1e9, 0.0);
+        // Cut both directions of the 1<->2 hop: node 2 becomes an island.
+        let l12 = chain.route(NodeId(1), NodeId(2)).unwrap()[0];
+        let l21 = chain.route(NodeId(2), NodeId(1)).unwrap()[0];
+        chain.set_link_up(l12, false);
+        chain.set_link_up(l21, false);
+        let err = chain.validate_connected().unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected { node: NodeId(2) });
+        assert!(err.to_string().contains("n2"), "got: {err}");
+        let isolated = Topology::new(2);
+        assert!(isolated.validate_connected().is_err());
     }
 }

@@ -159,17 +159,57 @@ pub struct TraceEntry {
     pub outputs: Vec<TensorId>,
 }
 
-/// Error raised by trace (de)serialization.
+/// Error raised by trace construction, validation, or (de)serialization.
 #[derive(Debug)]
 pub enum TraceError {
     /// The JSON payload could not be parsed into a trace.
     Parse(serde_json::Error),
+    /// The trace contains no operators.
+    EmptyTrace,
+    /// The trace's batch size is zero.
+    ZeroBatch,
+    /// An operator references a tensor id the tensor table does not
+    /// declare. Names the offending record.
+    UnknownTensor {
+        /// Name of the operator with the dangling reference.
+        op: String,
+        /// Index of the entry in the trace.
+        index: usize,
+        /// The undeclared tensor id.
+        tensor: TensorId,
+    },
+    /// An operator's measured time is negative or not finite. Names the
+    /// offending record.
+    BadTime {
+        /// Name of the operator with the bad time.
+        op: String,
+        /// Index of the entry in the trace.
+        index: usize,
+        /// The offending time value.
+        time_s: f64,
+    },
+    /// A model graph with no layers or operators was given to the tracer.
+    EmptyModel,
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::Parse(e) => write!(f, "invalid trace JSON: {e}"),
+            TraceError::EmptyTrace => write!(f, "a trace must contain operators"),
+            TraceError::ZeroBatch => write!(f, "batch must be positive"),
+            TraceError::UnknownTensor { op, index, tensor } => write!(
+                f,
+                "entry {index} (`{op}`) references tensor {tensor} \
+                 which is not in the tensor table"
+            ),
+            TraceError::BadTime { op, index, time_s } => write!(
+                f,
+                "entry {index} (`{op}`) has a non-finite or negative time {time_s}"
+            ),
+            TraceError::EmptyModel => {
+                write!(f, "cannot trace a model with no layers or operators")
+            }
         }
     }
 }
@@ -178,6 +218,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Parse(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -213,7 +254,9 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is empty or `batch` is zero.
+    /// Panics on any condition [`try_new`](Self::try_new) reports as an
+    /// error: empty entries, zero batch, dangling tensor references, or
+    /// non-finite operator times.
     pub fn new(
         model: impl Into<String>,
         batch: u64,
@@ -221,15 +264,65 @@ impl Trace {
         entries: Vec<TraceEntry>,
         tensors: TensorTable,
     ) -> Self {
-        assert!(batch > 0, "batch must be positive");
-        assert!(!entries.is_empty(), "a trace must contain operators");
-        Trace {
+        match Self::try_new(model, batch, gpu, entries, tensors) {
+            Ok(t) => t,
+            // Preserve the legacy panic messages verbatim.
+            Err(TraceError::ZeroBatch) => panic!("batch must be positive"),
+            Err(TraceError::EmptyTrace) => panic!("a trace must contain operators"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): validates the assembled
+    /// trace and reports the first defect as a typed error naming the
+    /// offending record.
+    ///
+    /// Checks, in order: the batch is positive, at least one operator is
+    /// present, every operator time is finite and non-negative, and every
+    /// tensor id an operator reads or writes exists in the tensor table.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ZeroBatch`], [`TraceError::EmptyTrace`],
+    /// [`TraceError::BadTime`], or [`TraceError::UnknownTensor`].
+    pub fn try_new(
+        model: impl Into<String>,
+        batch: u64,
+        gpu: impl Into<String>,
+        entries: Vec<TraceEntry>,
+        tensors: TensorTable,
+    ) -> Result<Self, TraceError> {
+        if batch == 0 {
+            return Err(TraceError::ZeroBatch);
+        }
+        if entries.is_empty() {
+            return Err(TraceError::EmptyTrace);
+        }
+        for (index, e) in entries.iter().enumerate() {
+            if !e.time_s.is_finite() || e.time_s < 0.0 {
+                return Err(TraceError::BadTime {
+                    op: e.op.name.clone(),
+                    index,
+                    time_s: e.time_s,
+                });
+            }
+            for &tensor in e.inputs.iter().chain(&e.outputs) {
+                if tensors.get(tensor).is_none() {
+                    return Err(TraceError::UnknownTensor {
+                        op: e.op.name.clone(),
+                        index,
+                        tensor,
+                    });
+                }
+            }
+        }
+        Ok(Trace {
             model: model.into(),
             batch,
             gpu: gpu.into(),
             entries,
             tensors,
-        }
+        })
     }
 
     /// Name of the traced model.
@@ -294,7 +387,7 @@ impl Trace {
         }
         let mut v: Vec<(OpClass, usize, f64)> =
             acc.into_iter().map(|(c, (n, t))| (c, n, t)).collect();
-        v.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite times"));
+        v.sort_by(|a, b| b.2.total_cmp(&a.2));
         v
     }
 
@@ -308,13 +401,24 @@ impl Trace {
         serde_json::to_string(self).map_err(TraceError::Parse)
     }
 
-    /// Parses a trace from its JSON format.
+    /// Parses and validates a trace from its JSON format.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Parse`] on malformed input.
+    /// Returns [`TraceError::Parse`] on malformed input, and the
+    /// [`try_new`](Self::try_new) validation errors on well-formed JSON
+    /// describing an inconsistent trace (zero batch, no operators,
+    /// dangling tensor references, non-finite times) — each naming the
+    /// offending record.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        serde_json::from_str(json).map_err(TraceError::Parse)
+        let parsed: Trace = serde_json::from_str(json).map_err(TraceError::Parse)?;
+        Self::try_new(
+            parsed.model,
+            parsed.batch,
+            parsed.gpu,
+            parsed.entries,
+            parsed.tensors,
+        )
     }
 }
 
@@ -359,6 +463,79 @@ mod tests {
     fn malformed_json_is_an_error() {
         let err = Trace::from_json("{not json").unwrap_err();
         assert!(err.to_string().contains("invalid trace JSON"));
+    }
+
+    #[test]
+    fn dangling_tensor_reference_names_the_offending_entry() {
+        let mut tensors = TensorTable::new();
+        let x = tensors.register(TensorCategory::Input, TensorShape::from([4, 8]), DType::F32);
+        let entry = TraceEntry {
+            op: Operator::linear("fc", 4, 8, 16),
+            time_s: 1e-4,
+            layer: 0,
+            phase: Phase::Forward,
+            inputs: vec![x, TensorId(99)],
+            outputs: vec![],
+        };
+        let err = Trace::try_new("bad", 4, "A100", vec![entry], tensors).unwrap_err();
+        assert!(matches!(
+            &err,
+            TraceError::UnknownTensor {
+                op,
+                index: 0,
+                tensor: TensorId(99),
+            } if op == "fc"
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("entry 0"), "message was: {msg}");
+        assert!(msg.contains("fc"), "message was: {msg}");
+        assert!(msg.contains("t99"), "message was: {msg}");
+    }
+
+    #[test]
+    fn non_finite_or_negative_time_is_rejected() {
+        let mut tensors = TensorTable::new();
+        let x = tensors.register(TensorCategory::Input, TensorShape::from([4, 8]), DType::F32);
+        let mut entry = TraceEntry {
+            op: Operator::linear("fc", 4, 8, 16),
+            time_s: -1.0,
+            layer: 0,
+            phase: Phase::Forward,
+            inputs: vec![x],
+            outputs: vec![],
+        };
+        let err =
+            Trace::try_new("bad", 4, "A100", vec![entry.clone()], tensors.clone()).unwrap_err();
+        assert!(matches!(err, TraceError::BadTime { index: 0, .. }));
+
+        entry.time_s = f64::NAN;
+        let err = Trace::try_new("bad", 4, "A100", vec![entry], tensors).unwrap_err();
+        assert!(err.to_string().contains("non-finite or negative"));
+    }
+
+    #[test]
+    fn zero_batch_is_a_typed_error() {
+        let t = tiny_trace();
+        let err = Trace::try_new("bad", 0, "A100", t.entries().to_vec(), t.tensors().clone())
+            .unwrap_err();
+        assert!(matches!(err, TraceError::ZeroBatch));
+    }
+
+    #[test]
+    fn from_json_revalidates_referential_integrity() {
+        // Serialize a valid trace, then point an entry at a tensor id that is
+        // not in the table. Parsing must fail with the same typed error the
+        // constructor raises, not panic downstream.
+        let t = tiny_trace();
+        let json = t
+            .to_json()
+            .unwrap()
+            .replace("\"inputs\":[1,0]", "\"inputs\":[1,77]");
+        let err = Trace::from_json(&json).unwrap_err();
+        assert!(
+            matches!(err, TraceError::UnknownTensor { .. }),
+            "got: {err}"
+        );
     }
 
     #[test]

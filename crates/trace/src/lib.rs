@@ -38,6 +38,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Part of the hardened error path: production code in this crate must
+// surface typed errors, not unwrap. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod format;
 mod gpu;

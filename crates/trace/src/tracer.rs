@@ -7,7 +7,7 @@
 
 use triosim_modelzoo::{DType, ModelGraph, Operator, TensorShape};
 
-use crate::format::{Phase, TensorCategory, TensorId, TensorTable, Trace, TraceEntry};
+use crate::format::{Phase, TensorCategory, TensorId, TensorTable, Trace, TraceEntry, TraceError};
 use crate::gpu::GpuModel;
 use crate::oracle::OracleGpu;
 
@@ -55,11 +55,28 @@ impl Tracer {
     /// gradients, no optimizer. This is the workload class Li's Model was
     /// originally built for, and the input for serving-style simulations
     /// (replicated or pipelined inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no layers or operators; use
+    /// [`try_trace_inference`](Self::try_trace_inference) for a typed
+    /// error instead.
     pub fn trace_inference(&self, model: &ModelGraph) -> Trace {
+        self.try_trace_inference(model)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`trace_inference`](Self::trace_inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyModel`] when the model has no layers or
+    /// its first layer has no operators.
+    pub fn try_trace_inference(&self, model: &ModelGraph) -> Result<Trace, TraceError> {
         let mut tensors = TensorTable::new();
         let mut entries = Vec::new();
 
-        let first_op = &model.layers()[0].ops[0];
+        let first_op = first_op(model)?;
         let input_elems = (first_op.bytes_in / DType::F32.size_bytes()).max(1);
         let mut current_activation = tensors.register(
             TensorCategory::Input,
@@ -103,7 +120,7 @@ impl Tracer {
             }
         }
 
-        Trace::new(
+        Trace::try_new(
             model.name(),
             model.batch(),
             self.oracle.spec().name,
@@ -113,12 +130,27 @@ impl Tracer {
     }
 
     /// Traces one training iteration of `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no layers or operators; use
+    /// [`try_trace`](Self::try_trace) for a typed error instead.
     pub fn trace(&self, model: &ModelGraph) -> Trace {
+        self.try_trace(model).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`trace`](Self::trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyModel`] when the model has no layers or
+    /// its first layer has no operators.
+    pub fn try_trace(&self, model: &ModelGraph) -> Result<Trace, TraceError> {
         let mut tensors = TensorTable::new();
         let mut entries = Vec::new();
 
         // The data batch arriving from the host.
-        let first_op = &model.layers()[0].ops[0];
+        let first_op = first_op(model)?;
         let input_elems = (first_op.bytes_in / DType::F32.size_bytes()).max(1);
         let mut current_activation = tensors.register(
             TensorCategory::Input,
@@ -228,7 +260,7 @@ impl Tracer {
             });
         }
 
-        Trace::new(
+        Trace::try_new(
             model.name(),
             model.batch(),
             self.oracle.spec().name,
@@ -236,6 +268,16 @@ impl Tracer {
             tensors,
         )
     }
+}
+
+/// The model's first operator (the shape source for the input tensor), or
+/// [`TraceError::EmptyModel`] when there is none.
+fn first_op(model: &ModelGraph) -> Result<&Operator, TraceError> {
+    model
+        .layers()
+        .first()
+        .and_then(|layer| layer.ops.first())
+        .ok_or(TraceError::EmptyModel)
 }
 
 /// Derives the backward operator for a forward operator.
@@ -267,6 +309,23 @@ mod tests {
 
     fn sample() -> Trace {
         Tracer::new(GpuModel::A100).trace(&ModelId::ResNet18.build(8))
+    }
+
+    #[test]
+    fn empty_model_is_a_typed_error_not_a_panic() {
+        // `ModelGraph::new` asserts non-empty, so a hollow graph can only
+        // arrive via deserialization — exactly the path a tracer consuming
+        // external model files has to survive.
+        let empty: triosim_modelzoo::ModelGraph =
+            serde_json::from_str(r#"{"name":"hollow","batch":8,"layers":[]}"#)
+                .expect("structurally valid JSON");
+        let err = Tracer::new(GpuModel::A100).try_trace(&empty).unwrap_err();
+        assert!(matches!(err, TraceError::EmptyModel));
+        assert!(err.to_string().contains("no layers or operators"));
+        let err = Tracer::new(GpuModel::A100)
+            .try_trace_inference(&empty)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::EmptyModel));
     }
 
     #[test]

@@ -52,6 +52,10 @@ COMMANDS:
         --metrics <file>        write Prometheus text-format metrics
         --progress              print live progress to stderr
         --sample-period-us <n>  observability sampling period (default 1000)
+        --faults <plan.json>    inject the faults described by a plan file
+                                (GPU slowdowns, jitter, link degradation,
+                                link failure/repair, GPU drop-out)
+        --fault-seed <n>        override the plan's jitter seed
     memory                      estimate the per-GPU memory footprint
         --trace <file> --gpus <n> --parallelism <...> --batch <n>
 ";
@@ -67,20 +71,62 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let opts = parse_options(&args[1..]);
-    let result = match command.as_str() {
+    let result = validate_flags(command, &opts).and_then(|()| match command.as_str() {
         "models" => cmd_models(),
         "trace" => cmd_trace(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
         "memory" => cmd_memory(&opts),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Rejects flags a subcommand does not understand with a one-line,
+/// actionable error instead of silently ignoring them.
+fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    let allowed: &[&str] = match command {
+        "models" => &[],
+        "trace" => &["model", "batch", "gpu", "out"],
+        "inspect" => &["trace"],
+        "simulate" => &[
+            "trace",
+            "platform",
+            "parallelism",
+            "batch",
+            "iterations",
+            "reference",
+            "timeline",
+            "html",
+            "events",
+            "trace-events",
+            "metrics",
+            "progress",
+            "sample-period-us",
+            "faults",
+            "fault-seed",
+        ],
+        "memory" => &["trace", "gpus", "parallelism", "batch"],
+        // Unknown commands produce their own error.
+        _ => return Ok(()),
+    };
+    let mut unknown: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(k) => Err(format!(
+            "unknown option `--{k}` for `{command}` (run `triosim-cli --help` for the option list)"
+        )),
+        None => Ok(()),
     }
 }
 
@@ -289,7 +335,17 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         builder = builder.sample_period(TimeSpan::from_micros(us));
     }
-    let report = builder.run();
+    if let Some(path) = opts.get("faults") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let plan = triosim::FaultPlan::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        builder = builder.faults(plan);
+    } else if opts.contains_key("fault-seed") {
+        return Err("--fault-seed requires --faults".into());
+    }
+    if let Some(seed) = opts.get("fault-seed") {
+        builder = builder.fault_seed(parse(seed)?);
+    }
+    let report = builder.try_run().map_err(|e| e.to_string())?;
 
     println!(
         "{} | {} x {} | {}",
@@ -326,6 +382,18 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         net.reschedules,
         100.0 * report.rate_change_ratio()
     );
+    if let Some(fs) = report.fault_stats() {
+        println!(
+            "faults        : {} injected ({} degrade, {} fail, {} repair), {} reroutes (+{} hops), lost compute {:.3} ms",
+            fs.faults_injected,
+            fs.link_degrades,
+            fs.link_fails,
+            fs.link_repairs,
+            net.reroutes,
+            net.added_hops,
+            fs.lost_compute_s.iter().sum::<f64>() * 1e3
+        );
+    }
     // Heaviest layers (the per-layer breakdown of §4.1).
     let per_layer = report.per_layer_compute_s();
     let mut heaviest: Vec<(usize, f64)> = per_layer.iter().copied().enumerate().collect();

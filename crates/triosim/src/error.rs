@@ -1,0 +1,77 @@
+//! Structured simulation failures.
+//!
+//! Fault injection turns conditions that a fault-free simulation treats
+//! as configuration bugs (and panics on) into runtime outcomes: a link
+//! failure can partition the topology mid-run, and a GPU drop-out leaves
+//! tasks that can never execute. [`SimError`] is the typed, non-panicking
+//! surface for those outcomes.
+
+use std::fmt;
+
+/// A simulation ended early because an injected fault made the remaining
+/// work impossible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A link failure left two transfer endpoints with no connecting
+    /// path, so an in-flight or newly started flow could never drain.
+    Partitioned {
+        /// Source node of the path that no longer exists.
+        src: usize,
+        /// Destination node of the path that no longer exists.
+        dst: usize,
+        /// Simulated time (seconds) at which the partition was detected.
+        at_s: f64,
+    },
+    /// A GPU dropped out permanently; compute tasks pinned to it can
+    /// never run, so the static task graph cannot complete.
+    GpuLost {
+        /// The lost GPU rank.
+        gpu: usize,
+        /// Simulated time (seconds) of the drop-out.
+        at_s: f64,
+    },
+    /// The fault plan references entities the platform does not have, or
+    /// carries out-of-domain values. The message names the offending
+    /// plan entry.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Partitioned { src, dst, at_s } => write!(
+                f,
+                "network partitioned at t={at_s:.6}s: no path from n{src} to n{dst}"
+            ),
+            SimError::GpuLost { gpu, at_s } => write!(
+                f,
+                "gpu {gpu} dropped out at t={at_s:.6}s: its remaining tasks cannot run"
+            ),
+            SimError::InvalidPlan(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let e = SimError::Partitioned {
+            src: 0,
+            dst: 3,
+            at_s: 0.5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "network partitioned at t=0.500000s: no path from n0 to n3"
+        );
+        let e = SimError::GpuLost { gpu: 2, at_s: 1.0 };
+        assert!(e.to_string().contains("gpu 2 dropped out"));
+        let e = SimError::InvalidPlan("invalid fault plan: gpu 9 out of range".into());
+        assert!(e.to_string().contains("gpu 9"));
+    }
+}

@@ -10,10 +10,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use triosim_des::{EventId, EventQueue, Ticker, TimeSpan, VirtualTime};
-use triosim_network::{FlowId, NetCommand, NetworkModel};
+use triosim_faults::{FaultKind, FaultPlan, FaultSession};
+use triosim_network::{FlowId, LinkFault, NetCommand, NetworkModel, NodeId};
 use triosim_obs::{AttrValue, ProgressMonitor, Recorder};
 
-use crate::report::{union_length, SimReport, TimelineRecord, TimelineTrack};
+use crate::error::SimError;
+use crate::report::{union_length, FaultStats, SimReport, TimelineRecord, TimelineTrack};
 use crate::taskgraph::{TaskGraph, TaskId, TaskKind};
 
 #[derive(Debug)]
@@ -27,6 +29,10 @@ enum Event {
     },
     /// Observability sampling tick — never affects simulation results.
     MonitorTick,
+    /// Injection point of one timed fault from the session timeline.
+    Fault {
+        idx: usize,
+    },
 }
 
 /// Observability options for one execution run.
@@ -125,7 +131,9 @@ pub fn execute_iterations(
     iterations: usize,
 ) -> SimReport {
     assert!(iterations > 0, "need at least one iteration");
-    Executor::new(graph, network).run(iterations)
+    Executor::new(graph, network)
+        .run(iterations)
+        .unwrap_or_else(|e| panic!("fault-free execution cannot fail: {e}"))
 }
 
 /// [`execute_iterations`] with observability: spans, metrics, and live
@@ -149,12 +157,88 @@ pub fn execute_observed(
     Executor::new(graph, network)
         .with_observability(obs)
         .run(iterations)
+        .unwrap_or_else(|e| panic!("fault-free execution cannot fail: {e}"))
+}
+
+/// [`execute_observed`] with fault injection: the timed faults, compute
+/// slowdowns, and jitter described by `plan` are applied while the graph
+/// executes.
+///
+/// An empty plan takes the exact fault-free code path and produces a
+/// bit-identical report to [`execute_observed`]. A non-empty plan is
+/// deterministic in `plan` (including its seed): two runs with the same
+/// plan produce identical reports.
+///
+/// The plan is consumed as-is; use
+/// [`FaultPlan::validate`] (or [`SimBuilder::try_run`](crate::SimBuilder::try_run),
+/// which validates for you) to reject plans referencing GPUs or nodes the
+/// platform does not have.
+///
+/// # Errors
+///
+/// Returns [`SimError::Partitioned`] when a link failure disconnects a
+/// transfer's endpoints, and [`SimError::GpuLost`] when a GPU drop-out
+/// fires (its pinned tasks can never run).
+///
+/// # Panics
+///
+/// Same conditions as [`execute_iterations`].
+pub fn execute_faulted(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    obs: Observability,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut ex = Executor::new(graph, network).with_observability(obs);
+    let session = FaultSession::new(plan, graph.gpus());
+    if !session.is_empty() {
+        ex = ex.with_faults(session);
+    }
+    ex.run(iterations)
 }
 
 struct GpuStream {
     ready: VecDeque<TaskId>,
     busy: bool,
     busy_time: f64,
+}
+
+/// Live state of one fault-injected run. Present only when the session
+/// actually injects something: a fault-free run carries `None` and takes
+/// byte-identical code paths to the plain executor.
+struct FaultRuntime {
+    session: FaultSession,
+    /// Next timeline entry to arm.
+    cursor: usize,
+    /// The armed injection event. Like monitor ticks, fault events do not
+    /// count as real work: they are cancelled the moment no real event
+    /// remains, so a fault scheduled past the end of the workload can
+    /// never extend the reported total time.
+    fault_event: Option<EventId>,
+    /// Faults that actually fired.
+    injected: u64,
+    /// Fired faults by kind: [degrade, fail, repair, gpu_drop].
+    injected_by_kind: [u64; 4],
+    /// Per-GPU seconds of compute added by slowdown/jitter dilation.
+    lost_compute: Vec<f64>,
+    /// Fail time of currently-down duplex links, for outage spans.
+    outage_since: HashMap<(usize, usize), VirtualTime>,
+}
+
+impl FaultRuntime {
+    fn new(session: FaultSession, gpus: usize) -> Self {
+        FaultRuntime {
+            session,
+            cursor: 0,
+            fault_event: None,
+            injected: 0,
+            injected_by_kind: [0; 4],
+            lost_compute: vec![0.0; gpus],
+            outage_since: HashMap::new(),
+        }
+    }
 }
 
 struct Executor<'a> {
@@ -182,8 +266,15 @@ struct Executor<'a> {
     tick_event: Option<EventId>,
     /// Pending non-tick events; ticks stop when this reaches zero.
     pending_real: usize,
-    /// Per-kind dispatch counts: [compute, flow, tick].
-    dispatches: [u64; 3],
+    /// Per-kind dispatch counts: [compute, flow, tick, fault].
+    dispatches: [u64; 4],
+    // ------- fault injection (both `None` on fault-free runs) -------
+    faults: Option<FaultRuntime>,
+    /// Set when an injected fault made the remaining work impossible;
+    /// unwinds the run as a structured error instead of a hang or panic.
+    fault_error: Option<SimError>,
+    /// Iteration currently executing (jitter coordinate).
+    current_iter: usize,
     prev_link_busy: Vec<f64>,
     prev_sample_at: VirtualTime,
     collective_of_first: HashMap<TaskId, usize>,
@@ -229,7 +320,10 @@ impl<'a> Executor<'a> {
             ticker: None,
             tick_event: None,
             pending_real: 0,
-            dispatches: [0; 3],
+            dispatches: [0; 4],
+            faults: None,
+            fault_error: None,
+            current_iter: 0,
             prev_link_busy: Vec::new(),
             prev_sample_at: VirtualTime::ZERO,
             collective_of_first: HashMap::new(),
@@ -255,9 +349,18 @@ impl<'a> Executor<'a> {
         self
     }
 
-    fn run(mut self, iterations: usize) -> SimReport {
+    /// Attaches a non-empty fault session. The fault timeline spans the
+    /// whole multi-iteration run (times are absolute, not per-iteration).
+    fn with_faults(mut self, session: FaultSession) -> Self {
+        let gpus = self.gpus.len();
+        self.faults = Some(FaultRuntime::new(session, gpus));
+        self
+    }
+
+    fn run(mut self, iterations: usize) -> Result<SimReport, SimError> {
         let base_indegree = self.indegree.clone();
         for iter in 0..iterations {
+            self.current_iter = iter;
             if iter > 0 {
                 self.indegree.clone_from(&base_indegree);
                 self.completed = 0;
@@ -265,6 +368,14 @@ impl<'a> Executor<'a> {
                 self.collective_begin.fill(None);
             }
             self.run_once();
+            if let Some(e) = self.fault_error.take() {
+                // Close observability sinks so partial traces flush, then
+                // surface the structured error instead of the deadlock
+                // panic the unfinished graph would otherwise trigger.
+                let total = self.queue.now() - VirtualTime::ZERO;
+                self.finish_observability(total);
+                return Err(e);
+            }
             assert_eq!(
                 self.completed,
                 self.graph.len(),
@@ -296,7 +407,7 @@ impl<'a> Executor<'a> {
         let comm_busy = union_length(self.comm_intervals);
         let mut timeline = self.timeline;
         timeline.sort_by_key(|r| (r.start, r.end));
-        SimReport::new(
+        let mut report = SimReport::new(
             total,
             per_gpu_compute,
             comm_busy,
@@ -305,7 +416,18 @@ impl<'a> Executor<'a> {
             *self.queue.stats(),
             self.network.observe(),
             timeline,
-        )
+        );
+        if let Some(fr) = &self.faults {
+            report.set_fault_stats(FaultStats {
+                faults_injected: fr.injected,
+                link_degrades: fr.injected_by_kind[0],
+                link_fails: fr.injected_by_kind[1],
+                link_repairs: fr.injected_by_kind[2],
+                gpu_drops: fr.injected_by_kind[3],
+                lost_compute_s: fr.lost_compute.clone(),
+            });
+        }
+        Ok(report)
     }
 
     /// Emits the end-of-run metric dump and closes the recorder.
@@ -323,6 +445,10 @@ impl<'a> Executor<'a> {
         let total_s = total.as_seconds();
         let gpu_busy: Vec<f64> = self.gpus.iter().map(|g| g.busy_time).collect();
         let dispatches = self.dispatches;
+        let fault_stats = self
+            .faults
+            .as_ref()
+            .map(|fr| (fr.injected_by_kind, fr.lost_compute.clone()));
         let Some(r) = self.obs.recorder.as_mut() else {
             return;
         };
@@ -358,6 +484,32 @@ impl<'a> Executor<'a> {
                 &[("kind", kind)],
                 dispatches[count] as f64,
             );
+        }
+        // Fault metrics exist only on fault-injected runs, so observed
+        // fault-free output stays byte-identical to pre-fault builds.
+        if let Some((by_kind, lost)) = &fault_stats {
+            r.counter_add(
+                "triosim_events_dispatched_total",
+                &[("kind", "fault")],
+                dispatches[3] as f64,
+            );
+            for (kind, n) in [
+                ("link_degrade", by_kind[0]),
+                ("link_fail", by_kind[1]),
+                ("link_repair", by_kind[2]),
+                ("gpu_drop", by_kind[3]),
+            ] {
+                r.counter_add("triosim_faults_injected_total", &[("kind", kind)], n as f64);
+            }
+            for (g, s) in lost.iter().enumerate() {
+                let label = g.to_string();
+                r.gauge_set(
+                    now,
+                    "triosim_fault_lost_compute_seconds",
+                    &[("gpu", &label)],
+                    *s,
+                );
+            }
         }
         r.counter_add(
             "triosim_net_bytes_delivered_total",
@@ -422,6 +574,11 @@ impl<'a> Executor<'a> {
                 .first_tick(self.queue.now());
             self.tick_event = Some(self.queue.schedule(at, Event::MonitorTick));
         }
+        // Likewise the next pending fault: armed only while real work
+        // remains, so it can never extend the run.
+        if self.pending_real > 0 {
+            self.arm_next_fault();
+        }
 
         while let Some((now, event)) = self.queue.pop() {
             match event {
@@ -482,14 +639,148 @@ impl<'a> Executor<'a> {
                     }
                     continue;
                 }
+                Event::Fault { idx } => {
+                    self.dispatches[3] += 1;
+                    if let Some(fr) = self.faults.as_mut() {
+                        fr.fault_event = None;
+                        fr.cursor = idx + 1;
+                    }
+                    self.apply_fault(now, idx);
+                    if self.fault_error.is_some() {
+                        return;
+                    }
+                    if self.pending_real > 0 {
+                        self.arm_next_fault();
+                    }
+                }
+            }
+            if self.fault_error.is_some() {
+                return;
             }
             // A tick never outlives the real work: cancel the pending one
             // as soon as the queue holds nothing else, so the trailing
             // tick cannot inflate `queue.now()` past the last real event.
+            // The same goes for an armed fault.
             if self.pending_real == 0 {
                 if let Some(id) = self.tick_event.take() {
                     self.queue.cancel(id);
                 }
+                if let Some(id) = self.faults.as_mut().and_then(|fr| fr.fault_event.take()) {
+                    self.queue.cancel(id);
+                }
+            }
+        }
+    }
+
+    /// Schedules the next timeline fault (if any) at its injection time,
+    /// clamped forward to `now` — time never runs backwards, so a fault
+    /// whose nominal time already passed fires immediately.
+    fn arm_next_fault(&mut self) {
+        let now = self.queue.now();
+        let Some(fr) = self.faults.as_mut() else {
+            return;
+        };
+        if fr.fault_event.is_some() {
+            return;
+        }
+        let Some(tf) = fr.session.timeline().get(fr.cursor) else {
+            return;
+        };
+        let at = VirtualTime::from_seconds(tf.at_s).max(now);
+        let idx = fr.cursor;
+        fr.fault_event = Some(self.queue.schedule(at, Event::Fault { idx }));
+    }
+
+    /// Injects timeline entry `idx` into the network (or drops a GPU),
+    /// recording attribution counters and observability events.
+    fn apply_fault(&mut self, now: VirtualTime, idx: usize) {
+        let kind = {
+            let Some(fr) = self.faults.as_mut() else {
+                return;
+            };
+            let kind = fr.session.timeline()[idx].kind;
+            fr.injected += 1;
+            match kind {
+                FaultKind::LinkDegrade { .. } => fr.injected_by_kind[0] += 1,
+                FaultKind::LinkFail { src, dst } => {
+                    fr.injected_by_kind[1] += 1;
+                    fr.outage_since
+                        .entry((src.min(dst), src.max(dst)))
+                        .or_insert(now);
+                }
+                FaultKind::LinkRepair { .. } => fr.injected_by_kind[2] += 1,
+                FaultKind::GpuDrop { .. } => fr.injected_by_kind[3] += 1,
+            }
+            kind
+        };
+        match kind {
+            FaultKind::LinkDegrade { src, dst, factor } => {
+                self.inject_link_fault(now, src, dst, LinkFault::Degrade { factor });
+            }
+            FaultKind::LinkFail { src, dst } => {
+                self.inject_link_fault(now, src, dst, LinkFault::Fail);
+            }
+            FaultKind::LinkRepair { src, dst } => {
+                self.inject_link_fault(now, src, dst, LinkFault::Repair);
+                let down_at = self
+                    .faults
+                    .as_mut()
+                    .and_then(|fr| fr.outage_since.remove(&(src.min(dst), src.max(dst))));
+                if self.observing {
+                    if let (Some(start), Some(r)) = (down_at, self.obs.recorder.as_mut()) {
+                        r.span(
+                            "faults",
+                            &format!("outage n{src}<->n{dst}"),
+                            start,
+                            now,
+                            &[
+                                ("src", AttrValue::U64(src as u64)),
+                                ("dst", AttrValue::U64(dst as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+            FaultKind::GpuDrop { gpu } => {
+                self.fault_error = Some(SimError::GpuLost {
+                    gpu,
+                    at_s: now.as_seconds(),
+                });
+            }
+        }
+        if self.observing {
+            let label = kind.label();
+            let (a, b) = match kind {
+                FaultKind::LinkDegrade { src, dst, .. }
+                | FaultKind::LinkFail { src, dst }
+                | FaultKind::LinkRepair { src, dst } => (src as u64, dst as u64),
+                FaultKind::GpuDrop { gpu } => (gpu as u64, gpu as u64),
+            };
+            if let Some(r) = self.obs.recorder.as_mut() {
+                r.instant(
+                    now,
+                    "faults",
+                    label,
+                    &[("a", AttrValue::U64(a)), ("b", AttrValue::U64(b))],
+                );
+            }
+        }
+    }
+
+    /// Routes one link fault into the network model; a resulting
+    /// partition becomes the run's structured error.
+    fn inject_link_fault(&mut self, now: VirtualTime, src: usize, dst: usize, fault: LinkFault) {
+        match self
+            .network
+            .apply_link_fault(now, NodeId(src), NodeId(dst), fault)
+        {
+            Ok(cmds) => self.apply(cmds),
+            Err(e) => {
+                self.fault_error = Some(SimError::Partitioned {
+                    src: e.src.0,
+                    dst: e.dst.0,
+                    at_s: now.as_seconds(),
+                });
             }
         }
     }
@@ -584,6 +875,9 @@ impl<'a> Executor<'a> {
         // Worklist to avoid recursion through long barrier chains.
         let mut work = vec![task];
         while let Some(t) = work.pop() {
+            if self.fault_error.is_some() {
+                return;
+            }
             self.completed += 1;
             if self.observing {
                 self.record_completion(t);
@@ -667,10 +961,31 @@ impl<'a> Executor<'a> {
                         self.collective_begin[ci].get_or_insert(now);
                     }
                 }
-                let (flow, cmds) = self.network.send(now, *src, *dst, *bytes);
-                self.flow_task.insert(flow, task);
-                self.flow_start.insert(flow, now);
-                self.apply(cmds);
+                if self.faults.is_some() {
+                    // Under fault injection a missing path is a runtime
+                    // outcome (an injected failure partitioned the
+                    // topology), not a configuration bug: surface it as
+                    // the run's structured error instead of panicking.
+                    match self.network.try_send(now, *src, *dst, *bytes) {
+                        Ok((flow, cmds)) => {
+                            self.flow_task.insert(flow, task);
+                            self.flow_start.insert(flow, now);
+                            self.apply(cmds);
+                        }
+                        Err(e) => {
+                            self.fault_error = Some(SimError::Partitioned {
+                                src: e.src.0,
+                                dst: e.dst.0,
+                                at_s: now.as_seconds(),
+                            });
+                        }
+                    }
+                } else {
+                    let (flow, cmds) = self.network.send(now, *src, *dst, *bytes);
+                    self.flow_task.insert(flow, task);
+                    self.flow_start.insert(flow, now);
+                    self.apply(cmds);
+                }
                 None
             }
         }
@@ -686,12 +1001,31 @@ impl<'a> Executor<'a> {
         let TaskKind::Compute { duration, .. } = self.graph.tasks()[task.0].kind else {
             unreachable!("GPU queues hold compute tasks only");
         };
+        let duration = self.dilated(gpu, task, duration);
         self.gpus[gpu].busy = true;
         let now = self.queue.now();
         self.compute_start[task.0] = Some(now);
         self.pending_real += 1;
         self.queue
             .schedule(now + duration, Event::ComputeDone { gpu, task });
+    }
+
+    /// Applies the session's compute slowdown and per-op jitter to one
+    /// operator duration, attributing the added time to the GPU. The
+    /// fault-free path returns `duration` untouched (no float math), so
+    /// empty plans stay bit-identical to plain runs.
+    fn dilated(&mut self, gpu: usize, task: TaskId, duration: TimeSpan) -> TimeSpan {
+        let Some(fr) = self.faults.as_mut() else {
+            return duration;
+        };
+        let factor = fr.session.compute_factor(gpu)
+            * fr.session.jitter_factor(gpu, task.0, self.current_iter);
+        if factor == 1.0 {
+            return duration;
+        }
+        let dilated = duration * factor;
+        fr.lost_compute[gpu] += (dilated - duration).as_seconds();
+        dilated
     }
 
     fn apply(&mut self, cmds: Vec<NetCommand>) {
@@ -979,6 +1313,191 @@ mod tests {
         assert!(out.contains("\"track\":\"collectives\""), "{out}");
         assert!(out.contains("\"algorithm\":\"allreduce\""), "{out}");
         assert!(out.contains("triosim_collectives_total"), "{out}");
+    }
+
+    // ---------------- fault injection ----------------
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_plain_run() {
+        let g = overlap_graph();
+        let plain = execute_iterations(&g, &mut net2(), 3);
+        let faulted = execute_faulted(
+            &g,
+            &mut net2(),
+            3,
+            Observability::off(),
+            &triosim_faults::FaultPlan::default(),
+        )
+        .expect("empty plan cannot fail");
+        assert_eq!(plain.total_time(), faulted.total_time());
+        assert_eq!(plain.bytes_transferred(), faulted.bytes_transferred());
+        assert_eq!(plain.timeline(), faulted.timeline());
+        assert!(faulted.fault_stats().is_none(), "no session attached");
+    }
+
+    #[test]
+    fn straggler_gpu_dilates_compute_and_attributes_loss() {
+        let mut g = TaskGraph::new(2);
+        g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        g.compute("b", 1, TimeSpan::from_millis(1.0), vec![]);
+        let plan = triosim_faults::FaultPlan {
+            gpu_slowdowns: vec![triosim_faults::GpuSlowdown {
+                gpu: 1,
+                factor: 3.0,
+            }],
+            ..Default::default()
+        };
+        let r = execute_faulted(&g, &mut net2(), 1, Observability::off(), &plan).unwrap();
+        assert!(
+            (r.total_time_s() - 0.003).abs() < 1e-9,
+            "{}",
+            r.total_time_s()
+        );
+        let fs = r.fault_stats().expect("session attached");
+        assert!(fs.lost_compute_s[0].abs() < 1e-12);
+        assert!((fs.lost_compute_s[1] - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_failure_on_chain_returns_partitioned_error() {
+        // 0 - 1 - 2 chain; a long transfer 0 -> 2 is in flight when the
+        // 1<->2 link dies at 1 ms. No alternative path: structured error.
+        let mut t = Topology::new(3);
+        t.add_duplex(NodeId(0), NodeId(1), 1e9, 0.0);
+        t.add_duplex(NodeId(1), NodeId(2), 1e9, 0.0);
+        let mut net = FlowNetwork::new(t);
+        let mut g = TaskGraph::new(1);
+        g.transfer("mv", NodeId(0), NodeId(2), 100_000_000, vec![]);
+        let plan = triosim_faults::FaultPlan {
+            link_failures: vec![triosim_faults::LinkFailure {
+                src: 1,
+                dst: 2,
+                at_s: 0.001,
+                repair_s: None,
+            }],
+            ..Default::default()
+        };
+        let err = execute_faulted(&g, &mut net, 1, Observability::off(), &plan).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SimError::Partitioned {
+                src: 0,
+                dst: 2,
+                at_s: 0.001
+            }
+        );
+    }
+
+    #[test]
+    fn link_failure_on_ring_reroutes_and_counts_hops() {
+        let mut net = FlowNetwork::new(Topology::ring(4, 1e9, 0.0));
+        let mut g = TaskGraph::new(1);
+        g.transfer("mv", NodeId(0), NodeId(1), 10_000_000, vec![]);
+        let plan = triosim_faults::FaultPlan {
+            link_failures: vec![triosim_faults::LinkFailure {
+                src: 0,
+                dst: 1,
+                at_s: 0.001,
+                repair_s: None,
+            }],
+            ..Default::default()
+        };
+        let r = execute_faulted(&g, &mut net, 1, Observability::off(), &plan).unwrap();
+        assert_eq!(r.network_stats().reroutes, 1);
+        assert_eq!(r.network_stats().added_hops, 2, "1 hop -> 3 hops");
+        // A lone flow keeps its 1 GB/s bottleneck on the detour (zero
+        // link latency), so it still finishes on time — rerouted, not
+        // hung, is the point.
+        assert!(
+            (r.total_time_s() - 0.010).abs() < 1e-9,
+            "{}",
+            r.total_time_s()
+        );
+    }
+
+    #[test]
+    fn gpu_dropout_returns_gpu_lost() {
+        let mut g = TaskGraph::new(2);
+        g.compute("a", 0, TimeSpan::from_millis(5.0), vec![]);
+        g.compute("b", 1, TimeSpan::from_millis(5.0), vec![]);
+        let plan = triosim_faults::FaultPlan {
+            gpu_dropouts: vec![triosim_faults::GpuDropout {
+                gpu: 1,
+                at_s: 0.001,
+            }],
+            ..Default::default()
+        };
+        let err = execute_faulted(&g, &mut net2(), 1, Observability::off(), &plan).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::GpuLost { gpu: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn fault_injected_runs_are_deterministic() {
+        let run = || {
+            let mut g = TaskGraph::new(2);
+            for i in 0..8 {
+                g.compute(format!("op{i}"), i % 2, TimeSpan::from_millis(1.0), vec![]);
+            }
+            let plan = triosim_faults::FaultPlan {
+                seed: 42,
+                jitter: Some(triosim_faults::Jitter { amplitude: 0.5 }),
+                gpu_slowdowns: vec![triosim_faults::GpuSlowdown {
+                    gpu: 0,
+                    factor: 1.5,
+                }],
+                ..Default::default()
+            };
+            let r = execute_faulted(&g, &mut net2(), 3, Observability::off(), &plan).unwrap();
+            (r.total_time(), r.fault_stats().cloned())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_past_end_of_run_never_extends_it() {
+        let mut g = TaskGraph::new(1);
+        g.compute("a", 0, TimeSpan::from_millis(1.0), vec![]);
+        let plan = triosim_faults::FaultPlan {
+            link_failures: vec![triosim_faults::LinkFailure {
+                src: 0,
+                dst: 1,
+                at_s: 999.0,
+                repair_s: None,
+            }],
+            ..Default::default()
+        };
+        let r = execute_faulted(&g, &mut net2(), 1, Observability::off(), &plan).unwrap();
+        assert!((r.total_time_s() - 0.001).abs() < 1e-12);
+        assert_eq!(r.fault_stats().unwrap().faults_injected, 0, "never fired");
+    }
+
+    #[test]
+    fn fault_events_surface_in_observability() {
+        let mut net = FlowNetwork::new(Topology::ring(4, 1e9, 0.0));
+        let mut g = TaskGraph::new(1);
+        g.transfer("mv", NodeId(0), NodeId(1), 20_000_000, vec![]);
+        let plan = triosim_faults::FaultPlan {
+            link_failures: vec![triosim_faults::LinkFailure {
+                src: 0,
+                dst: 1,
+                at_s: 0.001,
+                repair_s: Some(0.005),
+            }],
+            ..Default::default()
+        };
+        let buf = SharedBuf::default();
+        let r = execute_faulted(&g, &mut net, 1, jsonl_obs(&buf), &plan).unwrap();
+        let out = buf.take_string();
+        assert!(out.contains("link_fail"), "{out}");
+        assert!(out.contains("triosim_faults_injected_total"), "{out}");
+        assert!(
+            out.contains("outage n0<->n1"),
+            "repair closes the outage span: {out}"
+        );
+        assert_eq!(r.fault_stats().unwrap().link_repairs, 1);
     }
 
     #[test]

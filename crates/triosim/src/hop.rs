@@ -173,6 +173,18 @@ impl HopSimulator {
         self.run_with(slowdown, &|_| 1.0)
     }
 
+    /// Runs the protocol under a compiled fault session: per-worker
+    /// compute slowdowns dilate iteration compute, and the plan's link
+    /// degradations slow the matching neighbour links. This is the Hop
+    /// view of a [`FaultPlan`](triosim_faults::FaultPlan) — the same
+    /// straggler plan drives both the DAG executor and this case study,
+    /// so "one slow GPU" experiments line up across the two.
+    pub fn run_with_faults(&self, session: &triosim_faults::FaultSession) -> HopReport {
+        self.run_with(&|from, to| session.link_slowdown(from, to), &|w| {
+            session.compute_factor(w)
+        })
+    }
+
     /// Runs the protocol. `slowdown(from, to)` returns the heterogeneity
     /// factor (>= 1) applied to the transfer time on that directed link;
     /// `compute_factor(worker)` scales each worker's iteration compute

@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod compute;
+mod error;
 mod executor;
 mod extrapolate;
 mod hop;
@@ -65,14 +66,21 @@ mod taskgraph;
 mod viz;
 
 pub use compute::{ComputeModel, Fidelity};
-pub use executor::{execute, execute_iterations, execute_observed, Observability};
+pub use error::SimError;
+pub use executor::{execute, execute_faulted, execute_iterations, execute_observed, Observability};
 pub use extrapolate::{extrapolate, extrapolate_with_style};
 pub use hop::{HopConfig, HopGraph, HopReport, HopSimulator};
 pub use layers::{summarize_layers, LayerSummary};
 pub use memory::{estimate_memory, MemoryEstimate};
 pub use parallelism::{CollectiveStyle, Parallelism};
 pub use platform::Platform;
-pub use report::{SimReport, TimelineRecord, TimelineTrack};
+pub use report::{FaultStats, SimReport, TimelineRecord, TimelineTrack};
+// Re-export the fault-plan vocabulary so downstream users configure
+// fault injection without naming the `triosim-faults` crate directly.
 pub use session::SimBuilder;
 pub use taskgraph::{CollectiveMeta, Task, TaskGraph, TaskId, TaskKind};
+pub use triosim_faults::{
+    FaultKind, FaultPlan, FaultPlanError, FaultSession, GpuDropout, GpuSlowdown, Jitter,
+    LinkDegradation, LinkFailure, TimedFault,
+};
 pub use viz::render_html_timeline;

@@ -35,6 +35,27 @@ pub struct TimelineRecord {
     pub layer: Option<usize>,
 }
 
+/// Per-fault attribution of a fault-injected run: what fired, and how
+/// much compute time the slowdown/jitter dilation added per GPU.
+///
+/// Link-level loss shows up in [`SimReport::network_stats`] instead
+/// (`link_faults`, `reroutes`, `added_hops`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultStats {
+    /// Timed faults that actually fired.
+    pub faults_injected: u64,
+    /// Fired link-bandwidth degradations.
+    pub link_degrades: u64,
+    /// Fired link failures.
+    pub link_fails: u64,
+    /// Fired link repairs.
+    pub link_repairs: u64,
+    /// Fired GPU drop-outs.
+    pub gpu_drops: u64,
+    /// Seconds of compute added to each GPU by slowdown/jitter dilation.
+    pub lost_compute_s: Vec<f64>,
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -46,6 +67,7 @@ pub struct SimReport {
     queue: QueueStats,
     net: NetObservation,
     timeline: Vec<TimelineRecord>,
+    fault_stats: Option<FaultStats>,
 }
 
 impl SimReport {
@@ -69,7 +91,18 @@ impl SimReport {
             queue,
             net,
             timeline,
+            fault_stats: None,
         }
+    }
+
+    pub(crate) fn set_fault_stats(&mut self, stats: FaultStats) {
+        self.fault_stats = Some(stats);
+    }
+
+    /// Fault-attribution counters of a fault-injected run; `None` for
+    /// fault-free runs (including runs with an empty fault plan).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault_stats.as_ref()
     }
 
     /// End-to-end predicted time of the iteration.

@@ -3,13 +3,15 @@
 use std::str::FromStr;
 
 use triosim_des::TimeSpan;
-use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel};
+use triosim_faults::FaultPlan;
+use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId};
 use triosim_obs::{ProgressMonitor, Recorder};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, OracleGpu, Trace};
 
 use crate::compute::{ComputeModel, Fidelity};
-use crate::executor::{execute_iterations, execute_observed, Observability};
+use crate::error::SimError;
+use crate::executor::{execute_faulted, execute_iterations, execute_observed, Observability};
 use crate::extrapolate::extrapolate_with_style;
 use crate::parallelism::{CollectiveStyle, Parallelism};
 use crate::platform::Platform;
@@ -57,6 +59,8 @@ pub struct SimBuilder<'a> {
     collective_style: CollectiveStyle,
     iterations: usize,
     observability: Observability,
+    faults: Option<FaultPlan>,
+    fault_seed: Option<u64>,
 }
 
 impl<'a> SimBuilder<'a> {
@@ -73,6 +77,8 @@ impl<'a> SimBuilder<'a> {
             collective_style: CollectiveStyle::default(),
             iterations: 1,
             observability: Observability::off(),
+            faults: None,
+            fault_seed: None,
         }
     }
 
@@ -151,6 +157,21 @@ impl<'a> SimBuilder<'a> {
     /// Panics if `period` is zero.
     pub fn sample_period(mut self, period: TimeSpan) -> Self {
         self.observability = std::mem::take(&mut self.observability).with_sample_period(period);
+        self
+    }
+
+    /// Attaches a fault-injection plan. An empty plan is equivalent to no
+    /// plan at all — the run takes the plain, bit-identical code path.
+    /// The plan is validated against the platform by
+    /// [`try_run`](Self::try_run) before execution.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the fault plan's jitter seed (the CLI's `--fault-seed`).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
         self
     }
 
@@ -237,20 +258,89 @@ impl<'a> SimBuilder<'a> {
         )
     }
 
-    /// Extrapolates and executes the simulation.
-    pub fn run(mut self) -> SimReport {
+    /// Checks a non-empty plan against the platform: entity ranges and
+    /// value domains via [`FaultPlan::validate`], plus that every link
+    /// fault names a link the topology actually has.
+    fn validate_plan(&self, plan: &FaultPlan) -> Result<(), SimError> {
+        let topo = self.platform.topology();
+        plan.validate(self.platform.gpu_count(), topo.node_count())
+            .map_err(|e| SimError::InvalidPlan(e.to_string()))?;
+        let has_link = |a: usize, b: usize| {
+            topo.links_from(NodeId(a)).iter().any(|(n, _)| n.0 == b)
+                || topo.links_from(NodeId(b)).iter().any(|(n, _)| n.0 == a)
+        };
+        for (i, d) in plan.link_degradations.iter().enumerate() {
+            if !has_link(d.src, d.dst) {
+                return Err(SimError::InvalidPlan(format!(
+                    "invalid fault plan: link_degradations[{i}]: no link between n{} and n{}",
+                    d.src, d.dst
+                )));
+            }
+        }
+        for (i, l) in plan.link_failures.iter().enumerate() {
+            if !has_link(l.src, l.dst) {
+                return Err(SimError::InvalidPlan(format!(
+                    "invalid fault plan: link_failures[{i}]: no link between n{} and n{}",
+                    l.src, l.dst
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extrapolates and executes the simulation, surfacing fault-induced
+    /// early termination and invalid fault plans as typed errors.
+    ///
+    /// Without a fault plan (or with an empty one) this cannot fail and
+    /// produces a report bit-identical to [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlan`] when the fault plan references GPUs,
+    /// nodes, or links the platform does not have (or carries
+    /// out-of-domain values); [`SimError::Partitioned`] /
+    /// [`SimError::GpuLost`] when an injected fault makes the remaining
+    /// work impossible.
+    pub fn try_run(mut self) -> Result<SimReport, SimError> {
+        let mut plan = self.faults.take().unwrap_or_default();
+        if let Some(seed) = self.fault_seed {
+            plan = plan.with_seed(seed);
+        }
+        if !plan.is_empty() {
+            self.validate_plan(&plan)?;
+        }
         let graph = self.build_graph();
         let mut network = self.resolved_network();
-        if self.observability.is_active() {
-            execute_observed(
-                &graph,
-                network.as_mut(),
-                self.iterations,
-                self.observability,
-            )
+        let obs = std::mem::take(&mut self.observability);
+        if plan.is_empty() {
+            if obs.is_active() {
+                Ok(execute_observed(
+                    &graph,
+                    network.as_mut(),
+                    self.iterations,
+                    obs,
+                ))
+            } else {
+                Ok(execute_iterations(
+                    &graph,
+                    network.as_mut(),
+                    self.iterations,
+                ))
+            }
         } else {
-            execute_iterations(&graph, network.as_mut(), self.iterations)
+            execute_faulted(&graph, network.as_mut(), self.iterations, obs, &plan)
         }
+    }
+
+    /// Extrapolates and executes the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any condition [`try_run`](Self::try_run) reports as an
+    /// error (invalid fault plans, fault-induced partitions or GPU loss).
+    /// Fault-free configurations never panic here.
+    pub fn run(self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
