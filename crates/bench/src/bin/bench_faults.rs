@@ -1,53 +1,51 @@
 //! Fault-injection benchmark: cost and accounting of the fault matrix on
 //! a DDP ring — the robustness counterpart to `bench_net`.
 //!
-//! Runs the same data-parallel ResNet-50 simulation (16 GPUs by default,
-//! `--gpus` to change) four times:
+//! The matrix is an explicit-scenario [`SweepSpec`] executed by the
+//! sweep engine: the same data-parallel ResNet-50 simulation (16 GPUs by
+//! default, `--gpus` to change) under five fault plans:
 //!
 //! * `baseline` — no fault plan attached (the bit-identity reference).
+//! * `empty_plan` — a plan with no faults (must match `baseline`).
 //! * `straggler` — one GPU computing 1.5x slower (Hop's straggler case).
 //! * `link_degrade` — one ring link at 25% bandwidth from t=0.
 //! * `link_fail_repair` — one ring link dies mid-allreduce and comes back
 //!   shortly after; in-flight flows must be rerouted the long way and the
 //!   run must still complete.
 //!
-//! The binary *asserts* the robustness contract: every faulted scenario is
-//! run twice and must produce byte-identical reports (seeded determinism),
-//! the empty-plan run must match the plain baseline exactly, and the
-//! fail/repair scenario must actually reroute. A violation panics and
-//! fails CI's fault-smoke job. Results land in `results/BENCH_faults.json`.
+//! The binary *asserts* the robustness contract: the whole sweep is run
+//! twice and the two canonical aggregates must be byte-identical (seeded
+//! determinism for every scenario at once), the empty-plan report must
+//! match the plain baseline exactly, and the fail/repair scenario must
+//! actually reroute. A violation panics and fails CI's fault-smoke job.
+//! Results land in `results/BENCH_faults.json`.
 
-use serde::Value;
+use serde::{Serialize, Value};
 use triosim::{
-    FaultPlan, GpuSlowdown, LinkDegradation, LinkFailure, Parallelism, Platform, SimBuilder,
-    SimReport, TimelineTrack,
+    run_sweep, FaultPlan, GpuSlowdown, LinkDegradation, LinkFailure, Parallelism, Platform,
+    ScenarioPatch, SimBuilder, SweepOutcome, SweepSpec, TimelineTrack,
 };
-use triosim_bench::{arg_u64, json_num, json_obj, paper_trace, time_it, trace_batch, Summary};
+use triosim_bench::{
+    arg_u64, field_f64, field_u64, json_num, json_obj, paper_trace, sweep_threads, trace_batch,
+    Summary,
+};
 use triosim_modelzoo::ModelId;
 use triosim_trace::{GpuModel, LinkKind, Trace};
 
-fn run_plan(
-    platform: &Platform,
-    trace: &Trace,
-    global_batch: u64,
-    plan: Option<&FaultPlan>,
-) -> (SimReport, f64) {
-    time_it(|| {
-        let mut builder = SimBuilder::new(trace, platform)
-            .parallelism(Parallelism::DataParallel { overlap: true })
-            .global_batch(global_batch);
-        if let Some(plan) = plan {
-            builder = builder.faults(plan.clone());
-        }
-        builder
-            .try_run()
-            .unwrap_or_else(|e| panic!("fault scenario must degrade gracefully, got: {e}"))
-    })
-}
-
 /// Midpoint of the first allreduce step crossing the rank1->rank2 ring
-/// link — failing the link then guarantees a flow is in flight on it.
-fn mid_allreduce_s(baseline: &SimReport) -> f64 {
+/// link — failing the link then guarantees a flow is in flight on it —
+/// plus the baseline's simulated total (the repair instant is a quarter
+/// of it later).
+///
+/// This probe needs the full timeline, which the canonical sweep report
+/// deliberately omits (it carries only the order-sensitive hash), so it
+/// stays a direct `SimBuilder` run; the matrix itself runs on the sweep
+/// engine.
+fn probe_baseline(platform: &Platform, trace: &Trace, global_batch: u64) -> (f64, f64) {
+    let baseline = SimBuilder::new(trace, platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .global_batch(global_batch)
+        .run();
     let step = baseline
         .timeline()
         .iter()
@@ -57,58 +55,86 @@ fn mid_allreduce_s(baseline: &SimReport) -> f64 {
                 && r.label.contains("rank1->rank2")
         })
         .expect("ring DDP has allreduce traffic on rank1->rank2");
-    (step.start.as_seconds() + step.end.as_seconds()) / 2.0
+    let fail_at = (step.start.as_seconds() + step.end.as_seconds()) / 2.0;
+    (fail_at, baseline.total_time_s())
 }
 
-fn reports_identical(a: &SimReport, b: &SimReport) -> bool {
-    a.total_time() == b.total_time()
-        && a.timeline() == b.timeline()
-        && a.bytes_transferred() == b.bytes_transferred()
-        && a.fault_stats() == b.fault_stats()
+fn scenario(label: &str, plan: Option<&FaultPlan>) -> ScenarioPatch {
+    let mut patch = ScenarioPatch::default();
+    patch.set("label", Value::Str(label.to_string()));
+    if let Some(plan) = plan {
+        patch.set("faults", plan.to_value());
+    }
+    patch
 }
 
-fn scenario_json(name: &str, baseline_s: f64, report: &SimReport, wall_s: f64) -> Value {
-    let net = report.network_stats();
-    let (injected, lost_compute_s) = report
-        .fault_stats()
-        .map(|s| (s.faults_injected, s.lost_compute_s.iter().sum::<f64>()))
-        .unwrap_or((0, 0.0));
+/// Fault accounting from a canonical report: `(faults_injected, total
+/// lost compute seconds)`. Fault-free reports carry no `faults` block.
+fn fault_accounting(report: &Value) -> (u64, f64) {
+    let Some(faults) = report.get("faults") else {
+        return (0, 0.0);
+    };
+    let lost: f64 = faults
+        .get("lost_compute_s")
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .map(|v| if let Value::Float(f) = v { *f } else { 0.0 })
+                .sum()
+        })
+        .unwrap_or(0.0);
+    (field_u64(faults, &["faults_injected"]), lost)
+}
+
+fn scenario_json(name: &str, baseline_s: f64, report: &Value, wall_s: f64) -> Value {
+    let (injected, lost_compute_s) = fault_accounting(report);
     json_obj(vec![
         ("scenario", Value::Str(name.to_string())),
         ("wall_s", json_num(wall_s)),
-        ("total_time_s", json_num(report.total_time_s())),
+        (
+            "total_time_s",
+            json_num(field_f64(report, &["total_time_s"])),
+        ),
         (
             "slowdown_vs_baseline",
-            json_num(report.total_time_s() / baseline_s),
+            json_num(field_f64(report, &["total_time_s"]) / baseline_s),
         ),
         ("faults_injected", Value::UInt(injected)),
         ("lost_compute_s", json_num(lost_compute_s)),
-        ("link_faults", Value::UInt(net.link_faults)),
-        ("reroutes", Value::UInt(net.reroutes)),
-        ("added_hops", Value::UInt(net.added_hops)),
+        (
+            "link_faults",
+            Value::UInt(field_u64(report, &["network", "link_faults"])),
+        ),
+        (
+            "reroutes",
+            Value::UInt(field_u64(report, &["network", "reroutes"])),
+        ),
+        (
+            "added_hops",
+            Value::UInt(field_u64(report, &["network", "added_hops"])),
+        ),
     ])
 }
 
+fn report_of(outcome: &SweepOutcome, index: usize) -> &Value {
+    outcome.results[index].outcome.as_ref().unwrap_or_else(|e| {
+        panic!(
+            "{}: fault scenario must degrade gracefully, got: {e}",
+            outcome.results[index].label
+        )
+    })
+}
+
 fn main() {
-    let gpus = arg_u64("gpus", 16) as usize;
+    let gpus = arg_u64("gpus", 16);
     let model = ModelId::ResNet50;
     let gpu = GpuModel::A100;
-    let platform = Platform::ring(gpu, gpus, LinkKind::NvLink3, format!("ring{gpus}"));
+    let platform = Platform::ring(gpu, gpus as usize, LinkKind::NvLink3, format!("ring{gpus}"));
     let trace = paper_trace(model, gpu);
-    let global_batch = gpus as u64 * trace_batch(model);
+    let global_batch = gpus * trace_batch(model);
 
     println!("fault-injection bench: {model} DDP on {gpus}x{gpu} ring");
-    let (baseline, baseline_wall) = run_plan(&platform, &trace, global_batch, None);
-    let baseline_s = baseline.total_time_s();
-    let fail_at = mid_allreduce_s(&baseline);
-
-    // Empty-plan oracle: attaching a plan with no faults must be
-    // byte-identical to never mentioning faults at all.
-    let (empty, _) = run_plan(&platform, &trace, global_batch, Some(&FaultPlan::default()));
-    assert!(
-        reports_identical(&baseline, &empty),
-        "empty fault plan diverged from the fault-free baseline"
-    );
+    let (fail_at, probe_total_s) = probe_baseline(&platform, &trace, global_batch);
 
     let straggler = FaultPlan {
         gpu_slowdowns: vec![GpuSlowdown {
@@ -131,61 +157,92 @@ fn main() {
             src: 2,
             dst: 3,
             at_s: fail_at,
-            repair_s: Some(fail_at + baseline_s / 4.0),
+            repair_s: Some(fail_at + probe_total_s / 4.0),
         }],
         ..FaultPlan::default()
     };
 
-    let mut scenarios = vec![(
-        "baseline".to_string(),
-        scenario_json("baseline", baseline_s, &baseline, baseline_wall),
+    let mut defaults = ScenarioPatch::default();
+    defaults.set("model", Value::Str(model.to_string()));
+    defaults.set("trace_batch", Value::UInt(trace_batch(model)));
+    defaults.set("gpu", Value::Str(gpu.to_string()));
+    defaults.set("platform", Value::Str(format!("ring:{gpu}:{gpus}")));
+    defaults.set("parallelism", Value::Str("ddp".to_string()));
+    defaults.set("global_batch", Value::UInt(global_batch));
+    let spec = SweepSpec {
+        name: "bench_faults".to_string(),
+        defaults,
+        grid: Vec::new(),
+        scenarios: vec![
+            scenario("baseline", None),
+            scenario("empty_plan", Some(&FaultPlan::default())),
+            scenario("straggler", Some(&straggler)),
+            scenario("link_degrade", Some(&link_degrade)),
+            scenario("link_fail_repair", Some(&link_fail_repair)),
+        ],
+    };
+
+    let threads = sweep_threads();
+    let outcome = run_sweep(&spec, threads, false)
+        .unwrap_or_else(|e| panic!("bench_faults sweep failed to start: {e}"));
+    // Seeded-determinism contract, checked for the whole matrix at once:
+    // a second full sweep must aggregate to the same bytes.
+    let rerun = run_sweep(&spec, threads, false)
+        .unwrap_or_else(|e| panic!("bench_faults rerun failed to start: {e}"));
+    assert!(
+        outcome.to_canonical_string() == rerun.to_canonical_string(),
+        "two runs of the same seeded fault matrix diverged"
+    );
+
+    let baseline = report_of(&outcome, 0);
+    let baseline_s = field_f64(baseline, &["total_time_s"]);
+
+    // Empty-plan oracle: attaching a plan with no faults must be
+    // byte-identical to never mentioning faults at all.
+    let empty = report_of(&outcome, 1);
+    assert!(
+        serde_json::to_string(baseline).unwrap() == serde_json::to_string(empty).unwrap(),
+        "empty fault plan diverged from the fault-free baseline"
+    );
+
+    let mut scenarios = vec![scenario_json(
+        "baseline",
+        baseline_s,
+        baseline,
+        outcome.results[0].wall_s,
     )];
-    for (name, plan) in [
-        ("straggler", &straggler),
-        ("link_degrade", &link_degrade),
-        ("link_fail_repair", &link_fail_repair),
-    ] {
-        let (report, wall_s) = run_plan(&platform, &trace, global_batch, Some(plan));
-        let (rerun, _) = run_plan(&platform, &trace, global_batch, Some(plan));
-        assert!(
-            reports_identical(&report, &rerun),
-            "{name}: two runs of the same seeded plan diverged"
-        );
-        let stats = report.fault_stats().expect("faulted run carries stats");
-        let net = report.network_stats();
+    for index in 2..outcome.results.len() {
+        let name = outcome.results[index].label.clone();
+        let report = report_of(&outcome, index);
+        let wall_s = outcome.results[index].wall_s;
+        let total_s = field_f64(report, &["total_time_s"]);
+        let reroutes = field_u64(report, &["network", "reroutes"]);
+        let (injected, lost_compute_s) = fault_accounting(report);
         println!(
-            "{name:<16} wall {wall_s:>7.3} s | sim total {:.6} s ({:+.1}% vs baseline) | \
-             {} faults, {} reroutes (+{} hops), lost compute {:.3} ms",
-            report.total_time_s(),
-            100.0 * (report.total_time_s() / baseline_s - 1.0),
-            stats.faults_injected,
-            net.reroutes,
-            net.added_hops,
-            1e3 * stats.lost_compute_s.iter().sum::<f64>(),
+            "{name:<16} wall {wall_s:>7.3} s | sim total {total_s:.6} s ({:+.1}% vs baseline) | \
+             {injected} faults, {reroutes} reroutes (+{} hops), lost compute {:.3} ms",
+            100.0 * (total_s / baseline_s - 1.0),
+            field_u64(report, &["network", "added_hops"]),
+            1e3 * lost_compute_s,
         );
         if name == "link_fail_repair" {
             assert!(
-                net.reroutes > 0,
+                reroutes > 0,
                 "mid-allreduce link failure must reroute in-flight flows"
             );
         }
-        scenarios.push((
-            name.to_string(),
-            scenario_json(name, baseline_s, &report, wall_s),
-        ));
+        scenarios.push(scenario_json(&name, baseline_s, report, wall_s));
     }
 
     let mut summary = Summary::new("BENCH_faults");
     summary.text("model", &model.to_string());
     summary.text("gpu", &gpu.to_string());
-    summary.int("gpus", gpus as u64);
+    summary.int("gpus", gpus);
     summary.text("parallelism", "ddp-overlap");
     summary.int("global_batch", global_batch);
     summary.num("baseline_total_time_s", baseline_s);
-    summary.put(
-        "scenarios",
-        Value::Array(scenarios.into_iter().map(|(_, v)| v).collect()),
-    );
+    summary.put("scenarios", Value::Array(scenarios));
     summary.put("empty_plan_identical", Value::Bool(true));
+    summary.put("rerun_identical", Value::Bool(true));
     summary.finish();
 }

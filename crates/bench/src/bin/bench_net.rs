@@ -1,9 +1,10 @@
 //! Network fast-path benchmark: wall time and event throughput of the
 //! flow network's reallocation modes on an AllReduce-heavy DDP scenario.
 //!
-//! Runs the same 64-GPU (configurable via `--gpus`) data-parallel
-//! ResNet-50 simulation three times, swapping only the network's
-//! [`ReallocationMode`]:
+//! The mode matrix is a one-axis [`SweepSpec`] grid executed by the
+//! sweep engine: the same 64-GPU (configurable via `--gpus`)
+//! data-parallel ResNet-50 simulation, swapping only the network's
+//! reallocation mode:
 //!
 //! * `full_reschedule` — the pre-fast-path baseline: from-scratch
 //!   progressive filling plus a re-arm of every in-flight delivery on
@@ -12,111 +13,138 @@
 //! * `incremental` — the default fast path: component-scoped refills plus
 //!   delta-rescheduling.
 //!
-//! The binary *asserts* that `incremental` and `full` produce bit-identical
-//! reports (total time, delivery timeline, bytes) — determinism is part of
-//! the contract, so a divergence panics and fails CI's bench-smoke job.
-//! Results land in `results/BENCH_net.json`.
+//! The binary *asserts* that `incremental` and `full` produce identical
+//! canonical reports (total time, order-sensitive timeline hash, bytes)
+//! — determinism is part of the contract, so a divergence panics and
+//! fails CI's bench-smoke job. Results land in `results/BENCH_net.json`.
 
 use serde::Value;
-use triosim::{Parallelism, Platform, SimBuilder, SimReport};
-use triosim_bench::{arg_u64, json_num, json_obj, paper_trace, time_it, trace_batch, Summary};
+use triosim::{run_sweep, ScenarioPatch, SweepSpec};
+use triosim_bench::{
+    arg_u64, field_f64, field_u64, json_num, json_obj, sweep_threads, trace_batch, Summary,
+};
 use triosim_modelzoo::ModelId;
-use triosim_network::{FlowNetwork, ReallocationMode};
-use triosim_trace::{GpuModel, LinkKind};
+use triosim_trace::GpuModel;
 
-fn run_mode(
-    mode: ReallocationMode,
-    platform: &Platform,
-    trace: &triosim_trace::Trace,
-    global_batch: u64,
-) -> (SimReport, f64) {
-    let mut net = FlowNetwork::new(platform.topology().clone());
-    net.set_reallocation_mode(mode);
-    time_it(|| {
-        SimBuilder::new(trace, platform)
-            .parallelism(Parallelism::DataParallel { overlap: true })
-            .global_batch(global_batch)
-            .network(Box::new(net))
-            .run()
-    })
-}
+const MODES: [&str; 3] = ["full_reschedule", "full", "incremental"];
 
-fn mode_json(name: &str, report: &SimReport, wall_s: f64) -> Value {
-    let q = report.queue_stats();
-    let net = report.network_stats();
+fn mode_json(name: &str, report: &Value, wall_s: f64) -> Value {
+    let delivered = field_u64(report, &["queue", "delivered"]);
+    let reallocations = field_u64(report, &["network", "reallocations"]);
+    let reschedules = field_u64(report, &["network", "reschedules"]);
+    let rate_change_ratio = if reallocations == 0 {
+        0.0
+    } else {
+        reschedules as f64 / reallocations as f64
+    };
     json_obj(vec![
         ("mode", Value::Str(name.to_string())),
         ("wall_s", json_num(wall_s)),
-        ("events_per_s", json_num(q.delivered() as f64 / wall_s)),
-        ("total_time_s", json_num(report.total_time_s())),
-        ("events_scheduled", Value::UInt(q.scheduled())),
-        ("events_delivered", Value::UInt(q.delivered())),
-        ("events_cancelled", Value::UInt(q.cancelled())),
-        ("queue_compactions", Value::UInt(q.compactions())),
-        ("reallocations", Value::UInt(net.reallocations)),
-        ("reschedules", Value::UInt(net.reschedules)),
-        ("rate_change_ratio", json_num(report.rate_change_ratio())),
+        ("events_per_s", json_num(delivered as f64 / wall_s)),
+        (
+            "total_time_s",
+            json_num(field_f64(report, &["total_time_s"])),
+        ),
+        (
+            "events_scheduled",
+            Value::UInt(field_u64(report, &["queue", "scheduled"])),
+        ),
+        ("events_delivered", Value::UInt(delivered)),
+        (
+            "events_cancelled",
+            Value::UInt(field_u64(report, &["queue", "cancelled"])),
+        ),
+        (
+            "queue_compactions",
+            Value::UInt(field_u64(report, &["queue", "compactions"])),
+        ),
+        ("reallocations", Value::UInt(reallocations)),
+        ("reschedules", Value::UInt(reschedules)),
+        ("rate_change_ratio", json_num(rate_change_ratio)),
     ])
 }
 
+/// The identity triple of the fast-path contract: predicted total,
+/// order-sensitive delivery timeline, bytes moved.
+fn identity_key(report: &Value) -> (f64, u64, u64) {
+    (
+        field_f64(report, &["total_time_s"]),
+        field_u64(report, &["timeline_hash"]),
+        field_u64(report, &["bytes_transferred"]),
+    )
+}
+
 fn main() {
-    let gpus = arg_u64("gpus", 64) as usize;
+    let gpus = arg_u64("gpus", 64);
     let model = ModelId::ResNet50;
     let gpu = GpuModel::A100;
-    let platform = Platform::ring(gpu, gpus, LinkKind::NvLink3, format!("ring{gpus}"));
-    let trace = paper_trace(model, gpu);
-    let global_batch = gpus as u64 * trace_batch(model);
+    let global_batch = gpus * trace_batch(model);
+
+    let mut defaults = ScenarioPatch::default();
+    defaults.set("model", Value::Str(model.to_string()));
+    defaults.set("trace_batch", Value::UInt(trace_batch(model)));
+    defaults.set("gpu", Value::Str(gpu.to_string()));
+    defaults.set("platform", Value::Str(format!("ring:{gpu}:{gpus}")));
+    defaults.set("parallelism", Value::Str("ddp".to_string()));
+    defaults.set("global_batch", Value::UInt(global_batch));
+    let spec = SweepSpec {
+        name: "bench_net".to_string(),
+        defaults,
+        grid: vec![(
+            "realloc".to_string(),
+            MODES.iter().map(|m| Value::Str((*m).to_string())).collect(),
+        )],
+        scenarios: Vec::new(),
+    };
 
     println!("network fast-path bench: {model} DDP on {gpus}x{gpu} ring");
-    let modes = [
-        ("full_reschedule", ReallocationMode::FullReschedule),
-        ("full", ReallocationMode::Full),
-        ("incremental", ReallocationMode::Incremental),
-    ];
-    let mut results = Vec::new();
-    for (name, mode) in modes {
-        let (report, wall_s) = run_mode(mode, &platform, &trace, global_batch);
+    let outcome = run_sweep(&spec, sweep_threads(), false)
+        .unwrap_or_else(|e| panic!("bench_net sweep failed to start: {e}"));
+    let reports: Vec<&Value> = outcome
+        .results
+        .iter()
+        .map(|r| {
+            r.outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: mode run failed: {e}", r.label))
+        })
+        .collect();
+    for (name, (report, result)) in MODES.iter().zip(reports.iter().zip(&outcome.results)) {
+        let wall_s = result.wall_s;
         println!(
             "{name:<16} wall {wall_s:>8.3} s | {:>12.0} events/s | sim total {:.6} s | \
-             {} scheduled, {} cancelled, {} compactions | churn {:.1}%",
-            report.queue_stats().delivered() as f64 / wall_s,
-            report.total_time_s(),
-            report.queue_stats().scheduled(),
-            report.queue_stats().cancelled(),
-            report.queue_stats().compactions(),
-            100.0 * report.rate_change_ratio(),
+             {} scheduled, {} cancelled, {} compactions",
+            field_u64(report, &["queue", "delivered"]) as f64 / wall_s,
+            field_f64(report, &["total_time_s"]),
+            field_u64(report, &["queue", "scheduled"]),
+            field_u64(report, &["queue", "cancelled"]),
+            field_u64(report, &["queue", "compactions"]),
         );
-        results.push((name, report, wall_s));
     }
-
-    let legacy = &results[0];
-    let full = &results[1];
-    let incremental = &results[2];
 
     // Determinism contract: the fast path must reproduce the oracle's
     // report bit for bit — same predicted total, same delivery timeline.
-    let identical = incremental.1.total_time() == full.1.total_time()
-        && incremental.1.timeline() == full.1.timeline()
-        && incremental.1.bytes_transferred() == full.1.bytes_transferred();
+    let identical = identity_key(reports[2]) == identity_key(reports[1]);
     assert!(
         identical,
         "incremental and full reallocation produced different reports"
     );
-    let speedup = legacy.2 / incremental.2;
+    let speedup = outcome.results[0].wall_s / outcome.results[2].wall_s;
     println!("speedup vs legacy full-reschedule: {speedup:.2}x (reports identical: {identical})");
 
     let mut summary = Summary::new("BENCH_net");
     summary.text("model", &model.to_string());
     summary.text("gpu", &gpu.to_string());
-    summary.int("gpus", gpus as u64);
+    summary.int("gpus", gpus);
     summary.text("parallelism", "ddp-overlap");
     summary.int("global_batch", global_batch);
     summary.put(
         "modes",
         Value::Array(
-            results
+            MODES
                 .iter()
-                .map(|(name, report, wall_s)| mode_json(name, report, *wall_s))
+                .zip(reports.iter().zip(&outcome.results))
+                .map(|(name, (report, result))| mode_json(name, report, result.wall_s))
                 .collect(),
         ),
     );

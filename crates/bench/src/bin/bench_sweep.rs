@@ -1,0 +1,123 @@
+//! Sweep-engine throughput benchmark: scenarios per second at 1 worker
+//! thread versus 8, on a fixed 16-scenario grid.
+//!
+//! The grid crosses two models, four parallelism strategies, and two
+//! platform sizes — small enough to finish in seconds, varied enough
+//! that scenario costs are uneven (which is exactly what the pool's
+//! work-stealing claim order exists for).
+//!
+//! Two contracts are asserted:
+//!
+//! * **Determinism always**: the 1-thread and 8-thread canonical
+//!   aggregates must be byte-identical on every host.
+//! * **Scaling where it can exist**: at least 3x scenarios/sec at 8
+//!   threads — asserted only when the host actually has 8+ cores
+//!   (`std::thread::available_parallelism()`); on smaller hosts the
+//!   measured numbers are still recorded, honestly, in the artifact.
+//!
+//! Results land in `results/BENCH_sweep.json`.
+
+use serde::Value;
+use triosim::{run_sweep, ScenarioPatch, SweepOutcome, SweepSpec};
+use triosim_bench::{json_num, json_obj, Summary};
+
+const THREAD_POINTS: [usize; 2] = [1, 8];
+const REQUIRED_SPEEDUP: f64 = 3.0;
+
+fn grid_axis(name: &str, values: &[&str]) -> (String, Vec<Value>) {
+    (
+        name.to_string(),
+        values
+            .iter()
+            .map(|v| Value::Str((*v).to_string()))
+            .collect(),
+    )
+}
+
+fn spec() -> SweepSpec {
+    let mut defaults = ScenarioPatch::default();
+    defaults.set("gpu", Value::Str("A100".to_string()));
+    defaults.set("trace_batch", Value::UInt(64));
+    // Each scenario runs ~10 ms of simulation: heavy enough that worker
+    // threads amortize their spawn cost, light enough for CI smoke.
+    defaults.set("iterations", Value::UInt(10));
+    SweepSpec {
+        name: "bench_sweep".to_string(),
+        defaults,
+        grid: vec![
+            grid_axis("model", &["resnet50", "vgg16"]),
+            grid_axis("parallelism", &["dp", "ddp", "tp", "pp:2"]),
+            grid_axis("platform", &["p2:4", "p2:8"]),
+        ],
+        scenarios: Vec::new(),
+    }
+}
+
+fn point_json(outcome: &SweepOutcome) -> Value {
+    json_obj(vec![
+        ("threads", Value::UInt(outcome.threads as u64)),
+        ("wall_s", json_num(outcome.elapsed_s)),
+        ("scenarios_per_sec", json_num(outcome.scenarios_per_sec())),
+    ])
+}
+
+fn main() {
+    let spec = spec();
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "sweep-engine bench: {} scenarios, threads {THREAD_POINTS:?}, host cores {host_cores}",
+        spec.len()
+    );
+
+    let mut outcomes = Vec::new();
+    for threads in THREAD_POINTS {
+        let outcome = run_sweep(&spec, threads, false)
+            .unwrap_or_else(|e| panic!("bench_sweep failed to start: {e}"));
+        assert_eq!(outcome.failures(), 0, "grid scenarios are fault-free");
+        println!(
+            "threads {threads} | wall {:>7.3} s | {:>6.2} scenarios/s",
+            outcome.elapsed_s,
+            outcome.scenarios_per_sec(),
+        );
+        outcomes.push(outcome);
+    }
+
+    // Determinism is unconditional: thread count must never leak into
+    // the aggregate.
+    let canonical = outcomes[0].to_canonical_string();
+    assert!(
+        outcomes[1].to_canonical_string() == canonical,
+        "thread count changed the canonical sweep aggregate"
+    );
+
+    let speedup = outcomes[1].scenarios_per_sec() / outcomes[0].scenarios_per_sec();
+    let gate_active = host_cores >= THREAD_POINTS[1];
+    println!(
+        "speedup at {} threads: {speedup:.2}x (>= {REQUIRED_SPEEDUP:.0}x {} on this \
+         {host_cores}-core host)",
+        THREAD_POINTS[1],
+        if gate_active {
+            "enforced"
+        } else {
+            "not enforced"
+        },
+    );
+    if gate_active {
+        assert!(
+            speedup >= REQUIRED_SPEEDUP,
+            "8-thread sweep only {speedup:.2}x faster than serial on a {host_cores}-core host"
+        );
+    }
+
+    let mut summary = Summary::new("BENCH_sweep");
+    summary.int("scenarios", spec.len() as u64);
+    summary.int("host_cores", host_cores as u64);
+    summary.put(
+        "points",
+        Value::Array(outcomes.iter().map(point_json).collect()),
+    );
+    summary.num("speedup_8_vs_1", speedup);
+    summary.put("speedup_gate_enforced", Value::Bool(gate_active));
+    summary.put("aggregates_identical", Value::Bool(true));
+    summary.finish();
+}

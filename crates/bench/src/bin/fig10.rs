@@ -1,28 +1,87 @@
 //! Figure 10: pipeline parallelism (GPipe) on 2 and 4 A100 GPUs with 1,
 //! 2, and 4 micro-batch chunks.
 //!
+//! The whole figure is one 4-axis [`SweepSpec`] grid — platform x
+//! chunks x model x fidelity — executed by the sweep engine; the
+//! prediction and its reference ground truth are adjacent scenarios
+//! (fidelity is the last, fastest-varying axis), so each table row pairs
+//! two consecutive sweep results.
+//!
 //! The paper reports average errors of 6.82% / 6.58% / 15.10% (2 GPUs,
 //! chunks 1/2/4) and 5.14% / 8.96% / 8.18% (4 GPUs).
 
-use triosim::{Parallelism, Platform};
-use triosim_bench::{figure_models, json_num, trace_batch, validation_row, Row, Summary};
-use triosim_trace::GpuModel;
+use serde::Value;
+use triosim::{run_sweep, ScenarioPatch, SweepSpec};
+use triosim_bench::{field_f64, figure_models, json_num, sweep_threads, Row, Summary};
+use triosim_modelzoo::ModelId;
+
+const GPUS: [usize; 2] = [2, 4];
+const CHUNKS: [u64; 3] = [1, 2, 4];
+const FIDELITIES: [&str; 2] = ["triosim", "reference"];
+
+fn axis<T: ToString>(values: impl IntoIterator<Item = T>) -> Vec<Value> {
+    values
+        .into_iter()
+        .map(|v| Value::Str(v.to_string()))
+        .collect()
+}
 
 fn main() {
+    let models = figure_models("pipeline");
+
+    // Every pipeline-set model traces at batch 128 and the figure runs
+    // one traced batch end to end, so the batch fields are defaults
+    // rather than axes.
+    let mut defaults = ScenarioPatch::default();
+    defaults.set("gpu", Value::Str("A100".to_string()));
+    defaults.set("trace_batch", Value::UInt(128));
+    defaults.set("global_batch", Value::UInt(128));
+    let spec = SweepSpec {
+        name: "fig10".to_string(),
+        defaults,
+        grid: vec![
+            (
+                "platform".to_string(),
+                axis(GPUS.iter().map(|g| format!("p2:{g}"))),
+            ),
+            (
+                "parallelism".to_string(),
+                axis(CHUNKS.iter().map(|c| format!("pp:{c}"))),
+            ),
+            ("model".to_string(), axis(models.iter())),
+            ("fidelity".to_string(), axis(FIDELITIES)),
+        ],
+        scenarios: Vec::new(),
+    };
+
+    let outcome = run_sweep(&spec, sweep_threads(), false)
+        .unwrap_or_else(|e| panic!("fig10 sweep failed to start: {e}"));
+    let total_s = |index: usize| -> f64 {
+        let report = outcome.results[index]
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", outcome.results[index].label));
+        field_f64(report, &["total_time_s"])
+    };
+
     let mut summary = Summary::new("fig10");
-    for gpus in [2usize, 4] {
-        let platform = Platform::p2(gpus);
-        for chunks in [1u64, 2, 4] {
-            let rows: Vec<Row> = figure_models("pipeline")
-                .into_iter()
-                .map(|model| {
-                    validation_row(
-                        model,
-                        GpuModel::A100,
-                        &platform,
-                        Parallelism::Pipeline { chunks },
-                        trace_batch(model),
-                    )
+    // Fidelity varies fastest, then model: scenario
+    // ((p*3 + c)*M + m)*2 + f, so each (gpus, chunks) cell is a
+    // contiguous block of M prediction/truth pairs.
+    let mut index = 0;
+    for gpus in GPUS {
+        for chunks in CHUNKS {
+            let rows: Vec<Row> = models
+                .iter()
+                .map(|model: &ModelId| {
+                    let pred_s = total_s(index);
+                    let truth_s = total_s(index + 1);
+                    index += 2;
+                    Row {
+                        label: model.figure_label().to_string(),
+                        truth_s,
+                        pred_s,
+                    }
                 })
                 .collect();
             let avg = triosim_bench::print_table(

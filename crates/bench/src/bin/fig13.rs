@@ -1,55 +1,98 @@
 //! Figure 13: communication/computation time breakdown for tensor
 //! parallelism and DDP on P1.
 //!
+//! One explicit-scenario [`SweepSpec`] — a TP and a DDP scenario per
+//! model, executed by the sweep engine as adjacent results — replaces
+//! the per-model simulation loop.
+//!
 //! The paper's observation: the communication-time share is higher under
 //! tensor parallelism than under distributed data parallelism on P1.
 
 use serde::Value;
-use triosim::{Parallelism, Platform, SimBuilder};
-use triosim_bench::{figure_models, json_num, json_obj, paper_trace, trace_batch, Summary};
-use triosim_trace::GpuModel;
+use triosim::{run_sweep, ScenarioPatch, SweepSpec};
+use triosim_bench::{
+    field_f64, figure_models, json_num, json_obj, sweep_threads, trace_batch, Summary,
+};
+use triosim_modelzoo::ModelId;
+
+fn scenario(model: ModelId, parallelism: &str, global_batch: u64) -> ScenarioPatch {
+    let mut patch = ScenarioPatch::default();
+    patch.set("label", Value::Str(format!("{model} {parallelism}")));
+    patch.set("model", Value::Str(model.to_string()));
+    patch.set("trace_batch", Value::UInt(trace_batch(model)));
+    patch.set("parallelism", Value::Str(parallelism.to_string()));
+    patch.set("global_batch", Value::UInt(global_batch));
+    patch
+}
 
 fn main() {
-    let platform = Platform::p1();
+    let models = figure_models("all");
+
+    let mut defaults = ScenarioPatch::default();
+    defaults.set("gpu", Value::Str("A40".to_string()));
+    defaults.set("platform", Value::Str("p1".to_string()));
+    let spec = SweepSpec {
+        name: "fig13".to_string(),
+        defaults,
+        grid: Vec::new(),
+        // TP runs the traced batch; DDP weak-scales it across P1's two
+        // GPUs — the paper's apples-to-apples comparison.
+        scenarios: models
+            .iter()
+            .flat_map(|&model| {
+                [
+                    scenario(model, "tp", trace_batch(model)),
+                    scenario(model, "ddp", trace_batch(model) * 2),
+                ]
+            })
+            .collect(),
+    };
+
     println!("== Figure 13: comm/comp ratio on P1 (2x A40, PCIe) ==");
     println!(
         "{:<12} {:>10} {:>10} {:>9}   {:>10} {:>10} {:>9}",
         "model", "TP-comp(s)", "TP-comm(s)", "TP-comm%", "DDP-comp", "DDP-comm", "DDP-comm%"
     );
+    let outcome = run_sweep(&spec, sweep_threads(), false)
+        .unwrap_or_else(|e| panic!("fig13 sweep failed to start: {e}"));
+    let report = |index: usize| -> &Value {
+        outcome.results[index]
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", outcome.results[index].label))
+    };
+
     let mut tp_higher = 0usize;
     let mut json_rows = Vec::new();
-    let models = figure_models("all");
-    for &model in &models {
-        let trace = paper_trace(model, GpuModel::A40);
-        let tp = SimBuilder::new(&trace, &platform)
-            .parallelism(Parallelism::TensorParallel)
-            .global_batch(trace_batch(model))
-            .run();
-        let ddp = SimBuilder::new(&trace, &platform)
-            .parallelism(Parallelism::DataParallel { overlap: true })
-            .global_batch(trace_batch(model) * 2)
-            .run();
-        if tp.comm_ratio() > ddp.comm_ratio() {
+    for (i, &model) in models.iter().enumerate() {
+        let tp = report(2 * i);
+        let ddp = report(2 * i + 1);
+        let tp_ratio = field_f64(tp, &["comm_ratio"]);
+        let ddp_ratio = field_f64(ddp, &["comm_ratio"]);
+        if tp_ratio > ddp_ratio {
             tp_higher += 1;
         }
         println!(
             "{:<12} {:>10.4} {:>10.4} {:>8.1}%   {:>10.4} {:>10.4} {:>8.1}%",
             model.figure_label(),
-            tp.compute_time_s(),
-            tp.comm_time_s(),
-            100.0 * tp.comm_ratio(),
-            ddp.compute_time_s(),
-            ddp.comm_time_s(),
-            100.0 * ddp.comm_ratio(),
+            field_f64(tp, &["compute_time_s"]),
+            field_f64(tp, &["comm_time_s"]),
+            100.0 * tp_ratio,
+            field_f64(ddp, &["compute_time_s"]),
+            field_f64(ddp, &["comm_time_s"]),
+            100.0 * ddp_ratio,
         );
         json_rows.push(json_obj(vec![
             ("label", Value::Str(model.figure_label().to_string())),
-            ("tp_compute_s", json_num(tp.compute_time_s())),
-            ("tp_comm_s", json_num(tp.comm_time_s())),
-            ("tp_comm_pct", json_num(100.0 * tp.comm_ratio())),
-            ("ddp_compute_s", json_num(ddp.compute_time_s())),
-            ("ddp_comm_s", json_num(ddp.comm_time_s())),
-            ("ddp_comm_pct", json_num(100.0 * ddp.comm_ratio())),
+            ("tp_compute_s", json_num(field_f64(tp, &["compute_time_s"]))),
+            ("tp_comm_s", json_num(field_f64(tp, &["comm_time_s"]))),
+            ("tp_comm_pct", json_num(100.0 * tp_ratio)),
+            (
+                "ddp_compute_s",
+                json_num(field_f64(ddp, &["compute_time_s"])),
+            ),
+            ("ddp_comm_s", json_num(field_f64(ddp, &["comm_time_s"]))),
+            ("ddp_comm_pct", json_num(100.0 * ddp_ratio)),
         ]));
     }
     println!(

@@ -261,6 +261,47 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
     default
 }
 
+/// Walks `path` through nested canonical-report JSON objects, panicking
+/// with the full dotted path on a miss — bench binaries treat a missing
+/// field as a harness bug, not a recoverable condition.
+fn canonical_field<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("canonical report lacks field `{}`", path.join(".")));
+    }
+    cur
+}
+
+/// Reads a float at `path` inside a canonical report, accepting any
+/// numeric JSON variant (the serializer emits counters as unsigned).
+pub fn field_f64(v: &Value, path: &[&str]) -> f64 {
+    match canonical_field(v, path) {
+        Value::Float(f) => *f,
+        Value::UInt(u) => *u as f64,
+        Value::Int(i) => *i as f64,
+        other => panic!("field `{}` is not numeric: {other:?}", path.join(".")),
+    }
+}
+
+/// Reads an unsigned counter at `path` inside a canonical report.
+pub fn field_u64(v: &Value, path: &[&str]) -> u64 {
+    match canonical_field(v, path) {
+        Value::UInt(u) => *u,
+        Value::Int(i) if *i >= 0 => *i as u64,
+        other => panic!("field `{}` is not a counter: {other:?}", path.join(".")),
+    }
+}
+
+/// Worker-thread count for sweep-backed binaries: `--threads <n>` when
+/// given, otherwise the host's available parallelism. Thread count never
+/// changes results (the sweep aggregate is canonical), only wall time.
+pub fn sweep_threads() -> usize {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    (arg_u64("threads", host as u64).max(1)) as usize
+}
+
 /// Wall-clock measurement helper (Figure 14).
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

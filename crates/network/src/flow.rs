@@ -96,6 +96,21 @@ pub enum ReallocationMode {
     FullReschedule,
 }
 
+impl std::str::FromStr for ReallocationMode {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        match spec {
+            "incremental" => Ok(ReallocationMode::Incremental),
+            "full" => Ok(ReallocationMode::Full),
+            "full-reschedule" | "full_reschedule" => Ok(ReallocationMode::FullReschedule),
+            _ => Err(format!(
+                "unknown reallocation mode `{spec}` (try incremental, full, full-reschedule)"
+            )),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActiveFlow {
     id: FlowId,

@@ -1,0 +1,95 @@
+//! Live sweep progress on stderr.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A thread-safe, wall-clock-throttled progress line for a running sweep.
+///
+/// Workers call [`scenario_done`](SweepProgress::scenario_done) from any
+/// thread; at most one line per `period` reaches stderr (plus one final
+/// line when the last scenario lands), so a 100k-scenario sweep cannot
+/// drown the terminal. Progress is pure observability: it writes only to
+/// stderr and never touches results, so enabling it cannot perturb the
+/// sweep's deterministic output.
+#[derive(Debug)]
+pub struct SweepProgress {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+    last_print: Mutex<Instant>,
+    period: Duration,
+    enabled: bool,
+}
+
+impl SweepProgress {
+    /// A progress tracker for `total` scenarios, printing at most every
+    /// 200ms when `enabled` (a disabled tracker still counts, silently).
+    pub fn new(total: usize, enabled: bool) -> Self {
+        let now = Instant::now();
+        SweepProgress {
+            total,
+            done: AtomicUsize::new(0),
+            started: now,
+            // Backdate so the first completion prints immediately.
+            last_print: Mutex::new(now - Duration::from_secs(3600)),
+            period: Duration::from_millis(200),
+            enabled,
+        }
+    }
+
+    /// Records one finished scenario and maybe emits a progress line.
+    pub fn scenario_done(&self, label: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let mut last = self
+            .last_print
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if done < self.total && now.duration_since(*last) < self.period {
+            return;
+        }
+        *last = now;
+        drop(last);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        eprintln!(
+            "[sweep {done}/{} | {elapsed:.1}s | {rate:.2}/s] {label}",
+            self.total
+        );
+    }
+
+    /// Scenarios finished so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock seconds since the tracker was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_across_threads() {
+        let p = SweepProgress::new(64, false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        p.scenario_done("x");
+                    }
+                });
+            }
+        });
+        assert_eq!(p.completed(), 64);
+        assert!(p.elapsed_s() >= 0.0);
+    }
+}

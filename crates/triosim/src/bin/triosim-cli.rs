@@ -58,6 +58,13 @@ COMMANDS:
         --fault-seed <n>        override the plan's jitter seed
     memory                      estimate the per-GPU memory footprint
         --trace <file> --gpus <n> --parallelism <...> --batch <n>
+    sweep                       run a declarative scenario sweep
+        --spec <sweep.json>     sweep spec (defaults + cartesian grid +
+                                explicit scenario list; see docs/TESTING.md)
+        --threads <n>           worker threads (default: available cores)
+        --out <file>            write the deterministic aggregate JSON
+                                (byte-identical across thread counts)
+        --progress              print live per-scenario progress to stderr
 ";
 
 fn main() -> ExitCode {
@@ -77,6 +84,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
         "memory" => cmd_memory(&opts),
+        "sweep" => cmd_sweep(&opts),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     });
     match result {
@@ -113,6 +121,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "fault-seed",
         ],
         "memory" => &["trace", "gpus", "parallelism", "batch"],
+        "sweep" => &["spec", "threads", "out", "progress"],
         // Unknown commands produce their own error.
         _ => return Ok(()),
     };
@@ -226,52 +235,6 @@ fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_platform(spec: &str) -> Result<Platform, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["p1"] => Ok(Platform::p1()),
-        ["p2"] => Ok(Platform::p2(4)),
-        ["p2", n] => Ok(Platform::p2(parse(n)?)),
-        ["p3"] => Ok(Platform::p3()),
-        ["ring", gpu, n] => Ok(Platform::ring(
-            GpuModel::from_str(gpu)?,
-            parse(n)?,
-            triosim_trace::LinkKind::NvLink3,
-            format!("ring-{n}"),
-        )),
-        ["pcie", gpu, n] => Ok(Platform::pcie(
-            GpuModel::from_str(gpu)?,
-            parse(n)?,
-            format!("pcie-{n}"),
-        )),
-        _ => Err(format!(
-            "unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)"
-        )),
-    }
-}
-
-fn parse_parallelism(spec: &str) -> Result<Parallelism, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["dp"] => Ok(Parallelism::DataParallel { overlap: false }),
-        ["ddp"] => Ok(Parallelism::DataParallel { overlap: true }),
-        ["tp"] => Ok(Parallelism::TensorParallel),
-        ["pp"] => Ok(Parallelism::Pipeline { chunks: 1 }),
-        ["pp", c] => Ok(Parallelism::Pipeline { chunks: parse(c)? }),
-        ["hp", g] => Ok(Parallelism::Hybrid {
-            dp_groups: parse(g)?,
-            chunks: 1,
-        }),
-        ["hp", g, c] => Ok(Parallelism::Hybrid {
-            dp_groups: parse(g)?,
-            chunks: parse(c)?,
-        }),
-        _ => Err(format!(
-            "unknown parallelism `{spec}` (try dp, ddp, tp, pp:4, hp:2:4)"
-        )),
-    }
-}
-
 fn parse<T: FromStr>(s: &str) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
@@ -288,9 +251,9 @@ fn parse_num(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<
 
 fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     let trace = load_trace(opts)?;
-    let platform = parse_platform(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
+    let platform = Platform::from_str(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
     let parallelism =
-        parse_parallelism(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+        Parallelism::from_str(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
     let mut builder = SimBuilder::new(&trace, &platform).parallelism(parallelism);
     if let Some(batch) = opts.get("batch") {
         builder = builder.global_batch(parse(batch)?);
@@ -442,11 +405,60 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts.get("spec").ok_or("missing --spec")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = triosim::SweepSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let threads = match opts.get("threads") {
+        Some(n) => {
+            let n: usize = parse(n)?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            n
+        }
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1),
+    };
+    let progress = opts.contains_key("progress");
+    let outcome = triosim::run_sweep(&spec, threads, progress).map_err(|e| e.to_string())?;
+
+    println!(
+        "sweep `{}` | {} scenarios | {} threads",
+        outcome.name,
+        outcome.results.len(),
+        outcome.threads
+    );
+    println!(
+        "elapsed       : {:.2}s ({:.2} scenarios/s)",
+        outcome.elapsed_s,
+        outcome.scenarios_per_sec()
+    );
+    if outcome.failures() > 0 {
+        println!(
+            "failures      : {} (see `error` entries)",
+            outcome.failures()
+        );
+    }
+    // Slowest scenarios dominate the wall clock; show where time went.
+    let mut by_cost: Vec<&triosim::ScenarioResult> = outcome.results.iter().collect();
+    by_cost.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+    for r in by_cost.iter().take(3) {
+        println!("  {:>7.2}s  {}", r.wall_s, r.label);
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, outcome.to_canonical_string()).map_err(|e| format!("{out}: {e}"))?;
+        println!("aggregate     : {out}");
+    }
+    Ok(())
+}
+
 fn cmd_memory(opts: &HashMap<String, String>) -> Result<(), String> {
     let trace = load_trace(opts)?;
     let gpus: u64 = parse_num(opts, "gpus", 1)?;
     let parallelism =
-        parse_parallelism(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+        Parallelism::from_str(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
     let batch = parse_num(opts, "batch", trace.batch() * gpus)?;
     let est = estimate_memory(&trace, parallelism, gpus as usize, batch);
     let gb = |b: u64| b as f64 / (1u64 << 30) as f64;

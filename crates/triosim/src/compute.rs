@@ -11,7 +11,10 @@ use std::hash::{Hash, Hasher};
 
 use triosim_modelzoo::Operator;
 use triosim_perfmodel::LisModel;
-use triosim_trace::OracleGpu;
+use triosim_trace::{GpuModel, OracleGpu};
+
+use crate::parallelism::Parallelism;
+use crate::platform::Platform;
 
 /// Which side of a validation experiment a simulation plays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -104,6 +107,59 @@ impl ComputeModel {
         }
     }
 
+    /// Resolves the default operator-time policy for a simulation of a
+    /// trace collected on `source_gpu`, run on `platform` under
+    /// `parallelism` at `fidelity`.
+    ///
+    /// `calibrate` supplies Li's Models per GPU; callers that run many
+    /// scenarios (the sweep engine) pass a memoizing closure so each GPU
+    /// model is calibrated once and shared, while single runs pass
+    /// [`LisModel::calibrated`] directly.
+    pub fn resolve_with(
+        fidelity: Fidelity,
+        source_gpu: GpuModel,
+        platform: &Platform,
+        parallelism: Parallelism,
+        calibrate: &mut dyn FnMut(GpuModel) -> LisModel,
+    ) -> Self {
+        match fidelity {
+            Fidelity::TrioSim => {
+                let source = calibrate(source_gpu);
+                if source_gpu == platform.gpu() {
+                    ComputeModel::lis(source)
+                } else {
+                    ComputeModel::lis_cross(source, calibrate(platform.gpu()))
+                }
+            }
+            Fidelity::Reference => {
+                let oracle = OracleGpu::new(platform.gpu());
+                match parallelism {
+                    // Single-process DataParallel pays GIL-serialized
+                    // kernel dispatch on real hardware; DDP does not.
+                    Parallelism::DataParallel { overlap: false } if platform.gpu_count() > 1 => {
+                        ComputeModel::reference_with_dispatch(
+                            oracle,
+                            25.0e-6 * platform.gpu_count() as f64,
+                        )
+                    }
+                    // The torch pipelining runtime adds CPU scheduling
+                    // work per operator; with small micro-batches this is
+                    // what makes real 4-chunk runs *slower* than 2-chunk
+                    // ones (the paper's orange-triangle cases).
+                    Parallelism::Pipeline { .. } | Parallelism::Hybrid { .. } => {
+                        ComputeModel::reference_with_dispatch(oracle, 40.0e-6)
+                    }
+                    // The tensor_parallel library wraps every sharded
+                    // module in Python glue that re-dispatches per layer.
+                    Parallelism::TensorParallel => {
+                        ComputeModel::reference_with_dispatch(oracle, 30.0e-6)
+                    }
+                    _ => ComputeModel::reference(oracle),
+                }
+            }
+        }
+    }
+
     /// Times one operator on GPU `gpu_index`.
     ///
     /// `measured_s` and `from` describe the operator as it appears in the
@@ -142,6 +198,20 @@ impl ComputeModel {
                 base * (1.0 + skew + context_noise(gpu_index, to, *context_jitter))
                     + dispatch_overhead_s
             }
+        }
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        match spec {
+            "triosim" | "prediction" => Ok(Fidelity::TrioSim),
+            "reference" | "truth" => Ok(Fidelity::Reference),
+            _ => Err(format!(
+                "unknown fidelity `{spec}` (try triosim or reference)"
+            )),
         }
     }
 }

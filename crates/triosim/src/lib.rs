@@ -62,6 +62,7 @@ mod parallelism;
 mod platform;
 mod report;
 mod session;
+pub mod sweep;
 mod taskgraph;
 mod viz;
 
@@ -78,9 +79,11 @@ pub use report::{FaultStats, SimReport, TimelineRecord, TimelineTrack};
 // Re-export the fault-plan vocabulary so downstream users configure
 // fault injection without naming the `triosim-faults` crate directly.
 pub use session::SimBuilder;
+pub use sweep::{run_sweep, ScenarioResult, SweepError, SweepOutcome};
 pub use taskgraph::{CollectiveMeta, Task, TaskGraph, TaskId, TaskKind};
 pub use triosim_faults::{
     FaultKind, FaultPlan, FaultPlanError, FaultSession, GpuDropout, GpuSlowdown, Jitter,
     LinkDegradation, LinkFailure, TimedFault,
 };
+pub use triosim_sweep::{Scenario, ScenarioPatch, SweepSpec};
 pub use viz::render_html_timeline;

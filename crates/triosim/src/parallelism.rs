@@ -66,6 +66,59 @@ impl fmt::Display for Parallelism {
     }
 }
 
+fn parse_field<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: fmt::Display,
+{
+    s.parse().map_err(|e| format!("invalid {what} `{s}`: {e}"))
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+
+    /// Parses the CLI/sweep-spec syntax:
+    /// `dp | ddp | tp | pp[:chunks] | hp:groups[:chunks]`.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["dp"] => Ok(Parallelism::DataParallel { overlap: false }),
+            ["ddp"] => Ok(Parallelism::DataParallel { overlap: true }),
+            ["tp"] => Ok(Parallelism::TensorParallel),
+            ["pp"] => Ok(Parallelism::Pipeline { chunks: 1 }),
+            ["pp", c] => Ok(Parallelism::Pipeline {
+                chunks: parse_field(c, "chunk count")?,
+            }),
+            ["hp", g] => Ok(Parallelism::Hybrid {
+                dp_groups: parse_field(g, "group count")?,
+                chunks: 1,
+            }),
+            ["hp", g, c] => Ok(Parallelism::Hybrid {
+                dp_groups: parse_field(g, "group count")?,
+                chunks: parse_field(c, "chunk count")?,
+            }),
+            _ => Err(format!(
+                "unknown parallelism `{spec}` (try dp, ddp, tp, pp:4, hp:2:4)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for CollectiveStyle {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        match spec {
+            "segmented" => Ok(CollectiveStyle::Segmented),
+            "unsegmented" => Ok(CollectiveStyle::Unsegmented),
+            "tree" => Ok(CollectiveStyle::Tree),
+            "halving-doubling" | "halving_doubling" => Ok(CollectiveStyle::HalvingDoubling),
+            _ => Err(format!(
+                "unknown collective style `{spec}` (try segmented, unsegmented, tree, halving-doubling)"
+            )),
+        }
+    }
+}
+
 /// Which ring-AllReduce variant data parallelism uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum CollectiveStyle {

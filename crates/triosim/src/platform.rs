@@ -281,6 +281,40 @@ impl Platform {
     }
 }
 
+impl std::str::FromStr for Platform {
+    type Err = String;
+
+    /// Parses the CLI/sweep-spec syntax:
+    /// `p1 | p2[:N] | p3 | ring:GPU:N | pcie:GPU:N`.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let num = |s: &str| -> Result<usize, String> {
+            s.parse()
+                .map_err(|e| format!("invalid GPU count `{s}`: {e}"))
+        };
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["p1"] => Ok(Platform::p1()),
+            ["p2"] => Ok(Platform::p2(4)),
+            ["p2", n] => Ok(Platform::p2(num(n)?)),
+            ["p3"] => Ok(Platform::p3()),
+            ["ring", gpu, n] => Ok(Platform::ring(
+                GpuModel::from_str(gpu)?,
+                num(n)?,
+                LinkKind::NvLink3,
+                format!("ring-{n}"),
+            )),
+            ["pcie", gpu, n] => Ok(Platform::pcie(
+                GpuModel::from_str(gpu)?,
+                num(n)?,
+                format!("pcie-{n}"),
+            )),
+            _ => Err(format!(
+                "unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! (the same format the PyTorch profiler uses), so it can be inspected in
 //! any trace viewer.
 
+use serde::Value;
 use triosim_des::{QueueStats, TimeSpan, VirtualTime};
 use triosim_network::NetObservation;
 use triosim_obs::{AttrValue, ChromeTraceSink, Recorder};
@@ -241,6 +242,111 @@ impl SimReport {
             }
         }
         profile
+    }
+
+    /// Canonical JSON form of the report: every simulation-determined
+    /// field, in a fixed key order, with the (large) timeline folded into
+    /// a record count plus an FNV-1a content hash.
+    ///
+    /// This is the representation the golden snapshot tests and the sweep
+    /// engine's deterministic aggregation serialize — it contains no
+    /// wall-clock or host-dependent data, so two runs of the same
+    /// configuration produce byte-identical output regardless of thread
+    /// count or machine.
+    pub fn to_canonical_json(&self) -> Value {
+        let f = Value::Float;
+        let u = Value::UInt;
+        let mut fields = vec![
+            ("total_time_s".to_string(), f(self.total_time_s())),
+            ("compute_time_s".to_string(), f(self.compute_time_s())),
+            ("comm_time_s".to_string(), f(self.comm_time_s())),
+            ("comm_ratio".to_string(), f(self.comm_ratio())),
+            ("bytes_transferred".to_string(), u(self.bytes_transferred)),
+            ("tasks_executed".to_string(), u(self.tasks_executed as u64)),
+            (
+                "per_gpu_compute_s".to_string(),
+                Value::Array(
+                    self.per_gpu_compute
+                        .iter()
+                        .map(|t| f(t.as_seconds()))
+                        .collect(),
+                ),
+            ),
+            (
+                "queue".to_string(),
+                Value::Object(vec![
+                    ("scheduled".to_string(), u(self.queue.scheduled())),
+                    ("delivered".to_string(), u(self.queue.delivered())),
+                    ("cancelled".to_string(), u(self.queue.cancelled())),
+                    (
+                        "max_pending".to_string(),
+                        u(self.queue.max_pending() as u64),
+                    ),
+                    ("compactions".to_string(), u(self.queue.compactions())),
+                ]),
+            ),
+            (
+                "network".to_string(),
+                Value::Object(vec![
+                    ("flows_completed".to_string(), u(self.net.flows_completed)),
+                    ("bytes_delivered".to_string(), u(self.net.bytes_delivered)),
+                    ("reallocations".to_string(), u(self.net.reallocations)),
+                    ("reschedules".to_string(), u(self.net.reschedules)),
+                    ("link_faults".to_string(), u(self.net.link_faults)),
+                    ("reroutes".to_string(), u(self.net.reroutes)),
+                    ("added_hops".to_string(), u(self.net.added_hops)),
+                ]),
+            ),
+            (
+                "timeline_records".to_string(),
+                u(self.timeline.len() as u64),
+            ),
+            ("timeline_hash".to_string(), u(self.timeline_hash())),
+        ];
+        if let Some(fs) = &self.fault_stats {
+            fields.push((
+                "faults".to_string(),
+                Value::Object(vec![
+                    ("faults_injected".to_string(), u(fs.faults_injected)),
+                    ("link_degrades".to_string(), u(fs.link_degrades)),
+                    ("link_fails".to_string(), u(fs.link_fails)),
+                    ("link_repairs".to_string(), u(fs.link_repairs)),
+                    ("gpu_drops".to_string(), u(fs.gpu_drops)),
+                    (
+                        "lost_compute_s".to_string(),
+                        Value::Array(fs.lost_compute_s.iter().map(|&s| f(s)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Value::Object(fields)
+    }
+
+    /// FNV-1a hash over every timeline record (label, track, start/end
+    /// bits, layer). Order-sensitive, so any drift in task scheduling —
+    /// not just in the aggregate totals — changes the canonical JSON.
+    fn timeline_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for r in &self.timeline {
+            eat(r.label.as_bytes());
+            eat(&[0xff]);
+            match r.track {
+                TimelineTrack::Gpu(i) => eat(&(i as u64).to_le_bytes()),
+                TimelineTrack::Network => eat(&u64::MAX.to_le_bytes()),
+            }
+            eat(&r.start.as_seconds().to_bits().to_le_bytes());
+            eat(&r.end.as_seconds().to_bits().to_le_bytes());
+            eat(&r.layer.map_or(u64::MAX, |l| l as u64).to_le_bytes());
+        }
+        h
     }
 
     /// Exports the timeline as Chrome `about:tracing` JSON.

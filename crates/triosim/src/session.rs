@@ -7,7 +7,7 @@ use triosim_faults::FaultPlan;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId};
 use triosim_obs::{ProgressMonitor, Recorder};
 use triosim_perfmodel::LisModel;
-use triosim_trace::{GpuModel, OracleGpu, Trace};
+use triosim_trace::{GpuModel, Trace};
 
 use crate::compute::{ComputeModel, Fidelity};
 use crate::error::SimError;
@@ -189,46 +189,15 @@ impl<'a> SimBuilder<'a> {
         if let Some(m) = &self.compute {
             return m.clone();
         }
-        match self.fidelity {
-            Fidelity::TrioSim => {
-                let source_gpu = GpuModel::from_str(self.trace.gpu())
-                    .expect("trace GPU must be a known model (A40/A100/H100)");
-                let source = LisModel::calibrated(source_gpu);
-                if source_gpu == self.platform.gpu() {
-                    ComputeModel::lis(source)
-                } else {
-                    ComputeModel::lis_cross(source, LisModel::calibrated(self.platform.gpu()))
-                }
-            }
-            Fidelity::Reference => {
-                let oracle = OracleGpu::new(self.platform.gpu());
-                match self.parallelism {
-                    // Single-process DataParallel pays GIL-serialized
-                    // kernel dispatch on real hardware; DDP does not.
-                    Parallelism::DataParallel { overlap: false }
-                        if self.platform.gpu_count() > 1 =>
-                    {
-                        ComputeModel::reference_with_dispatch(
-                            oracle,
-                            25.0e-6 * self.platform.gpu_count() as f64,
-                        )
-                    }
-                    // The torch pipelining runtime adds CPU scheduling
-                    // work per operator; with small micro-batches this is
-                    // what makes real 4-chunk runs *slower* than 2-chunk
-                    // ones (the paper's orange-triangle cases).
-                    Parallelism::Pipeline { .. } | Parallelism::Hybrid { .. } => {
-                        ComputeModel::reference_with_dispatch(oracle, 40.0e-6)
-                    }
-                    // The tensor_parallel library wraps every sharded
-                    // module in Python glue that re-dispatches per layer.
-                    Parallelism::TensorParallel => {
-                        ComputeModel::reference_with_dispatch(oracle, 30.0e-6)
-                    }
-                    _ => ComputeModel::reference(oracle),
-                }
-            }
-        }
+        let source_gpu = GpuModel::from_str(self.trace.gpu())
+            .expect("trace GPU must be a known model (A40/A100/H100)");
+        ComputeModel::resolve_with(
+            self.fidelity,
+            source_gpu,
+            self.platform,
+            self.parallelism,
+            &mut LisModel::calibrated,
+        )
     }
 
     fn resolved_network(&mut self) -> Box<dyn NetworkModel> {

@@ -1,0 +1,385 @@
+//! Binds the generic sweep engine ([`triosim_sweep`]) to the simulator.
+//!
+//! The sweep crate owns the declarative [`SweepSpec`] and the
+//! index-ordered work-stealing pool; this module owns everything that
+//! requires simulator knowledge:
+//!
+//! * parsing scenario strings (`"ddp"`, `"p2:4"`, `"reference"`) into
+//!   typed configuration, reported per scenario with its index and label;
+//! * sharing expensive read-only artifacts across scenarios — the
+//!   synthetic trace (parsed/generated once per unique
+//!   model x batch x GPU behind an [`Arc`]) and the calibrated Li's
+//!   Models (one ridge regression per GPU model, not per scenario);
+//! * executing each scenario in full isolation: its own DES engine and
+//!   its own [`FlowNetwork`] state, so no scenario can observe another's
+//!   scheduling;
+//! * deterministic aggregation: the canonical sweep JSON
+//!   ([`SweepOutcome::to_canonical_string`]) contains only
+//!   simulation-determined data, ordered by scenario index — byte-
+//!   identical across thread counts, including `threads == 1`.
+//!
+//! Wall-clock numbers (per-scenario and sweep-level) are collected
+//! alongside but kept **out** of the canonical form; they feed the CLI's
+//! stdout summary and the `bench_sweep` artifact instead.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Value;
+use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, ReallocationMode};
+use triosim_perfmodel::LisModel;
+use triosim_trace::{GpuModel, Trace, Tracer};
+
+pub use triosim_sweep::{
+    pool::run_ordered, Scenario, ScenarioPatch, SpecError, SweepProgress, SweepSpec,
+};
+
+use crate::compute::{ComputeModel, Fidelity};
+use crate::parallelism::{CollectiveStyle, Parallelism};
+use crate::platform::Platform;
+use crate::session::SimBuilder;
+use triosim_faults::FaultPlan;
+use triosim_modelzoo::ModelId;
+
+/// A sweep failed before any scenario ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec itself was malformed (parse/expansion failure).
+    Spec(SpecError),
+    /// A scenario's configuration string did not parse.
+    Scenario {
+        /// Index of the offending scenario in expansion order.
+        index: usize,
+        /// Its (possibly auto-generated) label.
+        label: String,
+        /// What failed to parse.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spec(e) => write!(f, "{e}"),
+            SweepError::Scenario {
+                index,
+                label,
+                error,
+            } => write!(f, "scenario {index} ({label}): {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<SpecError> for SweepError {
+    fn from(e: SpecError) -> Self {
+        SweepError::Spec(e)
+    }
+}
+
+/// One scenario's fully-parsed, ready-to-run configuration.
+struct ResolvedScenario {
+    scenario: Scenario,
+    trace: Arc<Trace>,
+    platform: Platform,
+    parallelism: Parallelism,
+    global_batch: Option<u64>,
+    fidelity: Fidelity,
+    collective: CollectiveStyle,
+    iterations: usize,
+    realloc: ReallocationMode,
+    compute: ComputeModel,
+    faults: Option<FaultPlan>,
+    fault_seed: Option<u64>,
+}
+
+/// The outcome of one scenario: its canonical report (or a deterministic
+/// error string for fault-terminated runs) plus its wall time.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario label.
+    pub label: String,
+    /// Canonical report JSON on success; the `SimError` rendering when an
+    /// injected fault terminated the run. Both are deterministic.
+    pub outcome: Result<Value, String>,
+    /// Wall-clock seconds this scenario took (excluded from canonical
+    /// output — it varies run to run).
+    pub wall_s: f64,
+}
+
+/// A completed sweep: per-scenario results in expansion order plus
+/// timing.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The spec's name.
+    pub name: String,
+    /// The expanded scenarios, in order.
+    pub scenarios: Vec<Scenario>,
+    /// Per-scenario results, index-aligned with `scenarios`.
+    pub results: Vec<ScenarioResult>,
+    /// Worker threads the pool ran with.
+    pub threads: usize,
+    /// End-to-end wall-clock seconds (excluded from canonical output).
+    pub elapsed_s: f64,
+}
+
+impl SweepOutcome {
+    /// The deterministic aggregate: spec name, scenario configurations,
+    /// and per-scenario reports/errors, ordered by scenario index, with
+    /// every wall-clock field excluded. Byte-identical across thread
+    /// counts and hosts.
+    pub fn to_canonical_json(&self) -> Value {
+        let results = self
+            .scenarios
+            .iter()
+            .zip(&self.results)
+            .map(|(scenario, r)| {
+                let mut fields = vec![
+                    ("label".to_string(), Value::Str(r.label.clone())),
+                    ("scenario".to_string(), serde::Serialize::to_value(scenario)),
+                ];
+                match &r.outcome {
+                    Ok(report) => fields.push(("report".to_string(), report.clone())),
+                    Err(e) => fields.push(("error".to_string(), Value::Str(e.clone()))),
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            (
+                "scenario_count".to_string(),
+                Value::UInt(self.scenarios.len() as u64),
+            ),
+            ("results".to_string(), Value::Array(results)),
+        ])
+    }
+
+    /// [`to_canonical_json`](Self::to_canonical_json) as a compact JSON
+    /// string (what `triosim-cli sweep --out` writes).
+    pub fn to_canonical_string(&self) -> String {
+        serde_json::to_string(&self.to_canonical_json())
+            .expect("canonical sweep JSON has no non-finite floats")
+    }
+
+    /// Number of scenarios that ended in a (fault-induced) error.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Sweep throughput: scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.results.len() as f64 / self.elapsed_s.max(1e-9)
+    }
+}
+
+/// Parses every scenario and pre-builds the shared artifacts, serially —
+/// so parse errors surface deterministically (lowest index first) before
+/// any simulation work starts, and so the caches need no locking during
+/// the parallel phase.
+fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, SweepError> {
+    let mut traces: HashMap<(String, u64, GpuModel), Arc<Trace>> = HashMap::new();
+    let mut lis: HashMap<GpuModel, LisModel> = HashMap::new();
+    let calibrate = |gpu: GpuModel, cache: &mut HashMap<GpuModel, LisModel>| {
+        cache
+            .entry(gpu)
+            .or_insert_with(|| LisModel::calibrated(gpu))
+            .clone()
+    };
+    let mut resolved = Vec::with_capacity(scenarios.len());
+    for (index, scenario) in scenarios.into_iter().enumerate() {
+        let fail = |error: String| SweepError::Scenario {
+            index,
+            label: scenario.label.clone(),
+            error,
+        };
+        let model = ModelId::from_str(&scenario.model).map_err(&fail)?;
+        let gpu = GpuModel::from_str(&scenario.gpu).map_err(&fail)?;
+        let platform = Platform::from_str(&scenario.platform).map_err(&fail)?;
+        let parallelism = Parallelism::from_str(&scenario.parallelism).map_err(&fail)?;
+        let fidelity = Fidelity::from_str(&scenario.fidelity).map_err(&fail)?;
+        let collective = CollectiveStyle::from_str(&scenario.collective).map_err(&fail)?;
+        let realloc = ReallocationMode::from_str(&scenario.realloc).map_err(&fail)?;
+        if scenario.iterations == 0 {
+            return Err(fail("iterations must be at least 1".into()));
+        }
+        let trace = traces
+            .entry((scenario.model.clone(), scenario.trace_batch, gpu))
+            .or_insert_with(|| Arc::new(Tracer::new(gpu).trace(&model.build(scenario.trace_batch))))
+            .clone();
+        let compute = ComputeModel::resolve_with(fidelity, gpu, &platform, parallelism, &mut |g| {
+            calibrate(g, &mut lis)
+        });
+        resolved.push(ResolvedScenario {
+            faults: scenario.faults.clone(),
+            fault_seed: scenario.fault_seed,
+            global_batch: scenario.global_batch,
+            iterations: scenario.iterations as usize,
+            scenario,
+            trace,
+            platform,
+            parallelism,
+            fidelity,
+            collective,
+            realloc,
+            compute,
+        });
+    }
+    Ok(resolved)
+}
+
+/// Runs one resolved scenario in full isolation: fresh network state,
+/// fresh DES engine, nothing shared but the read-only trace and compute
+/// model.
+fn run_scenario(r: &ResolvedScenario) -> Result<Value, String> {
+    let topo = r.platform.topology().clone();
+    let mut network = match r.fidelity {
+        Fidelity::TrioSim => FlowNetwork::new(topo),
+        Fidelity::Reference => FlowNetwork::with_config(topo, FlowNetworkConfig::reference()),
+    };
+    network.set_reallocation_mode(r.realloc);
+    let mut builder = SimBuilder::new(&r.trace, &r.platform)
+        .parallelism(r.parallelism)
+        .fidelity(r.fidelity)
+        .compute_model(r.compute.clone())
+        .collective_style(r.collective)
+        .iterations(r.iterations)
+        .network(Box::new(network) as Box<dyn NetworkModel>);
+    if let Some(batch) = r.global_batch {
+        builder = builder.global_batch(batch);
+    }
+    if let Some(plan) = &r.faults {
+        builder = builder.faults(plan.clone());
+    }
+    if let Some(seed) = r.fault_seed {
+        builder = builder.fault_seed(seed);
+    }
+    builder
+        .try_run()
+        .map(|report| report.to_canonical_json())
+        .map_err(|e| e.to_string())
+}
+
+/// Expands `spec` and runs every scenario on `threads` worker threads.
+///
+/// Scenarios are claimed work-stealing style (uneven scenario costs
+/// cannot idle workers behind a static shard) and collected by index, so
+/// the returned outcome's canonical form does not depend on `threads`.
+/// Fault-induced failures (`SimError::Partitioned` / `GpuLost`) do not
+/// abort the sweep — they become that scenario's deterministic `error`
+/// entry, and the remaining scenarios still run.
+///
+/// # Errors
+///
+/// [`SweepError::Spec`] when the spec fails to expand;
+/// [`SweepError::Scenario`] when a scenario's configuration string does
+/// not parse (reported before any simulation starts).
+pub fn run_sweep(
+    spec: &SweepSpec,
+    threads: usize,
+    progress: bool,
+) -> Result<SweepOutcome, SweepError> {
+    let resolved = resolve_scenarios(spec.expand()?)?;
+    let tracker = SweepProgress::new(resolved.len(), progress);
+    let started = Instant::now();
+    let results = run_ordered(resolved.len(), threads, |i| {
+        let r = &resolved[i];
+        let t0 = Instant::now();
+        let outcome = run_scenario(r);
+        let wall_s = t0.elapsed().as_secs_f64();
+        tracker.scenario_done(&r.scenario.label);
+        ScenarioResult {
+            label: r.scenario.label.clone(),
+            outcome,
+            wall_s,
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    Ok(SweepOutcome {
+        name: spec.name.clone(),
+        scenarios: resolved.into_iter().map(|r| r.scenario).collect(),
+        results,
+        threads: threads.max(1),
+        elapsed_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::from_json(
+            r#"{
+                "name": "tiny",
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40" },
+                "grid": {
+                    "parallelism": ["ddp", "tp"],
+                    "platform": ["p1", "p2:2"]
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_per_scenario() {
+        let outcome = run_sweep(&tiny_spec(), 1, false).unwrap();
+        assert_eq!(outcome.results.len(), 4);
+        assert_eq!(outcome.failures(), 0);
+        for r in &outcome.results {
+            let report = r.outcome.as_ref().unwrap();
+            assert!(report.get("total_time_s").is_some());
+        }
+    }
+
+    #[test]
+    fn bad_scenario_string_is_reported_with_index() {
+        let spec =
+            SweepSpec::from_json(r#"{ "scenarios": [ {}, { "parallelism": "zz" } ] }"#).unwrap();
+        match run_sweep(&spec, 1, false).unwrap_err() {
+            SweepError::Scenario { index, error, .. } => {
+                assert_eq!(index, 1);
+                assert!(error.contains("zz"), "{error}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_output_is_thread_count_invariant() {
+        let spec = tiny_spec();
+        let serial = run_sweep(&spec, 1, false).unwrap().to_canonical_string();
+        let parallel = run_sweep(&spec, 4, false).unwrap().to_canonical_string();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fault_terminated_scenario_becomes_error_entry() {
+        // p1's two GPUs talk through the host; severing one GPU's only
+        // link partitions the platform mid-AllReduce.
+        let spec = SweepSpec::from_json(
+            r#"{
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                               "platform": "p1", "parallelism": "ddp" },
+                "scenarios": [
+                    {},
+                    { "faults": { "link_failures": [ { "src": 0, "dst": 2, "at_s": 0.0 } ] },
+                      "label": "partition" }
+                ]
+            }"#,
+        )
+        .unwrap();
+        let outcome = run_sweep(&spec, 2, false).unwrap();
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.results[0].outcome.is_ok());
+        assert!(outcome.results[1].outcome.is_err(), "partition surfaces");
+        assert_eq!(outcome.failures(), 1);
+        // And the error text itself is deterministic.
+        let again = run_sweep(&spec, 1, false).unwrap();
+        assert_eq!(outcome.to_canonical_string(), again.to_canonical_string());
+    }
+}

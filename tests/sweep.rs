@@ -1,0 +1,113 @@
+//! Sweep-engine integration tests: the same `SweepSpec` run at thread
+//! counts 1, 2, and 8 must produce byte-identical aggregated output —
+//! including when a scenario's fault plan terminates its run inside the
+//! pool (the `try_run` error path becomes a deterministic `error` entry,
+//! never a lost or reordered result).
+
+use triosim::{run_sweep, SweepError, SweepSpec};
+
+/// A mixed 6-scenario spec: a 4-point grid plus two explicit scenarios,
+/// one of which severs a P1 GPU's only host link mid-run so `try_run`
+/// fails with `SimError::Partitioned` inside a pool worker.
+const MIXED_SPEC: &str = r#"{
+    "name": "determinism",
+    "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40" },
+    "grid": {
+        "parallelism": ["ddp", "pp:2"],
+        "platform": ["p1", "p2:2"]
+    },
+    "scenarios": [
+        { "platform": "p2:4", "parallelism": "tp", "fidelity": "reference" },
+        { "platform": "p1", "parallelism": "ddp", "label": "partitioned",
+          "faults": { "link_failures": [ { "src": 0, "dst": 2, "at_s": 0.0 } ] } }
+    ]
+}"#;
+
+#[test]
+fn aggregate_is_byte_identical_across_thread_counts() {
+    let spec = SweepSpec::from_json(MIXED_SPEC).unwrap();
+    let baseline = run_sweep(&spec, 1, false).unwrap().to_canonical_string();
+    for threads in [2, 8] {
+        let outcome = run_sweep(&spec, threads, false).unwrap();
+        assert_eq!(
+            outcome.to_canonical_string(),
+            baseline,
+            "thread count {threads} changed the aggregate"
+        );
+    }
+}
+
+#[test]
+fn fault_terminated_scenario_is_isolated_and_deterministic() {
+    let spec = SweepSpec::from_json(MIXED_SPEC).unwrap();
+    let outcome = run_sweep(&spec, 8, false).unwrap();
+    assert_eq!(outcome.results.len(), 6);
+    assert_eq!(outcome.failures(), 1, "exactly the partitioned scenario");
+    let failed = &outcome.results[5];
+    assert_eq!(failed.label, "partitioned");
+    let error = failed.outcome.as_ref().unwrap_err();
+    assert!(error.contains("partition"), "typed error surfaced: {error}");
+    // Its neighbors still produced full reports.
+    for r in &outcome.results[..5] {
+        assert!(r.outcome.is_ok(), "{} unexpectedly failed", r.label);
+    }
+}
+
+#[test]
+fn scenario_order_follows_expansion_not_completion() {
+    let spec = SweepSpec::from_json(MIXED_SPEC).unwrap();
+    let expected: Vec<String> = spec
+        .expand()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.label)
+        .collect();
+    let outcome = run_sweep(&spec, 8, false).unwrap();
+    let got: Vec<String> = outcome.results.iter().map(|r| r.label.clone()).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn parse_errors_surface_before_any_simulation() {
+    let spec = SweepSpec::from_json(
+        r#"{ "grid": { "platform": ["p2:2", "p9"], "parallelism": ["ddp"] } }"#,
+    )
+    .unwrap();
+    match run_sweep(&spec, 4, false).unwrap_err() {
+        SweepError::Scenario { index, error, .. } => {
+            assert_eq!(index, 1, "second grid point holds the bad platform");
+            assert!(error.contains("p9"), "{error}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+/// A sweep scenario must match a directly-configured `SimBuilder` run
+/// bit-for-bit: the shared-artifact plumbing (Arc'd trace, memoized
+/// calibration) cannot change results.
+#[test]
+fn sweep_scenario_matches_direct_simbuilder_run() {
+    use triosim::{Parallelism, Platform, SimBuilder};
+    use triosim_modelzoo::ModelId;
+    use triosim_trace::{GpuModel, Tracer};
+
+    let spec = SweepSpec::from_json(
+        r#"{ "scenarios": [ { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                              "platform": "p2:2", "parallelism": "ddp" } ] }"#,
+    )
+    .unwrap();
+    let outcome = run_sweep(&spec, 1, false).unwrap();
+    let from_sweep = outcome.results[0].outcome.as_ref().unwrap();
+
+    let trace = Tracer::new(GpuModel::A40).trace(&ModelId::Vgg11.build(8));
+    let platform = Platform::p2(2);
+    let direct = SimBuilder::new(&trace, &platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .run()
+        .to_canonical_json();
+
+    assert_eq!(
+        serde_json::to_string(from_sweep).unwrap(),
+        serde_json::to_string(&direct).unwrap()
+    );
+}
