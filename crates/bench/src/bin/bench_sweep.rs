@@ -18,7 +18,7 @@
 //! Results land in `results/BENCH_sweep.json`.
 
 use serde::Value;
-use triosim::{run_sweep, ScenarioPatch, SweepOutcome, SweepSpec};
+use triosim::{run_sweep, run_sweep_with, ScenarioPatch, SweepOutcome, SweepRunConfig, SweepSpec};
 use triosim_bench::{json_num, json_obj, Summary};
 
 const THREAD_POINTS: [usize; 2] = [1, 8];
@@ -90,6 +90,47 @@ fn main() {
         "thread count changed the canonical sweep aggregate"
     );
 
+    // Crash safety must be free of observable cost: a journaled run, and
+    // a resume from that journal truncated to half its entries, both
+    // reproduce the exact same canonical aggregate.
+    let journal = std::env::temp_dir().join(format!("bench-sweep-{}.jsonl", std::process::id()));
+    let journaled = run_sweep_with(
+        &spec,
+        &SweepRunConfig {
+            threads: THREAD_POINTS[1],
+            journal: Some(journal.clone()),
+            ..SweepRunConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("journaled sweep failed: {e}"));
+    assert!(
+        journaled.to_canonical_string() == canonical,
+        "journaling changed the canonical sweep aggregate"
+    );
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    let half: Vec<&str> = text.lines().take(1 + spec.len() / 2).collect();
+    std::fs::write(&journal, format!("{}\n", half.join("\n"))).expect("journal writable");
+    let resumed = run_sweep_with(
+        &spec,
+        &SweepRunConfig {
+            threads: THREAD_POINTS[1],
+            resume: Some(journal.clone()),
+            ..SweepRunConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("resumed sweep failed: {e}"));
+    std::fs::remove_file(&journal).ok();
+    assert_eq!(resumed.replayed, spec.len() / 2, "half the grid replays");
+    assert!(
+        resumed.to_canonical_string() == canonical,
+        "resume changed the canonical sweep aggregate"
+    );
+    println!(
+        "journal + resume: {} of {} scenarios replayed, aggregate byte-identical",
+        resumed.replayed,
+        spec.len()
+    );
+
     let speedup = outcomes[1].scenarios_per_sec() / outcomes[0].scenarios_per_sec();
     let gate_active = host_cores >= THREAD_POINTS[1];
     println!(
@@ -119,5 +160,7 @@ fn main() {
     summary.num("speedup_8_vs_1", speedup);
     summary.put("speedup_gate_enforced", Value::Bool(gate_active));
     summary.put("aggregates_identical", Value::Bool(true));
+    summary.int("resume_replayed", resumed.replayed as u64);
+    summary.put("resume_identical", Value::Bool(true));
     summary.finish();
 }

@@ -18,6 +18,7 @@ use std::any::Any;
 use std::fmt;
 use std::time::Instant;
 
+use crate::budget::{BudgetKind, RunBudget};
 use crate::queue::EventQueue;
 use crate::time::{TimeSpan, VirtualTime};
 
@@ -30,6 +31,14 @@ pub struct HandlerId(usize);
 pub enum EngineError {
     /// An event was addressed to a handler id that was never registered.
     UnknownHandler(HandlerId),
+    /// Delivering the next event would exceed the engine's [`RunBudget`]
+    /// (see [`Engine::set_budget`]); the event stays queued.
+    BudgetExceeded {
+        /// The budget axis that tripped.
+        kind: BudgetKind,
+        /// The configured limit on that axis (events, µs, or ms).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +46,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownHandler(id) => {
                 write!(f, "event addressed to unregistered handler {id:?}")
+            }
+            EngineError::BudgetExceeded { kind, limit } => {
+                write!(f, "run budget exceeded: {kind} limit {limit}")
             }
         }
     }
@@ -149,6 +161,7 @@ pub struct Engine {
     handlers: Vec<Option<Box<dyn Handler>>>,
     stats: Vec<HandlerStats>,
     profiling: bool,
+    budget: Option<RunBudget>,
 }
 
 impl Default for Engine {
@@ -165,7 +178,17 @@ impl Engine {
             handlers: Vec::new(),
             stats: Vec::new(),
             profiling: false,
+            budget: None,
         }
+    }
+
+    /// Installs a [`RunBudget`] enforced before every dispatch; an
+    /// unlimited budget is dropped so the hot loop keeps its single
+    /// `Option` test. Event-count and sim-time limits trip
+    /// deterministically; the wall-clock deadline is probed sparsely (see
+    /// [`RunBudget::check`]) and is inherently host-dependent.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = (!budget.is_unlimited()).then_some(budget);
     }
 
     /// Registers a component and returns its id. The handler's stats
@@ -227,8 +250,19 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`EngineError::UnknownHandler`] if the event's addressee was
-    /// never registered.
+    /// never registered, and [`EngineError::BudgetExceeded`] when
+    /// delivering the next event would exceed the installed budget (the
+    /// event is left in the queue, not consumed).
     pub fn step(&mut self) -> Result<bool, EngineError> {
+        if let Some(b) = &self.budget {
+            if let Some(next_at) = self.queue.peek_time() {
+                // `delivered() + 1` is the event about to be dispatched.
+                let about_to_deliver = self.queue.stats().delivered() + 1;
+                if let Some((kind, limit)) = b.check(about_to_deliver, next_at) {
+                    return Err(EngineError::BudgetExceeded { kind, limit });
+                }
+            }
+        }
         let Some((_, Envelope { to, payload })) = self.queue.pop() else {
             return Ok(false);
         };
@@ -338,6 +372,76 @@ mod tests {
     fn error_display_is_meaningful() {
         let err = EngineError::UnknownHandler(HandlerId(3));
         assert!(err.to_string().contains("unregistered handler"));
+        let err = EngineError::BudgetExceeded {
+            kind: BudgetKind::Events,
+            limit: 64,
+        };
+        assert_eq!(err.to_string(), "run budget exceeded: events limit 64");
+    }
+
+    #[test]
+    fn event_budget_stops_the_run_without_consuming_the_event() {
+        let mut engine = Engine::new();
+        let id = engine.register(Echo {
+            seen: vec![],
+            forward_to: None,
+        });
+        for i in 0..5 {
+            engine.schedule(
+                id,
+                VirtualTime::from_seconds(1.0 + i as f64),
+                Box::new(format!("m{i}")),
+            );
+        }
+        engine.set_budget(RunBudget::unlimited().with_max_events(3));
+        assert_eq!(
+            engine.run(),
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::Events,
+                limit: 3
+            })
+        );
+        // Exactly the budgeted number of events dispatched; virtual time
+        // stands at the last delivered event, not the rejected one.
+        assert_eq!(engine.handler_stats()[id.0].dispatches, 3);
+        assert_eq!(engine.now(), VirtualTime::from_seconds(3.0));
+    }
+
+    #[test]
+    fn sim_time_budget_stops_before_crossing_the_horizon() {
+        let mut engine = Engine::new();
+        let id = engine.register(Echo {
+            seen: vec![],
+            forward_to: None,
+        });
+        engine.schedule(id, VirtualTime::from_micros(1.0), Box::new("a".to_string()));
+        engine.schedule(id, VirtualTime::from_micros(9.0), Box::new("b".to_string()));
+        engine.set_budget(RunBudget::unlimited().with_max_sim_time_us(5));
+        assert_eq!(
+            engine.run(),
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::SimTime,
+                limit: 5
+            })
+        );
+        assert_eq!(engine.handler_stats()[id.0].dispatches, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_is_dropped_entirely() {
+        let mut engine = Engine::new();
+        let id = engine.register(Echo {
+            seen: vec![],
+            forward_to: None,
+        });
+        engine.schedule(
+            id,
+            VirtualTime::from_seconds(1.0),
+            Box::new("x".to_string()),
+        );
+        engine.set_budget(RunBudget::unlimited());
+        assert_eq!(engine.run(), Ok(()));
+        assert_eq!(engine.handler_stats()[id.0].dispatches, 1);
     }
 
     #[test]

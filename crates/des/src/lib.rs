@@ -52,13 +52,18 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The DES loop underpins the sweep engine's crash-safety contract:
+// production code here must degrade through typed errors, never unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod budget;
 mod engine;
 mod queue;
 mod stats;
 mod ticker;
 mod time;
 
+pub use budget::{BudgetKind, RunBudget};
 pub use engine::{Engine, EngineCtx, EngineError, Handler, HandlerId, HandlerStats};
 pub use queue::{EventId, EventQueue};
 pub use stats::QueueStats;

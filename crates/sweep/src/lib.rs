@@ -14,6 +14,11 @@
 //!   scenario index, not completion order**, so a sweep's aggregated
 //!   output is byte-identical across thread counts (including 1).
 //!
+//! For crash durability the crate also supplies the [`journal`] module:
+//! an append-only JSONL file of fsync'd per-scenario results with a
+//! spec-hash-guarded header, which the binding layer uses to implement
+//! checkpoint/resume (`triosim-cli sweep --journal` / `--resume`).
+//!
 //! What this crate deliberately does *not* know is how to run a scenario:
 //! the `triosim` crate's `sweep` module binds these specs to its
 //! `SimBuilder` (sharing the parsed trace and calibrated performance
@@ -25,10 +30,18 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The sweep layer is the crash-safety boundary: production code here
+// must degrade through typed errors, never unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod journal;
 pub mod pool;
 mod progress;
 mod spec;
 
+pub use journal::{
+    read_journal, spec_hash, EntryOutcome, ErrorKind, JournalEntry, JournalError, JournalHeader,
+    JournalWriter,
+};
 pub use progress::SweepProgress;
 pub use spec::{Scenario, ScenarioPatch, SpecError, SweepSpec};

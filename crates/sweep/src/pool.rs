@@ -23,6 +23,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// Propagates a panic from `worker` after the scope joins (all other
 /// in-flight workers run to completion first).
+///
+/// # Panic-safety of the claim counter
+///
+/// The claim discipline is **claim-then-run**: a worker first
+/// `fetch_add`s the counter (irrevocably claiming index `i`) and only
+/// then calls `worker(i)`. A panic inside `worker(i)` therefore consumes
+/// exactly the one index the panicking thread had already claimed — it
+/// can never advance the counter past indices nobody claimed, and the
+/// surviving threads keep draining the counter until it passes `count`.
+/// Because `std::thread::scope` joins every spawned thread even while
+/// unwinding, all non-panicking scenarios still run to completion before
+/// the panic is propagated to the caller; only their results are
+/// discarded with the unwind. Callers that must not lose results on a
+/// panic (the sweep engine's default mode) wrap `worker` in
+/// `catch_unwind` so the closure itself never panics.
 pub fn run_ordered<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
 where
     R: Send,
@@ -42,6 +57,8 @@ where
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
+                        // Claim before running: see "Panic-safety of the
+                        // claim counter" above before reordering this.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             return local;
@@ -90,6 +107,38 @@ mod tests {
     fn zero_items_is_fine() {
         let out: Vec<usize> = run_ordered(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_task_cannot_starve_unclaimed_indices() {
+        use std::sync::atomic::AtomicBool;
+        // One scenario panics; every other scenario must still execute
+        // (claim-then-run means the panic consumes only its own claimed
+        // index, and the scope joins survivors while unwinding).
+        const COUNT: usize = 64;
+        const POISONED: usize = 5;
+        let ran: Vec<AtomicBool> = (0..COUNT).map(|_| AtomicBool::new(false)).collect();
+        // Silence the intentional panic's default stderr backtrace.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ordered(COUNT, 4, |i| {
+                if i == POISONED {
+                    panic!("poisoned scenario");
+                }
+                ran[i].store(true, Ordering::Relaxed);
+                i
+            })
+        }));
+        std::panic::set_hook(prev_hook);
+        assert!(result.is_err(), "the panic propagates to the caller");
+        for (i, flag) in ran.iter().enumerate() {
+            assert_eq!(
+                flag.load(Ordering::Relaxed),
+                i != POISONED,
+                "index {i} execution state"
+            );
+        }
     }
 
     #[test]

@@ -12,10 +12,19 @@ use std::time::{Duration, Instant};
 /// drown the terminal. Progress is pure observability: it writes only to
 /// stderr and never touches results, so enabling it cannot perturb the
 /// sweep's deterministic output.
+///
+/// A resumed sweep constructs the tracker with
+/// [`with_replayed`](SweepProgress::with_replayed): journal-replayed
+/// scenarios count toward `done/total` from the start (and are announced
+/// once), while the throughput figure covers only scenarios actually
+/// executed in this process — replay is not simulation work.
 #[derive(Debug)]
 pub struct SweepProgress {
     total: usize,
     done: AtomicUsize,
+    errors: AtomicUsize,
+    /// Scenarios replayed from a journal before execution started.
+    replayed: usize,
     started: Instant,
     last_print: Mutex<Instant>,
     period: Duration,
@@ -26,10 +35,22 @@ impl SweepProgress {
     /// A progress tracker for `total` scenarios, printing at most every
     /// 200ms when `enabled` (a disabled tracker still counts, silently).
     pub fn new(total: usize, enabled: bool) -> Self {
+        Self::with_replayed(total, 0, enabled)
+    }
+
+    /// A tracker that starts with `replayed` of `total` scenarios
+    /// already complete (recovered from a journal). When enabled and
+    /// `replayed > 0`, announces the recovery once at construction.
+    pub fn with_replayed(total: usize, replayed: usize, enabled: bool) -> Self {
+        if enabled && replayed > 0 {
+            eprintln!("[sweep] resumed {replayed} of {total} scenarios from journal");
+        }
         let now = Instant::now();
         SweepProgress {
             total,
-            done: AtomicUsize::new(0),
+            done: AtomicUsize::new(replayed),
+            errors: AtomicUsize::new(0),
+            replayed,
             started: now,
             // Backdate so the first completion prints immediately.
             last_print: Mutex::new(now - Duration::from_secs(3600)),
@@ -38,9 +59,15 @@ impl SweepProgress {
         }
     }
 
-    /// Records one finished scenario and maybe emits a progress line.
-    pub fn scenario_done(&self, label: &str) {
+    /// Records one finished scenario (with whether it ended in an error
+    /// entry) and maybe emits a progress line.
+    pub fn scenario_done(&self, label: &str, failed: bool) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let errors = if failed {
+            self.errors.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.errors.load(Ordering::Relaxed)
+        };
         if !self.enabled {
             return;
         }
@@ -55,16 +82,27 @@ impl SweepProgress {
         *last = now;
         drop(last);
         let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = done as f64 / elapsed.max(1e-9);
+        // Throughput counts only this process's work, not replay.
+        let rate = (done - self.replayed) as f64 / elapsed.max(1e-9);
+        let errs = if errors > 0 {
+            format!(" | {errors} err")
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[sweep {done}/{} | {elapsed:.1}s | {rate:.2}/s] {label}",
+            "[sweep {done}/{} | {elapsed:.1}s | {rate:.2}/s{errs}] {label}",
             self.total
         );
     }
 
-    /// Scenarios finished so far.
+    /// Scenarios finished so far (including journal-replayed ones).
     pub fn completed(&self) -> usize {
         self.done.load(Ordering::Relaxed)
+    }
+
+    /// Scenarios that ended in an error entry so far (this process only).
+    pub fn failed(&self) -> usize {
+        self.errors.load(Ordering::Relaxed)
     }
 
     /// Wall-clock seconds since the tracker was created.
@@ -84,12 +122,22 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..16 {
-                        p.scenario_done("x");
+                        p.scenario_done("x", false);
                     }
                 });
             }
         });
         assert_eq!(p.completed(), 64);
+        assert_eq!(p.failed(), 0);
         assert!(p.elapsed_s() >= 0.0);
+    }
+
+    #[test]
+    fn replayed_scenarios_pre_fill_the_count() {
+        let p = SweepProgress::with_replayed(10, 4, false);
+        assert_eq!(p.completed(), 4);
+        p.scenario_done("fresh", true);
+        assert_eq!(p.completed(), 5);
+        assert_eq!(p.failed(), 1);
     }
 }

@@ -37,7 +37,7 @@ impl fmt::Display for SpecError {
                 f,
                 "unknown scenario field `{name}` (try model, trace_batch, gpu, platform, \
                  parallelism, global_batch, fidelity, collective, iterations, realloc, \
-                 faults, fault_seed, label)"
+                 faults, fault_seed, max_events, max_sim_time_us, wall_timeout_ms, label)"
             ),
             SpecError::BadValue { field, detail } => write!(f, "field `{field}`: {detail}"),
             SpecError::Empty => write!(f, "sweep expands to zero scenarios"),
@@ -86,6 +86,15 @@ pub struct Scenario {
     pub faults: Option<FaultPlan>,
     /// Optional override of the fault plan's jitter seed.
     pub fault_seed: Option<u64>,
+    /// Runaway guard: cap on delivered simulation events (deterministic).
+    pub max_events: Option<u64>,
+    /// Runaway guard: cap on simulated time in µs (deterministic).
+    pub max_sim_time_us: Option<u64>,
+    /// Runaway guard: wall-clock deadline in ms. Host-dependent by
+    /// nature, so it is the one knob **excluded** from the scenario's
+    /// canonical serialization (and thus from journal compatibility
+    /// hashes and canonical sweep output).
+    pub wall_timeout_ms: Option<u64>,
 }
 
 impl Default for Scenario {
@@ -104,6 +113,9 @@ impl Default for Scenario {
             realloc: "incremental".into(),
             faults: None,
             fault_seed: None,
+            max_events: None,
+            max_sim_time_us: None,
+            wall_timeout_ms: None,
         }
     }
 }
@@ -129,7 +141,7 @@ impl Scenario {
 
 impl Serialize for Scenario {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("label".into(), self.label.to_value()),
             ("model".into(), self.model.to_value()),
             ("trace_batch".into(), self.trace_batch.to_value()),
@@ -143,7 +155,20 @@ impl Serialize for Scenario {
             ("realloc".into(), self.realloc.to_value()),
             ("faults".into(), self.faults.to_value()),
             ("fault_seed".into(), self.fault_seed.to_value()),
-        ])
+        ];
+        // The deterministic budget axes appear only when set, so specs
+        // that never use them serialize bit-identically to pre-budget
+        // output. `wall_timeout_ms` is deliberately NEVER serialized:
+        // a wall-clock deadline is host-dependent, so it must not leak
+        // into canonical sweep output or journal compatibility hashes —
+        // a resume may legitimately use a different wall timeout.
+        if let Some(v) = self.max_events {
+            fields.push(("max_events".into(), v.to_value()));
+        }
+        if let Some(v) = self.max_sim_time_us {
+            fields.push(("max_sim_time_us".into(), v.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -208,6 +233,9 @@ const FIELD_NAMES: &[&str] = &[
     "realloc",
     "faults",
     "fault_seed",
+    "max_events",
+    "max_sim_time_us",
+    "wall_timeout_ms",
 ];
 
 fn decode<T: Deserialize>(field: &str, v: &Value) -> Result<T, SpecError> {
@@ -232,6 +260,9 @@ fn apply_field(s: &mut Scenario, name: &str, v: &Value) -> Result<(), SpecError>
         "realloc" => s.realloc = decode(name, v)?,
         "faults" => s.faults = Some(decode(name, v)?),
         "fault_seed" => s.fault_seed = Some(decode(name, v)?),
+        "max_events" => s.max_events = Some(decode(name, v)?),
+        "max_sim_time_us" => s.max_sim_time_us = Some(decode(name, v)?),
+        "wall_timeout_ms" => s.wall_timeout_ms = Some(decode(name, v)?),
         other => return Err(SpecError::UnknownField(other.to_string())),
     }
     Ok(())
@@ -513,6 +544,51 @@ mod tests {
         assert_eq!(plan.gpu_slowdowns.len(), 1);
         assert_eq!(s[0].fault_seed, Some(7));
         assert!(s[0].label.ends_with("+faults"));
+    }
+
+    #[test]
+    fn budget_fields_parse_from_defaults_and_overrides() {
+        let spec = SweepSpec::from_json(
+            r#"{
+                "defaults": { "max_events": 1000, "wall_timeout_ms": 5000 },
+                "scenarios": [ {}, { "max_events": 50, "max_sim_time_us": 2000 } ]
+            }"#,
+        )
+        .unwrap();
+        let s = spec.expand().unwrap();
+        assert_eq!(s[0].max_events, Some(1000));
+        assert_eq!(s[0].max_sim_time_us, None);
+        assert_eq!(s[0].wall_timeout_ms, Some(5000));
+        assert_eq!(s[1].max_events, Some(50), "per-scenario override wins");
+        assert_eq!(s[1].max_sim_time_us, Some(2000));
+    }
+
+    #[test]
+    fn unset_budgets_keep_serialization_bit_identical() {
+        // A scenario without budgets must serialize exactly as it did
+        // before the budget fields existed (canonical-output stability).
+        let s = Scenario::default();
+        let json = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(!json.contains("max_events"));
+        assert!(!json.contains("max_sim_time_us"));
+        assert!(!json.contains("wall_timeout_ms"));
+    }
+
+    #[test]
+    fn wall_timeout_is_never_serialized() {
+        let s = Scenario {
+            max_events: Some(10),
+            max_sim_time_us: Some(20),
+            wall_timeout_ms: Some(30),
+            ..Scenario::default()
+        };
+        let json = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(json.contains(r#""max_events":10"#));
+        assert!(json.contains(r#""max_sim_time_us":20"#));
+        assert!(
+            !json.contains("wall_timeout_ms"),
+            "wall clock is host-dependent and must stay out of canonical output: {json}"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::str::FromStr;
 use triosim::{estimate_memory, Fidelity, Parallelism, Platform, SimBuilder};
 use triosim_des::TimeSpan;
 use triosim_modelzoo::ModelId;
-use triosim_obs::{ChromeTraceSink, JsonlSink, ProgressMonitor, PrometheusSink, RunRecorder};
+use triosim_obs::{
+    ChromeTraceSink, JsonlSink, ProgressMonitor, PrometheusSink, Recorder, RunRecorder,
+};
 use triosim_trace::{GpuModel, Phase, Trace, Tracer};
 
 const USAGE: &str = "\
@@ -65,6 +67,19 @@ COMMANDS:
         --out <file>            write the deterministic aggregate JSON
                                 (byte-identical across thread counts)
         --progress              print live per-scenario progress to stderr
+        --journal <file>        append each scenario's fsync'd result to a
+                                JSONL journal as it completes (crash-safe)
+        --resume <journal>      replay a journal's completed scenarios and
+                                run only the rest (--spec optional: the
+                                journal header embeds the spec); the final
+                                aggregate is byte-identical to an
+                                uninterrupted run
+        --fail-fast             abort the sweep on the first scenario
+                                panic instead of isolating it as a
+                                structured error entry
+        --metrics <file>        write Prometheus text-format sweep
+                                counters (total/recovered/failed/
+                                panicked/budget-terminated)
 ";
 
 fn main() -> ExitCode {
@@ -121,7 +136,16 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "fault-seed",
         ],
         "memory" => &["trace", "gpus", "parallelism", "batch"],
-        "sweep" => &["spec", "threads", "out", "progress"],
+        "sweep" => &[
+            "spec",
+            "threads",
+            "out",
+            "progress",
+            "journal",
+            "resume",
+            "fail-fast",
+            "metrics",
+        ],
         // Unknown commands produce their own error.
         _ => return Ok(()),
     };
@@ -406,9 +430,29 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
-    let path = opts.get("spec").ok_or("missing --spec")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let spec = triosim::SweepSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if opts.contains_key("journal") && opts.contains_key("resume") {
+        return Err("--journal and --resume are mutually exclusive \
+                    (resume keeps appending to the journal it reads)"
+            .into());
+    }
+    // The spec comes from --spec, or (on resume) from the journal header,
+    // so a sweep can be resumed even after the spec file is gone.
+    let text = match (opts.get("spec"), opts.get("resume")) {
+        (Some(path), _) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        (None, Some(journal_path)) => {
+            let (header, _) =
+                triosim::sweep::journal::read_journal(std::path::Path::new(journal_path))
+                    .map_err(|e| format!("{journal_path}: {e}"))?;
+            if header.spec_text.is_empty() {
+                return Err(format!(
+                    "{journal_path}: journal has no embedded spec; pass --spec"
+                ));
+            }
+            header.spec_text
+        }
+        (None, None) => return Err("missing --spec".into()),
+    };
+    let spec = triosim::SweepSpec::from_json(&text).map_err(|e| e.to_string())?;
     let threads = match opts.get("threads") {
         Some(n) => {
             let n: usize = parse(n)?;
@@ -421,8 +465,15 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             .map(std::num::NonZero::get)
             .unwrap_or(1),
     };
-    let progress = opts.contains_key("progress");
-    let outcome = triosim::run_sweep(&spec, threads, progress).map_err(|e| e.to_string())?;
+    let config = triosim::SweepRunConfig {
+        threads,
+        progress: opts.contains_key("progress"),
+        journal: opts.get("journal").map(std::path::PathBuf::from),
+        resume: opts.get("resume").map(std::path::PathBuf::from),
+        fail_fast: opts.contains_key("fail-fast"),
+        spec_text: Some(text),
+    };
+    let outcome = triosim::run_sweep_with(&spec, &config).map_err(|e| e.to_string())?;
 
     println!(
         "sweep `{}` | {} scenarios | {} threads",
@@ -435,10 +486,19 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         outcome.elapsed_s,
         outcome.scenarios_per_sec()
     );
+    if outcome.replayed > 0 {
+        println!(
+            "resumed       : {} of {} scenarios from journal",
+            outcome.replayed,
+            outcome.results.len()
+        );
+    }
     if outcome.failures() > 0 {
         println!(
-            "failures      : {} (see `error` entries)",
-            outcome.failures()
+            "failures      : {} (see `error` entries; {} panicked, {} over budget)",
+            outcome.failures(),
+            outcome.panicked(),
+            outcome.budget_terminated()
         );
     }
     // Slowest scenarios dominate the wall clock; show where time went.
@@ -450,6 +510,30 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(out) = opts.get("out") {
         std::fs::write(out, outcome.to_canonical_string()).map_err(|e| format!("{out}: {e}"))?;
         println!("aggregate     : {out}");
+    }
+    if let Some(path) = opts.get("metrics") {
+        let file = std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let mut sink = PrometheusSink::new(file);
+        let counters: [(&str, f64); 5] = [
+            ("triosim_scenarios_total", outcome.results.len() as f64),
+            ("triosim_scenarios_recovered_total", outcome.replayed as f64),
+            ("triosim_scenarios_failed_total", outcome.failures() as f64),
+            (
+                "triosim_scenarios_panicked_total",
+                outcome.panicked() as f64,
+            ),
+            (
+                "triosim_scenarios_budget_terminated_total",
+                outcome.budget_terminated() as f64,
+            ),
+        ];
+        for (name, value) in counters {
+            sink.counter_add(name, &[("sweep", &outcome.name)], value);
+        }
+        sink.finish().map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics       : {path}");
     }
     Ok(())
 }

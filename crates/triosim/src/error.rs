@@ -4,12 +4,17 @@
 //! as configuration bugs (and panics on) into runtime outcomes: a link
 //! failure can partition the topology mid-run, and a GPU drop-out leaves
 //! tasks that can never execute. [`SimError`] is the typed, non-panicking
-//! surface for those outcomes.
+//! surface for those outcomes. Run budgets (the sweep engine's runaway
+//! guards) terminate through the same surface: a scenario that blows its
+//! event, sim-time, or wall-clock budget degrades to
+//! [`SimError::BudgetExceeded`] instead of pinning its worker.
 
 use std::fmt;
 
+use triosim_des::BudgetKind;
+
 /// A simulation ended early because an injected fault made the remaining
-/// work impossible.
+/// work impossible, or because it exceeded its run budget.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// A link failure left two transfer endpoints with no connecting
@@ -34,6 +39,16 @@ pub enum SimError {
     /// carries out-of-domain values. The message names the offending
     /// plan entry.
     InvalidPlan(String),
+    /// The run exceeded its [`RunBudget`](triosim_des::RunBudget) on the
+    /// named axis. The rendering carries only the configured limit —
+    /// never a measured value — so event-count and sim-time terminations
+    /// serialize deterministically.
+    BudgetExceeded {
+        /// The budget axis that tripped.
+        kind: BudgetKind,
+        /// The configured limit on that axis (events, µs, or ms).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +63,17 @@ impl fmt::Display for SimError {
                 "gpu {gpu} dropped out at t={at_s:.6}s: its remaining tasks cannot run"
             ),
             SimError::InvalidPlan(msg) => write!(f, "{msg}"),
+            SimError::BudgetExceeded { kind, limit } => match kind {
+                BudgetKind::Events => {
+                    write!(f, "budget exceeded: more than {limit} events delivered")
+                }
+                BudgetKind::SimTime => {
+                    write!(f, "budget exceeded: simulated time passed {limit}us")
+                }
+                BudgetKind::WallClock => {
+                    write!(f, "budget exceeded: wall clock passed {limit}ms")
+                }
+            },
         }
     }
 }
@@ -73,5 +99,27 @@ mod tests {
         assert!(e.to_string().contains("gpu 2 dropped out"));
         let e = SimError::InvalidPlan("invalid fault plan: gpu 9 out of range".into());
         assert!(e.to_string().contains("gpu 9"));
+    }
+
+    #[test]
+    fn budget_displays_carry_only_the_limit() {
+        let cases = [
+            (
+                BudgetKind::Events,
+                "budget exceeded: more than 7 events delivered",
+            ),
+            (
+                BudgetKind::SimTime,
+                "budget exceeded: simulated time passed 7us",
+            ),
+            (
+                BudgetKind::WallClock,
+                "budget exceeded: wall clock passed 7ms",
+            ),
+        ];
+        for (kind, expected) in cases {
+            let e = SimError::BudgetExceeded { kind, limit: 7 };
+            assert_eq!(e.to_string(), expected);
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use triosim_des::{EventId, EventQueue, Ticker, TimeSpan, VirtualTime};
+use triosim_des::{EventId, EventQueue, RunBudget, Ticker, TimeSpan, VirtualTime};
 use triosim_faults::{FaultKind, FaultPlan, FaultSession};
 use triosim_network::{FlowId, LinkFault, NetCommand, NetworkModel, NodeId};
 use triosim_obs::{AttrValue, ProgressMonitor, Recorder};
@@ -190,8 +190,46 @@ pub fn execute_faulted(
     obs: Observability,
     plan: &FaultPlan,
 ) -> Result<SimReport, SimError> {
+    execute_budgeted(
+        graph,
+        network,
+        iterations,
+        obs,
+        plan,
+        RunBudget::unlimited(),
+    )
+}
+
+/// [`execute_faulted`] with a runaway guard: the run terminates with
+/// [`SimError::BudgetExceeded`] if it blows any axis of `budget`.
+///
+/// An unlimited budget takes the exact [`execute_faulted`] code path (and
+/// with an empty plan, the plain fault-free path) — reports stay
+/// bit-identical. The budget spans the whole multi-iteration run; its
+/// event axis counts only real compute/flow events, never monitor ticks
+/// or fault injections, so deterministic-axis trips are independent of
+/// observability settings.
+///
+/// # Errors
+///
+/// [`SimError::BudgetExceeded`] on a tripped budget, plus everything
+/// [`execute_faulted`] reports.
+///
+/// # Panics
+///
+/// Same conditions as [`execute_iterations`].
+pub fn execute_budgeted(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    obs: Observability,
+    plan: &FaultPlan,
+    budget: RunBudget,
+) -> Result<SimReport, SimError> {
     assert!(iterations > 0, "need at least one iteration");
-    let mut ex = Executor::new(graph, network).with_observability(obs);
+    let mut ex = Executor::new(graph, network)
+        .with_observability(obs)
+        .with_budget(budget);
     let session = FaultSession::new(plan, graph.gpus());
     if !session.is_empty() {
         ex = ex.with_faults(session);
@@ -270,9 +308,17 @@ struct Executor<'a> {
     dispatches: [u64; 4],
     // ------- fault injection (both `None` on fault-free runs) -------
     faults: Option<FaultRuntime>,
-    /// Set when an injected fault made the remaining work impossible;
-    /// unwinds the run as a structured error instead of a hang or panic.
-    fault_error: Option<SimError>,
+    /// Set when the run must stop early with a structured error — an
+    /// injected fault made the remaining work impossible, or the run
+    /// budget tripped. Unwinds the run instead of a hang or panic.
+    stop_error: Option<SimError>,
+    // ------- runaway guard (`None` on unbudgeted runs) -------
+    /// Per-run budget; `None` keeps the exact pre-budget code path.
+    budget: Option<RunBudget>,
+    /// Real (compute/flow) events delivered across all iterations;
+    /// the budget's event axis counts these, never ticks or faults, so
+    /// tripping is independent of observability settings.
+    budget_events: u64,
     /// Iteration currently executing (jitter coordinate).
     current_iter: usize,
     prev_link_busy: Vec<f64>,
@@ -322,7 +368,9 @@ impl<'a> Executor<'a> {
             pending_real: 0,
             dispatches: [0; 4],
             faults: None,
-            fault_error: None,
+            stop_error: None,
+            budget: None,
+            budget_events: 0,
             current_iter: 0,
             prev_link_busy: Vec::new(),
             prev_sample_at: VirtualTime::ZERO,
@@ -357,6 +405,14 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attaches a run budget. Unlimited budgets are dropped so the hot
+    /// loop keeps its single `Option` discriminant test per event. The
+    /// budget spans the whole multi-iteration run.
+    fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = (!budget.is_unlimited()).then_some(budget);
+        self
+    }
+
     fn run(mut self, iterations: usize) -> Result<SimReport, SimError> {
         let base_indegree = self.indegree.clone();
         for iter in 0..iterations {
@@ -368,7 +424,7 @@ impl<'a> Executor<'a> {
                 self.collective_begin.fill(None);
             }
             self.run_once();
-            if let Some(e) = self.fault_error.take() {
+            if let Some(e) = self.stop_error.take() {
                 // Close observability sinks so partial traces flush, then
                 // surface the structured error instead of the deadlock
                 // panic the unfinished graph would otherwise trigger.
@@ -581,6 +637,23 @@ impl<'a> Executor<'a> {
         }
 
         while let Some((now, event)) = self.queue.pop() {
+            // Runaway guard: real events are counted and checked before
+            // they are processed, so with `max_events = N` exactly N
+            // events take effect. Ticks and fault injections are
+            // excluded so budget trips are independent of observability
+            // settings and fault-plan shape.
+            if let Some(b) = &self.budget {
+                if matches!(
+                    event,
+                    Event::ComputeDone { .. } | Event::FlowDelivered { .. }
+                ) {
+                    self.budget_events += 1;
+                    if let Some((kind, limit)) = b.check(self.budget_events, now) {
+                        self.stop_error = Some(SimError::BudgetExceeded { kind, limit });
+                        return;
+                    }
+                }
+            }
             match event {
                 Event::ComputeDone { gpu, task } => {
                     self.pending_real -= 1;
@@ -646,7 +719,7 @@ impl<'a> Executor<'a> {
                         fr.cursor = idx + 1;
                     }
                     self.apply_fault(now, idx);
-                    if self.fault_error.is_some() {
+                    if self.stop_error.is_some() {
                         return;
                     }
                     if self.pending_real > 0 {
@@ -654,7 +727,7 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-            if self.fault_error.is_some() {
+            if self.stop_error.is_some() {
                 return;
             }
             // A tick never outlives the real work: cancel the pending one
@@ -742,7 +815,7 @@ impl<'a> Executor<'a> {
                 }
             }
             FaultKind::GpuDrop { gpu } => {
-                self.fault_error = Some(SimError::GpuLost {
+                self.stop_error = Some(SimError::GpuLost {
                     gpu,
                     at_s: now.as_seconds(),
                 });
@@ -776,7 +849,7 @@ impl<'a> Executor<'a> {
         {
             Ok(cmds) => self.apply(cmds),
             Err(e) => {
-                self.fault_error = Some(SimError::Partitioned {
+                self.stop_error = Some(SimError::Partitioned {
                     src: e.src.0,
                     dst: e.dst.0,
                     at_s: now.as_seconds(),
@@ -875,7 +948,7 @@ impl<'a> Executor<'a> {
         // Worklist to avoid recursion through long barrier chains.
         let mut work = vec![task];
         while let Some(t) = work.pop() {
-            if self.fault_error.is_some() {
+            if self.stop_error.is_some() {
                 return;
             }
             self.completed += 1;
@@ -973,7 +1046,7 @@ impl<'a> Executor<'a> {
                             self.apply(cmds);
                         }
                         Err(e) => {
-                            self.fault_error = Some(SimError::Partitioned {
+                            self.stop_error = Some(SimError::Partitioned {
                                 src: e.src.0,
                                 dst: e.dst.0,
                                 at_s: now.as_seconds(),

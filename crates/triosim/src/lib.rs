@@ -68,7 +68,9 @@ mod viz;
 
 pub use compute::{ComputeModel, Fidelity};
 pub use error::SimError;
-pub use executor::{execute, execute_faulted, execute_iterations, execute_observed, Observability};
+pub use executor::{
+    execute, execute_budgeted, execute_faulted, execute_iterations, execute_observed, Observability,
+};
 pub use extrapolate::{extrapolate, extrapolate_with_style};
 pub use hop::{HopConfig, HopGraph, HopReport, HopSimulator};
 pub use layers::{summarize_layers, LayerSummary};
@@ -79,7 +81,10 @@ pub use report::{FaultStats, SimReport, TimelineRecord, TimelineTrack};
 // Re-export the fault-plan vocabulary so downstream users configure
 // fault injection without naming the `triosim-faults` crate directly.
 pub use session::SimBuilder;
-pub use sweep::{run_sweep, ScenarioResult, SweepError, SweepOutcome};
+pub use sweep::{
+    run_sweep, run_sweep_with, ScenarioError, ScenarioResult, SweepError, SweepOutcome,
+    SweepRunConfig,
+};
 pub use taskgraph::{CollectiveMeta, Task, TaskGraph, TaskId, TaskKind};
 pub use triosim_faults::{
     FaultKind, FaultPlan, FaultPlanError, FaultSession, GpuDropout, GpuSlowdown, Jitter,

@@ -2,7 +2,7 @@
 
 use std::str::FromStr;
 
-use triosim_des::TimeSpan;
+use triosim_des::{RunBudget, TimeSpan};
 use triosim_faults::FaultPlan;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId};
 use triosim_obs::{ProgressMonitor, Recorder};
@@ -11,7 +11,9 @@ use triosim_trace::{GpuModel, Trace};
 
 use crate::compute::{ComputeModel, Fidelity};
 use crate::error::SimError;
-use crate::executor::{execute_faulted, execute_iterations, execute_observed, Observability};
+use crate::executor::{
+    execute_budgeted, execute_faulted, execute_iterations, execute_observed, Observability,
+};
 use crate::extrapolate::extrapolate_with_style;
 use crate::parallelism::{CollectiveStyle, Parallelism};
 use crate::platform::Platform;
@@ -61,6 +63,7 @@ pub struct SimBuilder<'a> {
     observability: Observability,
     faults: Option<FaultPlan>,
     fault_seed: Option<u64>,
+    budget: Option<RunBudget>,
 }
 
 impl<'a> SimBuilder<'a> {
@@ -79,6 +82,7 @@ impl<'a> SimBuilder<'a> {
             observability: Observability::off(),
             faults: None,
             fault_seed: None,
+            budget: None,
         }
     }
 
@@ -175,6 +179,17 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Attaches a runaway guard: the run terminates with
+    /// [`SimError::BudgetExceeded`] if it blows any axis of `budget`.
+    /// An unlimited budget is equivalent to no budget at all — the run
+    /// takes the plain, bit-identical code path. A wall-clock deadline
+    /// is armed when the budget is constructed, so build it right before
+    /// calling [`try_run`](Self::try_run).
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = (!budget.is_unlimited()).then_some(budget);
+        self
+    }
+
     fn resolved_batch(&self) -> u64 {
         self.global_batch.unwrap_or(match self.parallelism {
             Parallelism::DataParallel { .. } => {
@@ -258,10 +273,12 @@ impl<'a> SimBuilder<'a> {
     }
 
     /// Extrapolates and executes the simulation, surfacing fault-induced
-    /// early termination and invalid fault plans as typed errors.
+    /// or budget-induced early termination and invalid fault plans as
+    /// typed errors.
     ///
-    /// Without a fault plan (or with an empty one) this cannot fail and
-    /// produces a report bit-identical to [`run`](Self::run).
+    /// Without a fault plan (or with an empty one) and without a budget
+    /// this cannot fail and produces a report bit-identical to
+    /// [`run`](Self::run).
     ///
     /// # Errors
     ///
@@ -269,7 +286,8 @@ impl<'a> SimBuilder<'a> {
     /// nodes, or links the platform does not have (or carries
     /// out-of-domain values); [`SimError::Partitioned`] /
     /// [`SimError::GpuLost`] when an injected fault makes the remaining
-    /// work impossible.
+    /// work impossible; [`SimError::BudgetExceeded`] when the run blows
+    /// an axis of its [`budget`](Self::budget).
     pub fn try_run(mut self) -> Result<SimReport, SimError> {
         let mut plan = self.faults.take().unwrap_or_default();
         if let Some(seed) = self.fault_seed {
@@ -281,6 +299,16 @@ impl<'a> SimBuilder<'a> {
         let graph = self.build_graph();
         let mut network = self.resolved_network();
         let obs = std::mem::take(&mut self.observability);
+        if let Some(budget) = self.budget.take() {
+            return execute_budgeted(
+                &graph,
+                network.as_mut(),
+                self.iterations,
+                obs,
+                &plan,
+                budget,
+            );
+        }
         if plan.is_empty() {
             if obs.is_active() {
                 Ok(execute_observed(
@@ -371,6 +399,66 @@ mod tests {
             .run();
         assert!(r.total_time_s() > 0.0);
         assert!(r.comm_time_s() > 0.0, "activations crossed the wire");
+    }
+
+    #[test]
+    fn event_budget_terminates_with_typed_error() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let err = SimBuilder::new(&t, &p)
+            .budget(RunBudget::unlimited().with_max_events(10))
+            .try_run()
+            .expect_err("10 events cannot finish a training iteration");
+        assert_eq!(
+            err.to_string(),
+            "budget exceeded: more than 10 events delivered"
+        );
+    }
+
+    #[test]
+    fn sim_time_budget_terminates_with_typed_error() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let err = SimBuilder::new(&t, &p)
+            .budget(RunBudget::unlimited().with_max_sim_time_us(1))
+            .try_run()
+            .expect_err("1us cannot finish a training iteration");
+        assert_eq!(
+            err.to_string(),
+            "budget exceeded: simulated time passed 1us"
+        );
+    }
+
+    #[test]
+    fn generous_budget_is_bit_identical_to_no_budget() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let plain = SimBuilder::new(&t, &p).run();
+        let budgeted = SimBuilder::new(&t, &p)
+            .budget(RunBudget::unlimited().with_max_events(u64::MAX))
+            .try_run()
+            .expect("generous budget never trips");
+        assert_eq!(plain.to_canonical_json(), budgeted.to_canonical_json());
+        // Unlimited budgets are dropped entirely.
+        let unlimited = SimBuilder::new(&t, &p).budget(RunBudget::unlimited());
+        assert!(unlimited.budget.is_none());
+    }
+
+    #[test]
+    fn budget_composes_with_fault_plans() {
+        use triosim_faults::GpuDropout;
+        let t = trace();
+        let p = Platform::p2(2);
+        let plan = FaultPlan {
+            gpu_dropouts: vec![GpuDropout { gpu: 1, at_s: 1e9 }],
+            ..FaultPlan::default()
+        };
+        let err = SimBuilder::new(&t, &p)
+            .faults(plan)
+            .budget(RunBudget::unlimited().with_max_events(10))
+            .try_run()
+            .expect_err("budget trips long before the scheduled fault");
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
     }
 
     #[test]

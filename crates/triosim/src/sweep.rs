@@ -21,25 +21,54 @@
 //! Wall-clock numbers (per-scenario and sweep-level) are collected
 //! alongside but kept **out** of the canonical form; they feed the CLI's
 //! stdout summary and the `bench_sweep` artifact instead.
+//!
+//! # Crash safety
+//!
+//! [`run_sweep_with`] adds the durability layer on top:
+//!
+//! * **Journaling** ([`SweepRunConfig::journal`]): each completed
+//!   scenario's canonical result (or deterministic error entry) is
+//!   appended to a JSONL [`journal`] and fsync'd as it finishes.
+//! * **Resume** ([`SweepRunConfig::resume`]): completed entries are
+//!   replayed from the journal (after a spec-hash compatibility check)
+//!   and only the remaining scenarios execute; the final
+//!   [`SweepOutcome`] is byte-identical to an uninterrupted run at any
+//!   thread count.
+//! * **Panic isolation**: each scenario runs under `catch_unwind`, so
+//!   one panicking scenario degrades to a structured
+//!   [`ScenarioError::Panicked`] entry instead of aborting the sweep
+//!   ([`SweepRunConfig::fail_fast`] restores the aborting behavior).
+//! * **Runaway guards**: a scenario's `max_events` / `max_sim_time_us` /
+//!   `wall_timeout_ms` fields become a [`RunBudget`], and blowing it
+//!   degrades to a [`ScenarioError::Budget`] entry exactly like
+//!   fault-terminated scenarios.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Value;
+use triosim_des::RunBudget;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, ReallocationMode};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace, Tracer};
 
+pub use triosim_sweep::journal;
 pub use triosim_sweep::{
     pool::run_ordered, Scenario, ScenarioPatch, SpecError, SweepProgress, SweepSpec,
 };
 
 use crate::compute::{ComputeModel, Fidelity};
+use crate::error::SimError;
 use crate::parallelism::{CollectiveStyle, Parallelism};
 use crate::platform::Platform;
 use crate::session::SimBuilder;
+use journal::{
+    read_journal, spec_hash, EntryOutcome, ErrorKind, JournalEntry, JournalHeader, JournalWriter,
+};
 use triosim_faults::FaultPlan;
 use triosim_modelzoo::ModelId;
 
@@ -57,6 +86,9 @@ pub enum SweepError {
         /// What failed to parse.
         error: String,
     },
+    /// The journal could not be created, read, or replayed — including a
+    /// stale journal whose spec hash no longer matches the spec.
+    Journal(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -68,6 +100,7 @@ impl std::fmt::Display for SweepError {
                 label,
                 error,
             } => write!(f, "scenario {index} ({label}): {error}"),
+            SweepError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,9 +113,52 @@ impl From<SpecError> for SweepError {
     }
 }
 
-/// One scenario's fully-parsed, ready-to-run configuration.
+/// How one scenario failed. Every variant renders deterministically, so
+/// error entries are part of the canonical (byte-identical) sweep output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A structured simulation error: fault-induced termination
+    /// (`Partitioned` / `GpuLost`) or an invalid configuration. Holds
+    /// the `SimError` rendering verbatim.
+    Sim(String),
+    /// The scenario blew an axis of its run budget. Holds the
+    /// `SimError::BudgetExceeded` rendering verbatim (which names only
+    /// the configured limit, never a measured value).
+    Budget(String),
+    /// The scenario's worker panicked; the panic was isolated instead of
+    /// aborting the sweep.
+    Panicked {
+        /// The scenario's index in expansion order.
+        index: usize,
+        /// The panic payload's message (when it was a string).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Sim(msg) | ScenarioError::Budget(msg) => f.write_str(msg),
+            ScenarioError::Panicked { index, message } => {
+                write!(f, "scenario {index} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One scenario's fully-parsed, ready-to-run configuration. `exec` is
+/// `None` for scenarios whose result was replayed from a journal — their
+/// strings are still parsed (so configuration errors surface
+/// deterministically) but the expensive artifacts are not built.
 struct ResolvedScenario {
     scenario: Scenario,
+    exec: Option<ExecScenario>,
+}
+
+/// The expensive, execution-only half of a resolved scenario.
+struct ExecScenario {
     trace: Arc<Trace>,
     platform: Platform,
     parallelism: Parallelism,
@@ -97,16 +173,16 @@ struct ResolvedScenario {
 }
 
 /// The outcome of one scenario: its canonical report (or a deterministic
-/// error string for fault-terminated runs) plus its wall time.
+/// structured error) plus its wall time.
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Scenario label.
     pub label: String,
-    /// Canonical report JSON on success; the `SimError` rendering when an
-    /// injected fault terminated the run. Both are deterministic.
-    pub outcome: Result<Value, String>,
+    /// Canonical report JSON on success; a [`ScenarioError`] whose
+    /// rendering is deterministic when the scenario failed.
+    pub outcome: Result<Value, ScenarioError>,
     /// Wall-clock seconds this scenario took (excluded from canonical
-    /// output — it varies run to run).
+    /// output — it varies run to run; zero for journal-replayed results).
     pub wall_s: f64,
 }
 
@@ -124,13 +200,17 @@ pub struct SweepOutcome {
     pub threads: usize,
     /// End-to-end wall-clock seconds (excluded from canonical output).
     pub elapsed_s: f64,
+    /// Scenarios replayed from a journal instead of executed (excluded
+    /// from canonical output — a resumed run must be byte-identical to
+    /// an uninterrupted one).
+    pub replayed: usize,
 }
 
 impl SweepOutcome {
     /// The deterministic aggregate: spec name, scenario configurations,
     /// and per-scenario reports/errors, ordered by scenario index, with
     /// every wall-clock field excluded. Byte-identical across thread
-    /// counts and hosts.
+    /// counts, hosts, and resume boundaries.
     pub fn to_canonical_json(&self) -> Value {
         let results = self
             .scenarios
@@ -143,7 +223,7 @@ impl SweepOutcome {
                 ];
                 match &r.outcome {
                     Ok(report) => fields.push(("report".to_string(), report.clone())),
-                    Err(e) => fields.push(("error".to_string(), Value::Str(e.clone()))),
+                    Err(e) => fields.push(("error".to_string(), Value::Str(e.to_string()))),
                 }
                 Value::Object(fields)
             })
@@ -165,9 +245,25 @@ impl SweepOutcome {
             .expect("canonical sweep JSON has no non-finite floats")
     }
 
-    /// Number of scenarios that ended in a (fault-induced) error.
+    /// Number of scenarios that ended in an error entry (of any kind).
     pub fn failures(&self) -> usize {
         self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Number of scenarios isolated after a panic.
+    pub fn panicked(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(ScenarioError::Panicked { .. })))
+            .count()
+    }
+
+    /// Number of scenarios terminated by their run budget.
+    pub fn budget_terminated(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(ScenarioError::Budget(_))))
+            .count()
     }
 
     /// Sweep throughput: scenarios per wall-clock second.
@@ -179,8 +275,12 @@ impl SweepOutcome {
 /// Parses every scenario and pre-builds the shared artifacts, serially —
 /// so parse errors surface deterministically (lowest index first) before
 /// any simulation work starts, and so the caches need no locking during
-/// the parallel phase.
-fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, SweepError> {
+/// the parallel phase. Scenarios whose index is in `skip` (journal
+/// replays) are parsed but their trace and compute model are not built.
+fn resolve_scenarios(
+    scenarios: Vec<Scenario>,
+    skip: &HashSet<usize>,
+) -> Result<Vec<ResolvedScenario>, SweepError> {
     let mut traces: HashMap<(String, u64, GpuModel), Arc<Trace>> = HashMap::new();
     let mut lis: HashMap<GpuModel, LisModel> = HashMap::new();
     let calibrate = |gpu: GpuModel, cache: &mut HashMap<GpuModel, LisModel>| {
@@ -206,6 +306,13 @@ fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, 
         if scenario.iterations == 0 {
             return Err(fail("iterations must be at least 1".into()));
         }
+        if skip.contains(&index) {
+            resolved.push(ResolvedScenario {
+                scenario,
+                exec: None,
+            });
+            continue;
+        }
         let trace = traces
             .entry((scenario.model.clone(), scenario.trace_batch, gpu))
             .or_insert_with(|| Arc::new(Tracer::new(gpu).trace(&model.build(scenario.trace_batch))))
@@ -213,12 +320,11 @@ fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, 
         let compute = ComputeModel::resolve_with(fidelity, gpu, &platform, parallelism, &mut |g| {
             calibrate(g, &mut lis)
         });
-        resolved.push(ResolvedScenario {
+        let exec = ExecScenario {
             faults: scenario.faults.clone(),
             fault_seed: scenario.fault_seed,
             global_batch: scenario.global_batch,
             iterations: scenario.iterations as usize,
-            scenario,
             trace,
             platform,
             parallelism,
@@ -226,6 +332,10 @@ fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, 
             collective,
             realloc,
             compute,
+        };
+        resolved.push(ResolvedScenario {
+            scenario,
+            exec: Some(exec),
         });
     }
     Ok(resolved)
@@ -234,43 +344,168 @@ fn resolve_scenarios(scenarios: Vec<Scenario>) -> Result<Vec<ResolvedScenario>, 
 /// Runs one resolved scenario in full isolation: fresh network state,
 /// fresh DES engine, nothing shared but the read-only trace and compute
 /// model.
-fn run_scenario(r: &ResolvedScenario) -> Result<Value, String> {
-    let topo = r.platform.topology().clone();
-    let mut network = match r.fidelity {
+fn run_scenario(r: &ResolvedScenario) -> Result<Value, ScenarioError> {
+    let e = r
+        .exec
+        .as_ref()
+        .expect("only pending scenarios are executed");
+    let topo = e.platform.topology().clone();
+    let mut network = match e.fidelity {
         Fidelity::TrioSim => FlowNetwork::new(topo),
         Fidelity::Reference => FlowNetwork::with_config(topo, FlowNetworkConfig::reference()),
     };
-    network.set_reallocation_mode(r.realloc);
-    let mut builder = SimBuilder::new(&r.trace, &r.platform)
-        .parallelism(r.parallelism)
-        .fidelity(r.fidelity)
-        .compute_model(r.compute.clone())
-        .collective_style(r.collective)
-        .iterations(r.iterations)
+    network.set_reallocation_mode(e.realloc);
+    let mut builder = SimBuilder::new(&e.trace, &e.platform)
+        .parallelism(e.parallelism)
+        .fidelity(e.fidelity)
+        .compute_model(e.compute.clone())
+        .collective_style(e.collective)
+        .iterations(e.iterations)
         .network(Box::new(network) as Box<dyn NetworkModel>);
-    if let Some(batch) = r.global_batch {
+    if let Some(batch) = e.global_batch {
         builder = builder.global_batch(batch);
     }
-    if let Some(plan) = &r.faults {
+    if let Some(plan) = &e.faults {
         builder = builder.faults(plan.clone());
     }
-    if let Some(seed) = r.fault_seed {
+    if let Some(seed) = e.fault_seed {
         builder = builder.fault_seed(seed);
+    }
+    // Runaway guard: built here (not at resolve time) because the
+    // wall-clock deadline arms the moment it is constructed.
+    let s = &r.scenario;
+    if s.max_events.is_some() || s.max_sim_time_us.is_some() || s.wall_timeout_ms.is_some() {
+        let mut budget = RunBudget::unlimited();
+        if let Some(n) = s.max_events {
+            budget = budget.with_max_events(n);
+        }
+        if let Some(us) = s.max_sim_time_us {
+            budget = budget.with_max_sim_time_us(us);
+        }
+        if let Some(ms) = s.wall_timeout_ms {
+            budget = budget.with_wall_timeout_ms(ms);
+        }
+        builder = builder.budget(budget);
     }
     builder
         .try_run()
         .map(|report| report.to_canonical_json())
-        .map_err(|e| e.to_string())
+        .map_err(|e| match e {
+            SimError::BudgetExceeded { .. } => ScenarioError::Budget(e.to_string()),
+            other => ScenarioError::Sim(other.to_string()),
+        })
 }
 
-/// Expands `spec` and runs every scenario on `threads` worker threads.
+/// [`run_scenario`] with panic isolation (unless `fail_fast`): a panic
+/// inside the scenario becomes a structured [`ScenarioError::Panicked`]
+/// instead of unwinding into the pool.
+fn execute_one(
+    r: &ResolvedScenario,
+    index: usize,
+    fail_fast: bool,
+) -> Result<Value, ScenarioError> {
+    if fail_fast {
+        return run_scenario(r);
+    }
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(r))) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(ScenarioError::Panicked {
+            index,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lowers one fresh result into its journal entry.
+fn to_entry(index: usize, label: &str, outcome: &Result<Value, ScenarioError>) -> JournalEntry {
+    let outcome = match outcome {
+        Ok(report) => EntryOutcome::Report(report.clone()),
+        Err(ScenarioError::Sim(m)) => EntryOutcome::Error {
+            kind: ErrorKind::Sim,
+            message: m.clone(),
+        },
+        Err(ScenarioError::Budget(m)) => EntryOutcome::Error {
+            kind: ErrorKind::Budget,
+            message: m.clone(),
+        },
+        // Panic entries store the raw payload message; the index lives in
+        // the entry itself, so replay rebuilds the identical rendering.
+        Err(ScenarioError::Panicked { message, .. }) => EntryOutcome::Error {
+            kind: ErrorKind::Panic,
+            message: message.clone(),
+        },
+    };
+    JournalEntry {
+        index,
+        label: label.to_string(),
+        outcome,
+    }
+}
+
+/// Raises one journal entry back into the result a live run would have
+/// produced (wall time excepted — replay is free).
+fn from_entry(entry: JournalEntry) -> (usize, ScenarioResult) {
+    let index = entry.index;
+    let outcome = match entry.outcome {
+        EntryOutcome::Report(report) => Ok(report),
+        EntryOutcome::Error { kind, message } => Err(match kind {
+            ErrorKind::Sim => ScenarioError::Sim(message),
+            ErrorKind::Budget => ScenarioError::Budget(message),
+            ErrorKind::Panic => ScenarioError::Panicked { index, message },
+        }),
+    };
+    (
+        index,
+        ScenarioResult {
+            label: entry.label,
+            outcome,
+            wall_s: 0.0,
+        },
+    )
+}
+
+/// Crash-safety and execution options for [`run_sweep_with`].
+#[derive(Debug, Default)]
+pub struct SweepRunConfig {
+    /// Worker threads for the pool (clamped to at least 1).
+    pub threads: usize,
+    /// Live progress reporting on stderr.
+    pub progress: bool,
+    /// Write an fsync'd scenario journal to this path (truncates any
+    /// existing file). Mutually exclusive with `resume`.
+    pub journal: Option<PathBuf>,
+    /// Resume from this journal: replay its completed entries, execute
+    /// only the rest, and keep appending new entries to the same file.
+    pub resume: Option<PathBuf>,
+    /// Abort the whole sweep on the first scenario panic (pre-isolation
+    /// behavior) instead of degrading it to an error entry.
+    pub fail_fast: bool,
+    /// The raw spec text, recorded in a newly created journal's header
+    /// so `--resume` can reconstruct the sweep without the spec file.
+    pub spec_text: Option<String>,
+}
+
+/// Expands `spec` and runs every scenario on `threads` worker threads,
+/// with panic isolation and no journaling.
 ///
 /// Scenarios are claimed work-stealing style (uneven scenario costs
 /// cannot idle workers behind a static shard) and collected by index, so
 /// the returned outcome's canonical form does not depend on `threads`.
-/// Fault-induced failures (`SimError::Partitioned` / `GpuLost`) do not
-/// abort the sweep — they become that scenario's deterministic `error`
-/// entry, and the remaining scenarios still run.
+/// Scenario failures — fault-induced (`SimError::Partitioned` /
+/// `GpuLost`), budget-induced, or a panic — do not abort the sweep: they
+/// become that scenario's deterministic error entry, and the remaining
+/// scenarios still run.
 ///
 /// # Errors
 ///
@@ -282,15 +517,87 @@ pub fn run_sweep(
     threads: usize,
     progress: bool,
 ) -> Result<SweepOutcome, SweepError> {
-    let resolved = resolve_scenarios(spec.expand()?)?;
-    let tracker = SweepProgress::new(resolved.len(), progress);
+    run_sweep_with(
+        spec,
+        &SweepRunConfig {
+            threads,
+            progress,
+            ..SweepRunConfig::default()
+        },
+    )
+}
+
+/// [`run_sweep`] with the full crash-safety surface: journaling, resume,
+/// and fail-fast control. See [`SweepRunConfig`].
+///
+/// # Errors
+///
+/// Everything [`run_sweep`] reports, plus [`SweepError::Journal`] when
+/// the journal cannot be created or read, is stale (spec hash mismatch),
+/// or both `journal` and `resume` are set.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    config: &SweepRunConfig,
+) -> Result<SweepOutcome, SweepError> {
+    if config.journal.is_some() && config.resume.is_some() {
+        return Err(SweepError::Journal(
+            "--journal and --resume are mutually exclusive (resume keeps \
+             appending to the journal it reads)"
+                .into(),
+        ));
+    }
+    let scenarios = spec.expand()?;
+    let total = scenarios.len();
+    let hash = spec_hash(&spec.name, &scenarios);
+
+    let mut slots: Vec<Option<ScenarioResult>> = (0..total).map(|_| None).collect();
+    let mut replayed = 0usize;
+    let journal_err = |e: journal::JournalError| SweepError::Journal(e.to_string());
+    let writer: Option<JournalWriter> = if let Some(path) = &config.resume {
+        let (header, entries) = read_journal(path).map_err(journal_err)?;
+        header
+            .check_compatible(&spec.name, hash, total)
+            .map_err(journal_err)?;
+        for entry in entries {
+            let (index, result) = from_entry(entry);
+            if slots[index].is_none() {
+                replayed += 1;
+            }
+            slots[index] = Some(result);
+        }
+        Some(JournalWriter::open_append(path).map_err(journal_err)?)
+    } else if let Some(path) = &config.journal {
+        let header = JournalHeader {
+            name: spec.name.clone(),
+            spec_hash: hash,
+            total,
+            spec_text: config.spec_text.clone().unwrap_or_default(),
+        };
+        Some(JournalWriter::create(path, &header).map_err(journal_err)?)
+    } else {
+        None
+    };
+
+    let skip: HashSet<usize> = (0..total).filter(|i| slots[*i].is_some()).collect();
+    let resolved = resolve_scenarios(scenarios, &skip)?;
+    let pending: Vec<usize> = (0..total).filter(|i| !skip.contains(i)).collect();
+    let tracker = SweepProgress::with_replayed(total, replayed, config.progress);
     let started = Instant::now();
-    let results = run_ordered(resolved.len(), threads, |i| {
-        let r = &resolved[i];
+    let fresh = run_ordered(pending.len(), config.threads, |j| {
+        let index = pending[j];
+        let r = &resolved[index];
         let t0 = Instant::now();
-        let outcome = run_scenario(r);
+        let outcome = execute_one(r, index, config.fail_fast);
         let wall_s = t0.elapsed().as_secs_f64();
-        tracker.scenario_done(&r.scenario.label);
+        if let Some(w) = &writer {
+            let entry = to_entry(index, &r.scenario.label, &outcome);
+            if let Err(e) = w.record(&entry) {
+                // Losing durability must not lose the sweep: warn and
+                // keep the in-memory result.
+                eprintln!("warning: journal write failed: {e}");
+            }
+        }
+        tracker.scenario_done(&r.scenario.label, outcome.is_err());
         ScenarioResult {
             label: r.scenario.label.clone(),
             outcome,
@@ -298,12 +605,20 @@ pub fn run_sweep(
         }
     });
     let elapsed_s = started.elapsed().as_secs_f64();
+    for (j, result) in fresh.into_iter().enumerate() {
+        slots[pending[j]] = Some(result);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every scenario is replayed or executed"))
+        .collect();
     Ok(SweepOutcome {
         name: spec.name.clone(),
         scenarios: resolved.into_iter().map(|r| r.scenario).collect(),
         results,
-        threads: threads.max(1),
+        threads: config.threads.max(1),
         elapsed_s,
+        replayed,
     })
 }
 
@@ -330,6 +645,7 @@ mod tests {
         let outcome = run_sweep(&tiny_spec(), 1, false).unwrap();
         assert_eq!(outcome.results.len(), 4);
         assert_eq!(outcome.failures(), 0);
+        assert_eq!(outcome.replayed, 0);
         for r in &outcome.results {
             let report = r.outcome.as_ref().unwrap();
             assert!(report.get("total_time_s").is_some());
@@ -378,8 +694,94 @@ mod tests {
         assert!(outcome.results[0].outcome.is_ok());
         assert!(outcome.results[1].outcome.is_err(), "partition surfaces");
         assert_eq!(outcome.failures(), 1);
+        assert_eq!(outcome.panicked(), 0);
         // And the error text itself is deterministic.
         let again = run_sweep(&spec, 1, false).unwrap();
         assert_eq!(outcome.to_canonical_string(), again.to_canonical_string());
+    }
+
+    #[test]
+    fn budget_terminated_scenario_becomes_error_entry() {
+        let spec = SweepSpec::from_json(
+            r#"{
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                               "platform": "p1", "parallelism": "ddp" },
+                "scenarios": [ {}, { "max_events": 10, "label": "runaway" } ]
+            }"#,
+        )
+        .unwrap();
+        let outcome = run_sweep(&spec, 2, false).unwrap();
+        assert!(outcome.results[0].outcome.is_ok());
+        let err = outcome.results[1].outcome.as_ref().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "budget exceeded: more than 10 events delivered"
+        );
+        assert_eq!(outcome.budget_terminated(), 1);
+        assert_eq!(outcome.panicked(), 0);
+    }
+
+    #[test]
+    fn panicking_scenario_is_isolated() {
+        // global_batch 0 trips the extrapolation assertion inside the
+        // scenario worker — exactly the class of bug panic isolation is
+        // for. Suppress the default hook's backtrace noise.
+        let spec = SweepSpec::from_json(
+            r#"{
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                               "platform": "p1", "parallelism": "ddp" },
+                "scenarios": [ {}, { "global_batch": 0, "label": "boom" } ]
+            }"#,
+        )
+        .unwrap();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = run_sweep(&spec, 2, false).unwrap();
+        std::panic::set_hook(prev_hook);
+        assert!(outcome.results[0].outcome.is_ok(), "healthy scenario runs");
+        match outcome.results[1].outcome.as_ref().unwrap_err() {
+            ScenarioError::Panicked { index, message } => {
+                assert_eq!(*index, 1);
+                assert!(message.contains("global batch"), "{message}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert_eq!(outcome.panicked(), 1);
+    }
+
+    #[test]
+    fn fail_fast_restores_the_abort() {
+        let spec = SweepSpec::from_json(
+            r#"{
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                               "platform": "p1", "parallelism": "ddp" },
+                "scenarios": [ { "global_batch": 0 } ]
+            }"#,
+        )
+        .unwrap();
+        let config = SweepRunConfig {
+            threads: 1,
+            fail_fast: true,
+            ..SweepRunConfig::default()
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(|| run_sweep_with(&spec, &config)));
+        std::panic::set_hook(prev_hook);
+        assert!(
+            result.is_err(),
+            "--fail-fast lets the panic abort the sweep"
+        );
+    }
+
+    #[test]
+    fn journal_and_resume_are_mutually_exclusive() {
+        let config = SweepRunConfig {
+            journal: Some(PathBuf::from("/tmp/a.jsonl")),
+            resume: Some(PathBuf::from("/tmp/a.jsonl")),
+            ..SweepRunConfig::default()
+        };
+        let err = run_sweep_with(&tiny_spec(), &config).unwrap_err();
+        assert!(matches!(err, SweepError::Journal(_)));
     }
 }
