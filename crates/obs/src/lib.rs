@@ -27,15 +27,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attribution;
 mod chrome;
 mod jsonl;
 mod progress;
 mod prometheus;
+pub mod selfprof;
 
+pub use attribution::{
+    AttributionAccumulator, BottleneckReport, CriticalOp, DepTable, GpuBuckets, HotLink,
+    IterationObservation, Straggler, TaskClass,
+};
 pub use chrome::ChromeTraceSink;
 pub use jsonl::JsonlSink;
 pub use progress::ProgressMonitor;
 pub use prometheus::PrometheusSink;
+pub use selfprof::{ProfSpan, SelfProfile, SelfProfiler};
 
 use std::collections::HashMap;
 use std::fmt;

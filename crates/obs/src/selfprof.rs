@@ -1,0 +1,477 @@
+//! Host self-profiling: lightweight hierarchical wall-clock spans
+//! around the simulator's *own* phases (trace build, calibration, the
+//! engine loop, network reallocation, journal I/O, aggregation).
+//!
+//! This is the one place in the stack that reads the wall clock on
+//! purpose. The resulting [`SelfProfile`] is strictly diagnostic: it is
+//! never part of canonical bytes, spec hashes, or golden snapshots —
+//! the same exclusion rule the sweep layer applies to `wall_timeout_ms`.
+//! Profiling on vs off must leave every canonical artifact
+//! byte-identical; the profiler therefore never touches virtual-time
+//! state and its disabled form performs no clock reads at all.
+//!
+//! The API is token-based rather than guard-based: [`SelfProfiler::begin`]
+//! returns a [`ProfSpan`] the caller later hands to
+//! [`SelfProfiler::end`], which keeps the profiler usable from code that
+//! already holds `&mut self` borrows (no RAII guard borrowing the
+//! profiler across the timed region). Hot paths that cannot afford one
+//! `Instant` pair per call accumulate locally and report once via
+//! [`SelfProfiler::add`].
+
+use std::time::Instant;
+
+use serde::Value;
+
+/// A mutable, hierarchical wall-clock profiler.
+///
+/// Spans nest: `begin`/`end` pairs push and pop a cursor through a tree
+/// of named nodes, and repeated spans with the same name under the same
+/// parent accumulate into one node.
+#[derive(Debug)]
+pub struct SelfProfiler {
+    enabled: bool,
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    total_s: f64,
+    calls: u64,
+    children: Vec<usize>,
+}
+
+/// Token for one open span; created by [`SelfProfiler::begin`] and
+/// consumed by [`SelfProfiler::end`].
+#[derive(Debug)]
+#[must_use = "an unclosed span records nothing"]
+pub struct ProfSpan {
+    node: usize,
+    started: Option<Instant>,
+}
+
+impl Default for SelfProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelfProfiler {
+    /// Creates an enabled profiler.
+    pub fn new() -> Self {
+        SelfProfiler {
+            enabled: true,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Creates a disabled profiler: every call is a no-op and no clock
+    /// is ever read.
+    pub fn disabled() -> Self {
+        SelfProfiler {
+            enabled: false,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Whether this profiler records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Finds or creates the child named `name` under the current cursor
+    /// (or at the root), without touching timing state.
+    fn node_at_cursor(&mut self, name: &str) -> usize {
+        let siblings = match self.stack.last() {
+            Some(&p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&c| self.nodes[c].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            total_s: 0.0,
+            calls: 0,
+            children: Vec::new(),
+        });
+        match self.stack.last() {
+            Some(&p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Opens a span named `name` nested under the innermost open span.
+    pub fn begin(&mut self, name: &str) -> ProfSpan {
+        if !self.enabled {
+            return ProfSpan {
+                node: usize::MAX,
+                started: None,
+            };
+        }
+        let node = self.node_at_cursor(name);
+        self.stack.push(node);
+        ProfSpan {
+            node,
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Closes `span`, accumulating its elapsed wall time.
+    pub fn end(&mut self, span: ProfSpan) {
+        let Some(started) = span.started else {
+            return;
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        debug_assert_eq!(self.stack.last(), Some(&span.node), "unbalanced spans");
+        // Recover from unbalanced begin/end in release builds by
+        // popping back to the span's node.
+        while let Some(top) = self.stack.pop() {
+            if top == span.node {
+                break;
+            }
+        }
+        let n = &mut self.nodes[span.node];
+        n.total_s += elapsed;
+        n.calls += 1;
+    }
+
+    /// Times `f` as a span named `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let span = self.begin(name);
+        let out = f();
+        self.end(span);
+        out
+    }
+
+    /// Adds pre-measured time to the child `name` of the innermost open
+    /// span. Used by hot paths that accumulate locally (one `Instant`
+    /// pair per region, not per call).
+    pub fn add(&mut self, name: &str, seconds: f64, calls: u64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.node_at_cursor(name);
+        self.nodes[idx].total_s += seconds;
+        self.nodes[idx].calls += calls;
+    }
+
+    /// Adds pre-measured time to the node at `path` relative to the
+    /// innermost open span, creating intermediate nodes (without
+    /// touching their timing) as needed.
+    pub fn add_path(&mut self, path: &[&str], seconds: f64, calls: u64) {
+        if !self.enabled || path.is_empty() {
+            return;
+        }
+        let depth = self.stack.len();
+        for name in &path[..path.len() - 1] {
+            let idx = self.node_at_cursor(name);
+            self.stack.push(idx);
+        }
+        self.add(path[path.len() - 1], seconds, calls);
+        self.stack.truncate(depth);
+    }
+
+    /// Grafts a finished [`SelfProfile`] under the child `name` of the
+    /// innermost open span, merging node-by-node. This is how
+    /// per-scenario profiles roll up into a sweep-level profile.
+    pub fn attach(&mut self, name: &str, profile: &SelfProfile) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.node_at_cursor(name);
+        self.stack.push(idx);
+        for root in &profile.roots {
+            self.attach_node(root);
+        }
+        self.stack.pop();
+    }
+
+    fn attach_node(&mut self, node: &ProfNode) {
+        let idx = self.node_at_cursor(&node.name);
+        self.nodes[idx].total_s += node.total_s;
+        self.nodes[idx].calls += node.calls;
+        self.stack.push(idx);
+        for child in &node.children {
+            self.attach_node(child);
+        }
+        self.stack.pop();
+    }
+
+    /// Snapshots the accumulated tree.
+    pub fn snapshot(&self) -> SelfProfile {
+        SelfProfile {
+            roots: self.roots.iter().map(|&r| self.snapshot_node(r)).collect(),
+        }
+    }
+
+    fn snapshot_node(&self, idx: usize) -> ProfNode {
+        let n = &self.nodes[idx];
+        ProfNode {
+            name: n.name.clone(),
+            total_s: n.total_s,
+            calls: n.calls,
+            children: n.children.iter().map(|&c| self.snapshot_node(c)).collect(),
+        }
+    }
+}
+
+/// One node of a finished profile tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfNode {
+    /// Span name.
+    pub name: String,
+    /// Accumulated wall-clock seconds (self + children; children are
+    /// also counted in their own nodes).
+    pub total_s: f64,
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Nested spans, in first-entry order.
+    pub children: Vec<ProfNode>,
+}
+
+/// An immutable snapshot of a [`SelfProfiler`]'s span tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelfProfile {
+    /// Top-level spans, in first-entry order.
+    pub roots: Vec<ProfNode>,
+}
+
+impl SelfProfile {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Merges `other` into `self`, node-by-node by name.
+    pub fn merge(&mut self, other: &SelfProfile) {
+        for node in &other.roots {
+            merge_into(&mut self.roots, node);
+        }
+    }
+
+    /// Total seconds of the node at `path` (names from root), if present.
+    pub fn total(&self, path: &[&str]) -> Option<f64> {
+        self.find(path).map(|n| n.total_s)
+    }
+
+    /// The node at `path` (names from root), if present.
+    pub fn find(&self, path: &[&str]) -> Option<&ProfNode> {
+        let (first, rest) = path.split_first()?;
+        let mut node = self.roots.iter().find(|n| n.name == *first)?;
+        for name in rest {
+            node = node.children.iter().find(|n| n.name == *name)?;
+        }
+        Some(node)
+    }
+
+    /// Flattens the tree into `(slash/joined/path, seconds, calls)`
+    /// rows in depth-first order.
+    pub fn flatten(&self) -> Vec<(String, f64, u64)> {
+        let mut out = Vec::new();
+        for root in &self.roots {
+            flatten_node(root, String::new(), &mut out);
+        }
+        out
+    }
+
+    /// Renders an indented text tree for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            render_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    /// Serde form of the tree (diagnostic output only — never part of
+    /// canonical bytes).
+    pub fn to_value(&self) -> Value {
+        fn node_value(n: &ProfNode) -> Value {
+            let mut fields = vec![
+                ("name".to_string(), Value::Str(n.name.clone())),
+                ("wall_s".to_string(), Value::Float(n.total_s)),
+                ("calls".to_string(), Value::UInt(n.calls)),
+            ];
+            if !n.children.is_empty() {
+                fields.push((
+                    "children".to_string(),
+                    Value::Array(n.children.iter().map(node_value).collect()),
+                ));
+            }
+            Value::Object(fields)
+        }
+        Value::Array(self.roots.iter().map(node_value).collect())
+    }
+}
+
+fn merge_into(siblings: &mut Vec<ProfNode>, node: &ProfNode) {
+    match siblings.iter_mut().find(|n| n.name == node.name) {
+        Some(existing) => {
+            existing.total_s += node.total_s;
+            existing.calls += node.calls;
+            for child in &node.children {
+                merge_into(&mut existing.children, child);
+            }
+        }
+        None => siblings.push(node.clone()),
+    }
+}
+
+fn flatten_node(n: &ProfNode, prefix: String, out: &mut Vec<(String, f64, u64)>) {
+    let path = if prefix.is_empty() {
+        n.name.clone()
+    } else {
+        format!("{prefix}/{}", n.name)
+    };
+    out.push((path.clone(), n.total_s, n.calls));
+    for child in &n.children {
+        flatten_node(child, path.clone(), out);
+    }
+}
+
+fn render_node(n: &ProfNode, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<24} {:>10.3} ms  x{}",
+        "",
+        n.name,
+        n.total_s * 1e3,
+        n.calls,
+        indent = depth * 2
+    );
+    for child in &n.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_accumulate() {
+        let mut p = SelfProfiler::new();
+        for _ in 0..3 {
+            let outer = p.begin("outer");
+            let inner = p.begin("inner");
+            p.end(inner);
+            p.end(outer);
+        }
+        let prof = p.snapshot();
+        let outer = prof.find(&["outer"]).expect("outer exists");
+        assert_eq!(outer.calls, 3);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(prof.find(&["outer", "inner"]).expect("nested").calls, 3);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = SelfProfiler::disabled();
+        assert!(!p.is_enabled());
+        let s = p.begin("x");
+        p.add("y", 1.0, 1);
+        p.end(s);
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn add_attaches_under_open_span() {
+        let mut p = SelfProfiler::new();
+        let s = p.begin("engine");
+        p.add("network", 0.25, 10);
+        p.add("network", 0.75, 5);
+        p.end(s);
+        let prof = p.snapshot();
+        let net = prof.find(&["engine", "network"]).expect("leaf exists");
+        assert!((net.total_s - 1.0).abs() < 1e-12);
+        assert_eq!(net.calls, 15);
+    }
+
+    #[test]
+    fn add_path_creates_intermediate_nodes() {
+        let mut p = SelfProfiler::new();
+        p.add_path(&["engine_loop", "network"], 0.5, 7);
+        p.add_path(&["engine_loop"], 2.0, 1);
+        let prof = p.snapshot();
+        assert!((prof.total(&["engine_loop"]).expect("parent") - 2.0).abs() < 1e-12);
+        let net = prof.find(&["engine_loop", "network"]).expect("child");
+        assert!((net.total_s - 0.5).abs() < 1e-12);
+        assert_eq!(net.calls, 7);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut p = SelfProfiler::new();
+        let v = p.time("work", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(p.snapshot().find(&["work"]).expect("span").calls, 1);
+    }
+
+    #[test]
+    fn merge_combines_trees_by_name() {
+        let mut a = SelfProfiler::new();
+        let s = a.begin("run");
+        a.add("setup", 1.0, 1);
+        a.end(s);
+        let mut b = SelfProfiler::new();
+        let s = b.begin("run");
+        b.add("setup", 2.0, 1);
+        b.add("engine", 5.0, 1);
+        b.end(s);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert!((merged.total(&["run", "setup"]).expect("merged") - 3.0).abs() < 1e-12);
+        assert!((merged.total(&["run", "engine"]).expect("merged") - 5.0).abs() < 1e-12);
+        assert_eq!(merged.find(&["run"]).expect("root").calls, 2);
+    }
+
+    #[test]
+    fn attach_grafts_profile_under_cursor() {
+        let mut scenario = SelfProfiler::new();
+        scenario.add("engine_loop", 2.0, 1);
+        let snap = scenario.snapshot();
+
+        let mut sweep = SelfProfiler::new();
+        sweep.attach("scenarios", &snap);
+        sweep.attach("scenarios", &snap);
+        let prof = sweep.snapshot();
+        let engine = prof.find(&["scenarios", "engine_loop"]).expect("grafted");
+        assert!((engine.total_s - 4.0).abs() < 1e-12);
+        assert_eq!(engine.calls, 2);
+    }
+
+    #[test]
+    fn flatten_and_render_cover_all_nodes() {
+        let mut p = SelfProfiler::new();
+        let s = p.begin("a");
+        p.add("b", 0.5, 2);
+        p.end(s);
+        let prof = p.snapshot();
+        let flat = prof.flatten();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[1].0, "a/b");
+        let text = prof.render();
+        assert!(text.contains('a'));
+        assert!(text.contains('b'));
+    }
+
+    #[test]
+    fn to_value_is_diagnostic_tree() {
+        let mut p = SelfProfiler::new();
+        p.add("x", 1.5, 3);
+        let Value::Array(nodes) = p.snapshot().to_value() else {
+            panic!("expected array")
+        };
+        assert_eq!(nodes.len(), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! triosim-cli inspect  --trace trace.json
 //! triosim-cli simulate --trace trace.json --platform p2:4 --parallelism ddp \
 //!                      [--batch 512] [--reference] [--timeline out.json]
+//! triosim-cli analyze  --trace trace.json --platform p2:4 --parallelism ddp
 //! triosim-cli memory   --trace trace.json --gpus 4 --parallelism tp --batch 128
 //! ```
 //!
@@ -16,8 +17,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::str::FromStr;
 
-use triosim::{estimate_memory, Fidelity, Parallelism, Platform, SimBuilder};
-use triosim_des::TimeSpan;
+use triosim::{
+    estimate_memory, Fidelity, Parallelism, Platform, SelfProfile, SelfProfiler, SimBuilder,
+};
+use triosim_des::{TimeSpan, VirtualTime};
 use triosim_modelzoo::ModelId;
 use triosim_obs::{
     ChromeTraceSink, JsonlSink, ProgressMonitor, PrometheusSink, Recorder, RunRecorder,
@@ -58,6 +61,18 @@ COMMANDS:
                                 (GPU slowdowns, jitter, link degradation,
                                 link failure/repair, GPU drop-out)
         --fault-seed <n>        override the plan's jitter seed
+        --profile               print the simulator's own wall-clock
+                                self-profile (setup vs engine loop) after
+                                the run; never changes simulation output
+    analyze                     run a simulation and explain where the
+                                virtual time went: critical path, per-GPU
+                                compute/overlap/exposed-comm/idle buckets,
+                                top critical ops, stragglers, hot links
+        --trace <file>          plus the same --platform/--parallelism/
+                                --batch/--iterations/--reference/--faults/
+                                --fault-seed flags as `simulate`
+        --top <k>               critical ops / links to list (default 8)
+        --profile               also print the wall-clock self-profile
     memory                      estimate the per-GPU memory footprint
         --trace <file> --gpus <n> --parallelism <...> --batch <n>
     sweep                       run a declarative scenario sweep
@@ -79,7 +94,14 @@ COMMANDS:
                                 structured error entry
         --metrics <file>        write Prometheus text-format sweep
                                 counters (total/recovered/failed/
-                                panicked/budget-terminated)
+                                panicked/budget-terminated; with
+                                --profile also per-span wall-clock
+                                gauges)
+        --profile               collect and print the sweep's wall-clock
+                                self-profile (resolve / execute /
+                                aggregate, per-scenario engine loops);
+                                the canonical aggregate stays
+                                byte-identical
 ";
 
 fn main() -> ExitCode {
@@ -98,6 +120,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
+        "analyze" => cmd_analyze(&opts),
         "memory" => cmd_memory(&opts),
         "sweep" => cmd_sweep(&opts),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -134,6 +157,19 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "sample-period-us",
             "faults",
             "fault-seed",
+            "profile",
+        ],
+        "analyze" => &[
+            "trace",
+            "platform",
+            "parallelism",
+            "batch",
+            "iterations",
+            "reference",
+            "faults",
+            "fault-seed",
+            "top",
+            "profile",
         ],
         "memory" => &["trace", "gpus", "parallelism", "batch"],
         "sweep" => &[
@@ -145,6 +181,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "resume",
             "fail-fast",
             "metrics",
+            "profile",
         ],
         // Unknown commands produce their own error.
         _ => return Ok(()),
@@ -273,12 +310,12 @@ fn parse_num(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<
         .map(|v| v.unwrap_or(default))
 }
 
-fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let trace = load_trace(opts)?;
-    let platform = Platform::from_str(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
-    let parallelism =
-        Parallelism::from_str(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
-    let mut builder = SimBuilder::new(&trace, &platform).parallelism(parallelism);
+/// Applies the simulation flags `simulate` and `analyze` share: global
+/// batch, iteration count, fidelity, and the fault plan.
+fn apply_sim_flags<'a>(
+    mut builder: SimBuilder<'a>,
+    opts: &HashMap<String, String>,
+) -> Result<SimBuilder<'a>, String> {
     if let Some(batch) = opts.get("batch") {
         builder = builder.global_batch(parse(batch)?);
     }
@@ -292,6 +329,45 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     if opts.contains_key("reference") {
         builder = builder.fidelity(Fidelity::Reference);
     }
+    if let Some(path) = opts.get("faults") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let plan = triosim::FaultPlan::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        builder = builder.faults(plan);
+    } else if opts.contains_key("fault-seed") {
+        return Err("--fault-seed requires --faults".into());
+    }
+    if let Some(seed) = opts.get("fault-seed") {
+        builder = builder.fault_seed(parse(seed)?);
+    }
+    Ok(builder)
+}
+
+/// Runs the configured builder, routing through the profiled session
+/// path when `--profile` was given. Profiling never changes the report.
+fn run_builder(
+    builder: SimBuilder<'_>,
+    opts: &HashMap<String, String>,
+) -> Result<(triosim::SimReport, Option<SelfProfile>), String> {
+    if opts.contains_key("profile") {
+        let mut prof = SelfProfiler::new();
+        let report = builder
+            .try_run_profiled(&mut prof)
+            .map_err(|e| e.to_string())?;
+        Ok((report, Some(prof.snapshot())))
+    } else {
+        Ok((builder.try_run().map_err(|e| e.to_string())?, None))
+    }
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let platform = Platform::from_str(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
+    let parallelism =
+        Parallelism::from_str(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+    let mut builder = apply_sim_flags(
+        SimBuilder::new(&trace, &platform).parallelism(parallelism),
+        opts,
+    )?;
 
     // Observability sinks: each flag adds one deterministic output file.
     let create = |path: &String| -> Result<std::io::BufWriter<std::fs::File>, String> {
@@ -322,17 +398,7 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         builder = builder.sample_period(TimeSpan::from_micros(us));
     }
-    if let Some(path) = opts.get("faults") {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let plan = triosim::FaultPlan::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
-        builder = builder.faults(plan);
-    } else if opts.contains_key("fault-seed") {
-        return Err("--fault-seed requires --faults".into());
-    }
-    if let Some(seed) = opts.get("fault-seed") {
-        builder = builder.fault_seed(parse(seed)?);
-    }
-    let report = builder.try_run().map_err(|e| e.to_string())?;
+    let (report, profile) = run_builder(builder, opts)?;
 
     println!(
         "{} | {} x {} | {}",
@@ -348,6 +414,20 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         report.comm_time_s() * 1e3,
         100.0 * report.comm_ratio()
     );
+    let b = report.bottleneck();
+    println!(
+        "critical path : {:.3} ms ({:.1}% exposed comm; run `analyze` for the breakdown)",
+        b.critical_path_s * 1e3,
+        100.0 * b.exposed_comm_fraction
+    );
+    if !b.stragglers.is_empty() {
+        let list: Vec<String> = b
+            .stragglers
+            .iter()
+            .map(|s| format!("gpu{} ({:.2}x median)", s.gpu, s.vs_median))
+            .collect();
+        println!("stragglers    : {}", list.join(", "));
+    }
     println!(
         "network bytes : {:.1} MB",
         report.bytes_transferred() as f64 / 1e6
@@ -426,6 +506,117 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("{label:<14}: {path}");
         }
     }
+    if let Some(p) = profile {
+        println!("self-profile (wall clock, diagnostic only):");
+        print!("{}", p.render());
+    }
+    Ok(())
+}
+
+/// `analyze`: run the simulation and print the full bottleneck
+/// attribution — where the virtual time went and what gates it.
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let platform = Platform::from_str(opts.get("platform").map(String::as_str).unwrap_or("p2:4"))?;
+    let parallelism =
+        Parallelism::from_str(opts.get("parallelism").map(String::as_str).unwrap_or("ddp"))?;
+    let top = parse_num(opts, "top", 8)? as usize;
+    let builder = apply_sim_flags(
+        SimBuilder::new(&trace, &platform).parallelism(parallelism),
+        opts,
+    )?;
+    let (report, profile) = run_builder(builder, opts)?;
+    let b = report.bottleneck();
+
+    println!(
+        "{} | {} x {} | {} | {} iteration(s)",
+        trace.model(),
+        platform.gpu_count(),
+        platform.gpu(),
+        parallelism,
+        b.iterations
+    );
+    println!(
+        "critical path   : {:.3} ms of {:.3} ms total",
+        b.critical_path_s * 1e3,
+        report.total_time_s() * 1e3
+    );
+    println!(
+        "  compute       : {:.3} ms ({:.1}%)",
+        b.path_compute_s * 1e3,
+        100.0 * (1.0 - b.exposed_comm_fraction)
+    );
+    println!(
+        "  exposed comm  : {:.3} ms ({:.1}%)",
+        b.path_comm_s * 1e3,
+        100.0 * b.exposed_comm_fraction
+    );
+    println!("top critical ops:");
+    for (rank, op) in b.top_ops.iter().take(top).enumerate() {
+        println!(
+            "  {:>2}. {:<28} {:>7} {:>10.3} ms  x{:<5} {:>5.1}%",
+            rank + 1,
+            op.label,
+            op.kind,
+            op.seconds * 1e3,
+            op.count,
+            100.0 * op.share
+        );
+    }
+    println!("per-GPU time (ms): compute + exposed comm + idle = total; overlap is hidden comm");
+    println!(
+        "  {:<5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "gpu", "compute", "overlap", "exposed", "idle", "total", "busy%"
+    );
+    for (g, bk) in b.per_gpu.iter().enumerate() {
+        println!(
+            "  {:<5} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>5.1}%",
+            format!("gpu{g}"),
+            bk.compute_s * 1e3,
+            bk.overlapped_comm_s * 1e3,
+            bk.exposed_comm_s * 1e3,
+            bk.idle_s * 1e3,
+            bk.total_s * 1e3,
+            100.0 * bk.compute_s / bk.total_s.max(f64::MIN_POSITIVE)
+        );
+    }
+    if b.stragglers.is_empty() {
+        println!("stragglers      : none (no GPU above 1.25x median busy time)");
+    } else {
+        println!("stragglers      :");
+        for s in &b.stragglers {
+            let fault = if s.fault_lost_s > 0.0 {
+                format!(
+                    "  ({:.3} ms attributed to injected faults)",
+                    s.fault_lost_s * 1e3
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "  gpu{:<3} busy {:>10.3} ms = {:.2}x median{fault}",
+                s.gpu,
+                s.compute_s * 1e3,
+                s.vs_median
+            );
+        }
+    }
+    if !b.hottest_links.is_empty() {
+        println!("hottest links   :");
+        for l in b.hottest_links.iter().take(top) {
+            println!(
+                "  {:<28} busy {:>10.3} ms  {:>8.1} MB  {:>5.1}% util",
+                l.label,
+                l.busy_s * 1e3,
+                l.bytes / 1e6,
+                100.0 * l.utilization
+            );
+        }
+    }
+    if let Some(p) = profile {
+        println!("self-profile (wall clock, diagnostic only):");
+        print!("{}", p.render());
+    }
     Ok(())
 }
 
@@ -472,6 +663,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         resume: opts.get("resume").map(std::path::PathBuf::from),
         fail_fast: opts.contains_key("fail-fast"),
         spec_text: Some(text),
+        profile: opts.contains_key("profile"),
     };
     let outcome = triosim::run_sweep_with(&spec, &config).map_err(|e| e.to_string())?;
 
@@ -532,8 +724,24 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         for (name, value) in counters {
             sink.counter_add(name, &[("sweep", &outcome.name)], value);
         }
+        // Wall-clock self-profile spans as gauges (diagnostic series;
+        // the canonical aggregate file never contains them).
+        if let Some(p) = &outcome.profile {
+            for (span, seconds, _calls) in p.flatten() {
+                sink.gauge_set(
+                    VirtualTime::ZERO,
+                    "triosim_selfprof_seconds",
+                    &[("sweep", &outcome.name), ("span", &span)],
+                    seconds,
+                );
+            }
+        }
         sink.finish().map_err(|e| format!("{path}: {e}"))?;
         println!("metrics       : {path}");
+    }
+    if let Some(p) = &outcome.profile {
+        println!("self-profile (wall clock, diagnostic only):");
+        print!("{}", p.render());
     }
     Ok(())
 }

@@ -8,11 +8,15 @@
 //! backward propagation.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use triosim_des::{EventId, EventQueue, RunBudget, Ticker, TimeSpan, VirtualTime};
 use triosim_faults::{FaultKind, FaultPlan, FaultSession};
 use triosim_network::{FlowId, LinkFault, NetCommand, NetworkModel, NodeId};
-use triosim_obs::{AttrValue, ProgressMonitor, Recorder};
+use triosim_obs::{
+    AttrValue, AttributionAccumulator, BottleneckReport, DepTable, HotLink, IterationObservation,
+    ProgressMonitor, Recorder, SelfProfiler, TaskClass,
+};
 
 use crate::error::SimError;
 use crate::report::{union_length, FaultStats, SimReport, TimelineRecord, TimelineTrack};
@@ -237,6 +241,51 @@ pub fn execute_budgeted(
     ex.run(iterations)
 }
 
+/// [`execute_budgeted`] with host self-profiling: when `prof` is
+/// enabled, wall-clock time spent in the engine loop (and, within it,
+/// the network model's send/deliver/reallocation work) accumulates
+/// under an `engine_loop` span.
+///
+/// Profiling never touches virtual-time state: the report — including
+/// its canonical bytes — is byte-identical with profiling on or off.
+///
+/// # Errors
+///
+/// Same as [`execute_budgeted`].
+///
+/// # Panics
+///
+/// Same conditions as [`execute_iterations`].
+pub fn execute_budgeted_profiled<'a>(
+    graph: &'a TaskGraph,
+    network: &'a mut dyn NetworkModel,
+    iterations: usize,
+    obs: Observability,
+    plan: &FaultPlan,
+    budget: RunBudget,
+    prof: Option<&'a mut SelfProfiler>,
+) -> Result<SimReport, SimError> {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut ex = Executor::new(graph, network)
+        .with_observability(obs)
+        .with_budget(budget);
+    let session = FaultSession::new(plan, graph.gpus());
+    if !session.is_empty() {
+        ex = ex.with_faults(session);
+    }
+    if let Some(p) = prof {
+        ex = ex.with_selfprof(p);
+    }
+    ex.run(iterations)
+}
+
+/// Maps a topology node to a GPU index under the repo-wide platform
+/// convention (`Platform::gpu_node(i) == NodeId(1 + i)`, `NodeId(0)` is
+/// the host, nodes past `1 + gpus` are NICs/spines).
+fn node_gpu(node: NodeId, gpus: usize) -> Option<usize> {
+    (node.0 >= 1 && node.0 <= gpus).then(|| node.0 - 1)
+}
+
 struct GpuStream {
     ready: VecDeque<TaskId>,
     busy: bool,
@@ -326,11 +375,31 @@ struct Executor<'a> {
     collective_of_first: HashMap<TaskId, usize>,
     collective_of_last: HashMap<TaskId, usize>,
     collective_begin: Vec<Option<VirtualTime>>,
+    // ------- bottleneck attribution (always on: pure virtual-time state) -------
+    attr: AttributionAccumulator,
+    /// Per-task start/finish times of the current iteration (all kinds,
+    /// unlike `compute_start`).
+    attr_start: Vec<Option<VirtualTime>>,
+    attr_end: Vec<Option<VirtualTime>>,
+    /// The compute task that freed this task's GPU stream, per task.
+    attr_gpu_pred: Vec<Option<u32>>,
+    /// Most recently finished compute task per GPU, this iteration.
+    last_done: Vec<Option<u32>>,
+    /// Virtual time the current iteration's roots were seeded.
+    iter_begin: VirtualTime,
+    // ------- host self-profiling (`None` keeps the unprofiled hot loop) -------
+    selfprof: Option<&'a mut SelfProfiler>,
+    /// Cached `selfprof.is_some_and(enabled)`, tested in the hot loop.
+    profiling: bool,
+    /// Wall-clock seconds spent inside the network model.
+    net_wall_s: f64,
+    net_wall_calls: u64,
 }
 
 impl<'a> Executor<'a> {
     fn new(graph: &'a TaskGraph, network: &'a mut dyn NetworkModel) -> Self {
         let n = graph.len();
+        let gpus = graph.gpus();
         let mut indegree = vec![0usize; n];
         let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         for (i, task) in graph.tasks().iter().enumerate() {
@@ -339,6 +408,25 @@ impl<'a> Executor<'a> {
                 dependents[d.0].push(TaskId(i));
             }
         }
+        let labels = graph.tasks().iter().map(|t| t.label.clone()).collect();
+        let classes = graph
+            .tasks()
+            .iter()
+            .map(|t| match t.kind {
+                TaskKind::Compute { gpu, .. } => TaskClass::Compute { gpu },
+                TaskKind::Transfer { src, dst, .. } => TaskClass::Comm {
+                    src_gpu: node_gpu(src, gpus),
+                    dst_gpu: node_gpu(dst, gpus),
+                },
+                TaskKind::Barrier => TaskClass::Sync,
+            })
+            .collect();
+        let deps = DepTable::new(
+            graph
+                .tasks()
+                .iter()
+                .map(|t| t.deps.iter().map(|d| d.0 as u32)),
+        );
         Executor {
             graph,
             network,
@@ -377,7 +465,25 @@ impl<'a> Executor<'a> {
             collective_of_first: HashMap::new(),
             collective_of_last: HashMap::new(),
             collective_begin: Vec::new(),
+            attr: AttributionAccumulator::new(gpus, labels, classes, deps),
+            attr_start: vec![None; n],
+            attr_end: vec![None; n],
+            attr_gpu_pred: vec![None; n],
+            last_done: vec![None; gpus],
+            iter_begin: VirtualTime::ZERO,
+            selfprof: None,
+            profiling: false,
+            net_wall_s: 0.0,
+            net_wall_calls: 0,
         }
+    }
+
+    /// Attaches a host self-profiler. Wall clock only; virtual-time
+    /// state and the report stay byte-identical.
+    fn with_selfprof(mut self, prof: &'a mut SelfProfiler) -> Self {
+        self.profiling = prof.is_enabled();
+        self.selfprof = Some(prof);
+        self
     }
 
     fn with_observability(mut self, obs: Observability) -> Self {
@@ -415,6 +521,7 @@ impl<'a> Executor<'a> {
 
     fn run(mut self, iterations: usize) -> Result<SimReport, SimError> {
         let base_indegree = self.indegree.clone();
+        let engine_t = self.profiling.then(Instant::now);
         for iter in 0..iterations {
             self.current_iter = iter;
             if iter > 0 {
@@ -429,7 +536,8 @@ impl<'a> Executor<'a> {
                 // surface the structured error instead of the deadlock
                 // panic the unfinished graph would otherwise trigger.
                 let total = self.queue.now() - VirtualTime::ZERO;
-                self.finish_observability(total);
+                self.flush_selfprof(engine_t, iter as u64 + 1);
+                self.finish_observability(total, None);
                 return Err(e);
             }
             assert_eq!(
@@ -440,6 +548,15 @@ impl<'a> Executor<'a> {
                 self.graph.len(),
                 iter
             );
+            // Fold the completed iteration into the bottleneck
+            // attribution (pure virtual-time state, always on).
+            self.attr.record_iteration(&IterationObservation {
+                begin: self.iter_begin,
+                end: self.queue.now(),
+                start: &self.attr_start,
+                finish: &self.attr_end,
+                gpu_pred: &self.attr_gpu_pred,
+            });
             if self.observing {
                 let now = self.queue.now();
                 if let Some(r) = self.obs.recorder.as_mut() {
@@ -452,9 +569,11 @@ impl<'a> Executor<'a> {
                 }
             }
         }
+        self.flush_selfprof(engine_t, iterations as u64);
 
         let total = self.queue.now() - VirtualTime::ZERO;
-        self.finish_observability(total);
+        let bottleneck = self.build_bottleneck(total);
+        self.finish_observability(total, Some(&bottleneck));
         let per_gpu_compute = self
             .gpus
             .iter()
@@ -473,6 +592,7 @@ impl<'a> Executor<'a> {
             self.network.observe(),
             timeline,
         );
+        report.set_bottleneck(bottleneck);
         if let Some(fr) = &self.faults {
             report.set_fault_stats(FaultStats {
                 faults_injected: fr.injected,
@@ -486,8 +606,46 @@ impl<'a> Executor<'a> {
         Ok(report)
     }
 
+    /// Folds the accumulated attribution state into the run's
+    /// [`BottleneckReport`], ranking links by busy time.
+    fn build_bottleneck(&self, total: TimeSpan) -> BottleneckReport {
+        let total_s = total.as_seconds();
+        let links = self
+            .network
+            .observe_links()
+            .into_iter()
+            .map(|l| HotLink {
+                label: l.label,
+                busy_s: l.busy_s,
+                bytes: l.bytes,
+                utilization: if total_s > 0.0 {
+                    (l.busy_s / total_s).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let lost = self.faults.as_ref().map(|fr| fr.lost_compute.as_slice());
+        self.attr.finish(links, lost)
+    }
+
+    /// Records the engine-loop wall time (and the network model's share
+    /// of it) into the attached self-profiler, if any.
+    fn flush_selfprof(&mut self, engine_t: Option<Instant>, iterations: u64) {
+        let Some(t0) = engine_t else {
+            return;
+        };
+        let engine_s = t0.elapsed().as_secs_f64();
+        let (net_s, net_calls) = (self.net_wall_s, self.net_wall_calls);
+        if let Some(p) = self.selfprof.as_deref_mut() {
+            p.add_path(&["engine_loop"], engine_s, iterations);
+            p.add_path(&["engine_loop", "network"], net_s, net_calls);
+        }
+    }
+
     /// Emits the end-of-run metric dump and closes the recorder.
-    fn finish_observability(&mut self, total: TimeSpan) {
+    /// `bottleneck` is `None` only on error paths (no report exists).
+    fn finish_observability(&mut self, total: TimeSpan, bottleneck: Option<&BottleneckReport>) {
         let stats = *self.queue.stats();
         if let Some(p) = self.obs.progress.as_mut() {
             p.report_done(self.queue.now(), stats.delivered());
@@ -603,6 +761,53 @@ impl<'a> Executor<'a> {
             let label = g.to_string();
             r.gauge_set(now, "triosim_gpu_busy_seconds", &[("gpu", &label)], *busy);
         }
+        // Bottleneck attribution: the final iteration's critical path as
+        // spans on a dedicated track, plus the aggregate gauges.
+        if let Some(bn) = bottleneck {
+            for &(task, s, f) in self.attr.last_path() {
+                let name = self.attr.label(task as usize);
+                r.span(
+                    "critical_path",
+                    name,
+                    s,
+                    f,
+                    &[("task", AttrValue::U64(u64::from(task)))],
+                );
+            }
+            r.gauge_set(
+                now,
+                "triosim_critical_path_seconds",
+                &[],
+                bn.critical_path_s,
+            );
+            r.gauge_set(
+                now,
+                "triosim_exposed_comm_fraction",
+                &[],
+                bn.exposed_comm_fraction,
+            );
+            for (g, b) in bn.per_gpu.iter().enumerate() {
+                let label = g.to_string();
+                r.gauge_set(
+                    now,
+                    "triosim_gpu_exposed_comm_seconds",
+                    &[("gpu", &label)],
+                    b.exposed_comm_s,
+                );
+                r.gauge_set(
+                    now,
+                    "triosim_gpu_idle_seconds",
+                    &[("gpu", &label)],
+                    b.idle_s,
+                );
+            }
+            r.gauge_set(
+                now,
+                "triosim_stragglers_flagged",
+                &[],
+                bn.stragglers.len() as f64,
+            );
+        }
         r.gauge_set(now, "triosim_sim_time_seconds", &[], total_s);
         if let Err(e) = r.finish() {
             eprintln!("warning: observability sink error: {e}");
@@ -612,6 +817,11 @@ impl<'a> Executor<'a> {
     /// Seeds the graph's roots at the current virtual time and drains the
     /// event queue.
     fn run_once(&mut self) {
+        self.iter_begin = self.queue.now();
+        self.attr_start.fill(None);
+        self.attr_end.fill(None);
+        self.attr_gpu_pred.fill(None);
+        self.last_done.fill(None);
         // Seed: every task with no dependencies starts immediately.
         let roots: Vec<TaskId> = (0..self.graph.len())
             .filter(|&i| self.indegree[i] == 0)
@@ -661,6 +871,8 @@ impl<'a> Executor<'a> {
                     self.gpus[gpu].busy = false;
                     let start = self.compute_start[task.0].expect("compute was started");
                     self.gpus[gpu].busy_time += (now - start).as_seconds();
+                    self.attr_end[task.0] = Some(now);
+                    self.last_done[gpu] = Some(task.0 as u32);
                     self.timeline.push(TimelineRecord {
                         label: self.graph.tasks()[task.0].label.clone(),
                         track: TimelineTrack::Gpu(gpu),
@@ -683,6 +895,7 @@ impl<'a> Executor<'a> {
                         .remove(&flow)
                         .expect("delivered flow belongs to a task");
                     let start = self.flow_start.remove(&flow).expect("flow start recorded");
+                    self.attr_end[task.0] = Some(now);
                     self.comm_intervals.push((start, now));
                     self.timeline.push(TimelineRecord {
                         label: self.graph.tasks()[task.0].label.clone(),
@@ -697,7 +910,15 @@ impl<'a> Executor<'a> {
                     if self.observing {
                         self.record_flow(task, start, now);
                     }
-                    let cmds = self.network.deliver(flow, now);
+                    let cmds = if self.profiling {
+                        let t0 = Instant::now();
+                        let cmds = self.network.deliver(flow, now);
+                        self.net_wall_s += t0.elapsed().as_secs_f64();
+                        self.net_wall_calls += 1;
+                        cmds
+                    } else {
+                        self.network.deliver(flow, now)
+                    };
                     self.apply(cmds);
                     self.complete(task);
                 }
@@ -1021,7 +1242,12 @@ impl<'a> Executor<'a> {
     /// them back to cascade completion without recursion.
     fn activate_inline(&mut self, task: TaskId) -> Option<TaskId> {
         match &self.graph.tasks()[task.0].kind {
-            TaskKind::Barrier => Some(task),
+            TaskKind::Barrier => {
+                let now = self.queue.now();
+                self.attr_start[task.0] = Some(now);
+                self.attr_end[task.0] = Some(now);
+                Some(task)
+            }
             TaskKind::Compute { gpu, .. } => {
                 self.gpus[*gpu].ready.push_back(task);
                 self.try_start_gpu(*gpu);
@@ -1029,6 +1255,7 @@ impl<'a> Executor<'a> {
             }
             TaskKind::Transfer { src, dst, bytes } => {
                 let now = self.queue.now();
+                self.attr_start[task.0] = Some(now);
                 if self.observing {
                     if let Some(&ci) = self.collective_of_first.get(&task) {
                         self.collective_begin[ci].get_or_insert(now);
@@ -1054,7 +1281,12 @@ impl<'a> Executor<'a> {
                         }
                     }
                 } else {
+                    let t0 = self.profiling.then(Instant::now);
                     let (flow, cmds) = self.network.send(now, *src, *dst, *bytes);
+                    if let Some(t0) = t0 {
+                        self.net_wall_s += t0.elapsed().as_secs_f64();
+                        self.net_wall_calls += 1;
+                    }
                     self.flow_task.insert(flow, task);
                     self.flow_start.insert(flow, now);
                     self.apply(cmds);
@@ -1078,6 +1310,8 @@ impl<'a> Executor<'a> {
         self.gpus[gpu].busy = true;
         let now = self.queue.now();
         self.compute_start[task.0] = Some(now);
+        self.attr_start[task.0] = Some(now);
+        self.attr_gpu_pred[task.0] = self.last_done[gpu];
         self.pending_real += 1;
         self.queue
             .schedule(now + duration, Event::ComputeDone { gpu, task });

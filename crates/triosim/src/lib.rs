@@ -69,7 +69,8 @@ mod viz;
 pub use compute::{ComputeModel, Fidelity};
 pub use error::SimError;
 pub use executor::{
-    execute, execute_budgeted, execute_faulted, execute_iterations, execute_observed, Observability,
+    execute, execute_budgeted, execute_budgeted_profiled, execute_faulted, execute_iterations,
+    execute_observed, Observability,
 };
 pub use extrapolate::{extrapolate, extrapolate_with_style};
 pub use hop::{HopConfig, HopGraph, HopReport, HopSimulator};
@@ -78,6 +79,11 @@ pub use memory::{estimate_memory, MemoryEstimate};
 pub use parallelism::{CollectiveStyle, Parallelism};
 pub use platform::Platform;
 pub use report::{FaultStats, SimReport, TimelineRecord, TimelineTrack};
+// Re-export the bottleneck-attribution and self-profiling vocabulary so
+// downstream users analyze runs without naming `triosim-obs` directly.
+pub use triosim_obs::{
+    BottleneckReport, CriticalOp, GpuBuckets, HotLink, SelfProfile, SelfProfiler, Straggler,
+};
 // Re-export the fault-plan vocabulary so downstream users configure
 // fault injection without naming the `triosim-faults` crate directly.
 pub use session::SimBuilder;

@@ -10,7 +10,7 @@
 use serde::Value;
 use triosim_des::{QueueStats, TimeSpan, VirtualTime};
 use triosim_network::NetObservation;
-use triosim_obs::{AttrValue, ChromeTraceSink, Recorder};
+use triosim_obs::{AttrValue, BottleneckReport, ChromeTraceSink, Recorder};
 
 /// Which resource a timeline record occupied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,6 +69,7 @@ pub struct SimReport {
     net: NetObservation,
     timeline: Vec<TimelineRecord>,
     fault_stats: Option<FaultStats>,
+    bottleneck: BottleneckReport,
 }
 
 impl SimReport {
@@ -93,11 +94,23 @@ impl SimReport {
             net,
             timeline,
             fault_stats: None,
+            bottleneck: BottleneckReport::default(),
         }
     }
 
     pub(crate) fn set_fault_stats(&mut self, stats: FaultStats) {
         self.fault_stats = Some(stats);
+    }
+
+    pub(crate) fn set_bottleneck(&mut self, bottleneck: BottleneckReport) {
+        self.bottleneck = bottleneck;
+    }
+
+    /// The run's bottleneck attribution: critical-path breakdown,
+    /// per-GPU compute/exposed-comm/idle buckets, stragglers, and the
+    /// hottest links. Deterministic; part of the canonical JSON.
+    pub fn bottleneck(&self) -> &BottleneckReport {
+        &self.bottleneck
     }
 
     /// Fault-attribution counters of a fault-injected run; `None` for
@@ -302,6 +315,7 @@ impl SimReport {
                 u(self.timeline.len() as u64),
             ),
             ("timeline_hash".to_string(), u(self.timeline_hash())),
+            ("bottleneck".to_string(), self.bottleneck.to_value()),
         ];
         if let Some(fs) = &self.fault_stats {
             fields.push((

@@ -5,14 +5,15 @@ use std::str::FromStr;
 use triosim_des::{RunBudget, TimeSpan};
 use triosim_faults::FaultPlan;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId};
-use triosim_obs::{ProgressMonitor, Recorder};
+use triosim_obs::{ProgressMonitor, Recorder, SelfProfiler};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace};
 
 use crate::compute::{ComputeModel, Fidelity};
 use crate::error::SimError;
 use crate::executor::{
-    execute_budgeted, execute_faulted, execute_iterations, execute_observed, Observability,
+    execute_budgeted, execute_budgeted_profiled, execute_faulted, execute_iterations,
+    execute_observed, Observability,
 };
 use crate::extrapolate::extrapolate_with_style;
 use crate::parallelism::{CollectiveStyle, Parallelism};
@@ -232,12 +233,19 @@ impl<'a> SimBuilder<'a> {
     /// Builds the extrapolated task graph without executing it.
     pub fn build_graph(&self) -> TaskGraph {
         let compute = self.resolved_compute();
+        self.build_graph_with(&compute)
+    }
+
+    /// [`build_graph`](Self::build_graph) with an already-resolved
+    /// compute model (lets the profiled path time calibration and
+    /// extrapolation separately).
+    fn build_graph_with(&self, compute: &ComputeModel) -> TaskGraph {
         extrapolate_with_style(
             self.trace,
             self.platform,
             self.parallelism,
             self.resolved_batch(),
-            &compute,
+            compute,
             self.collective_style,
         )
     }
@@ -288,7 +296,27 @@ impl<'a> SimBuilder<'a> {
     /// [`SimError::GpuLost`] when an injected fault makes the remaining
     /// work impossible; [`SimError::BudgetExceeded`] when the run blows
     /// an axis of its [`budget`](Self::budget).
-    pub fn try_run(mut self) -> Result<SimReport, SimError> {
+    pub fn try_run(self) -> Result<SimReport, SimError> {
+        self.try_run_inner(None)
+    }
+
+    /// [`try_run`](Self::try_run) with host self-profiling: wall-clock
+    /// spans for Li's-Model calibration (`calibration`), graph
+    /// extrapolation (`graph_build`), network construction
+    /// (`network_build`), and the engine loop with its network share
+    /// (`engine_loop`/`network`) accumulate into `prof`.
+    ///
+    /// Profiling is strictly diagnostic: the returned report — including
+    /// its canonical bytes — is byte-identical to an unprofiled run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_run`](Self::try_run).
+    pub fn try_run_profiled(self, prof: &mut SelfProfiler) -> Result<SimReport, SimError> {
+        self.try_run_inner(Some(prof))
+    }
+
+    fn try_run_inner(mut self, mut prof: Option<&mut SelfProfiler>) -> Result<SimReport, SimError> {
         let mut plan = self.faults.take().unwrap_or_default();
         if let Some(seed) = self.fault_seed {
             plan = plan.with_seed(seed);
@@ -296,9 +324,33 @@ impl<'a> SimBuilder<'a> {
         if !plan.is_empty() {
             self.validate_plan(&plan)?;
         }
-        let graph = self.build_graph();
-        let mut network = self.resolved_network();
+        let graph = match prof.as_deref_mut() {
+            None => self.build_graph(),
+            Some(p) => {
+                let compute = p.time("calibration", || self.resolved_compute());
+                p.time("graph_build", || self.build_graph_with(&compute))
+            }
+        };
+        let mut network = match prof.as_deref_mut() {
+            None => self.resolved_network(),
+            Some(p) => p.time("network_build", || self.resolved_network()),
+        };
         let obs = std::mem::take(&mut self.observability);
+        if let Some(p) = prof {
+            // One entry point covers every configuration; unlimited
+            // budgets and empty plans are dropped inside the executor,
+            // so the simulated behavior (and the report's canonical
+            // bytes) exactly matches the unprofiled dispatch below.
+            return execute_budgeted_profiled(
+                &graph,
+                network.as_mut(),
+                self.iterations,
+                obs,
+                &plan,
+                self.budget.take().unwrap_or_else(RunBudget::unlimited),
+                Some(p),
+            );
+        }
         if let Some(budget) = self.budget.take() {
             return execute_budgeted(
                 &graph,

@@ -43,6 +43,7 @@
 //!   degrades to a [`ScenarioError::Budget`] entry exactly like
 //!   fault-terminated scenarios.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -53,6 +54,7 @@ use std::time::Instant;
 use serde::Value;
 use triosim_des::RunBudget;
 use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, ReallocationMode};
+use triosim_obs::{SelfProfile, SelfProfiler};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace, Tracer};
 
@@ -184,6 +186,10 @@ pub struct ScenarioResult {
     /// Wall-clock seconds this scenario took (excluded from canonical
     /// output — it varies run to run; zero for journal-replayed results).
     pub wall_s: f64,
+    /// This scenario's self-profile when [`SweepRunConfig::profile`] was
+    /// set (excluded from canonical output — wall clock only; `None` for
+    /// journal-replayed results and unprofiled runs).
+    pub profile: Option<SelfProfile>,
 }
 
 /// A completed sweep: per-scenario results in expansion order plus
@@ -204,6 +210,11 @@ pub struct SweepOutcome {
     /// from canonical output — a resumed run must be byte-identical to
     /// an uninterrupted one).
     pub replayed: usize,
+    /// Sweep-level self-profile when [`SweepRunConfig::profile`] was
+    /// set: the resolve / execute / aggregate phases plus every
+    /// scenario's profile merged under `scenarios`. Wall clock only,
+    /// excluded from canonical output.
+    pub profile: Option<SelfProfile>,
 }
 
 impl SweepOutcome {
@@ -277,17 +288,33 @@ impl SweepOutcome {
 /// any simulation work starts, and so the caches need no locking during
 /// the parallel phase. Scenarios whose index is in `skip` (journal
 /// replays) are parsed but their trace and compute model are not built.
+///
+/// When `prof` is enabled, cache *misses* (each unique trace build and
+/// Li's Model calibration) are timed and reported as `trace_build` /
+/// `calibration` spans relative to the caller's open span; cache hits
+/// never read the clock.
 fn resolve_scenarios(
     scenarios: Vec<Scenario>,
     skip: &HashSet<usize>,
+    prof: &mut SelfProfiler,
 ) -> Result<Vec<ResolvedScenario>, SweepError> {
+    let profiling = prof.is_enabled();
+    let mut trace_wall = (0.0f64, 0u64);
+    let mut cal_wall = (0.0f64, 0u64);
     let mut traces: HashMap<(String, u64, GpuModel), Arc<Trace>> = HashMap::new();
     let mut lis: HashMap<GpuModel, LisModel> = HashMap::new();
-    let calibrate = |gpu: GpuModel, cache: &mut HashMap<GpuModel, LisModel>| {
-        cache
-            .entry(gpu)
-            .or_insert_with(|| LisModel::calibrated(gpu))
-            .clone()
+    let mut calibrate = |gpu: GpuModel, cache: &mut HashMap<GpuModel, LisModel>| {
+        if let Some(model) = cache.get(&gpu) {
+            return model.clone();
+        }
+        let t0 = profiling.then(Instant::now);
+        let model = LisModel::calibrated(gpu);
+        if let Some(t0) = t0 {
+            cal_wall.0 += t0.elapsed().as_secs_f64();
+            cal_wall.1 += 1;
+        }
+        cache.insert(gpu, model.clone());
+        model
     };
     let mut resolved = Vec::with_capacity(scenarios.len());
     for (index, scenario) in scenarios.into_iter().enumerate() {
@@ -313,10 +340,18 @@ fn resolve_scenarios(
             });
             continue;
         }
-        let trace = traces
-            .entry((scenario.model.clone(), scenario.trace_batch, gpu))
-            .or_insert_with(|| Arc::new(Tracer::new(gpu).trace(&model.build(scenario.trace_batch))))
-            .clone();
+        let trace = match traces.entry((scenario.model.clone(), scenario.trace_batch, gpu)) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(v) => {
+                let t0 = profiling.then(Instant::now);
+                let built = Arc::new(Tracer::new(gpu).trace(&model.build(scenario.trace_batch)));
+                if let Some(t0) = t0 {
+                    trace_wall.0 += t0.elapsed().as_secs_f64();
+                    trace_wall.1 += 1;
+                }
+                v.insert(built).clone()
+            }
+        };
         let compute = ComputeModel::resolve_with(fidelity, gpu, &platform, parallelism, &mut |g| {
             calibrate(g, &mut lis)
         });
@@ -338,13 +373,17 @@ fn resolve_scenarios(
             exec: Some(exec),
         });
     }
+    prof.add_path(&["trace_build"], trace_wall.0, trace_wall.1);
+    prof.add_path(&["calibration"], cal_wall.0, cal_wall.1);
     Ok(resolved)
 }
 
 /// Runs one resolved scenario in full isolation: fresh network state,
 /// fresh DES engine, nothing shared but the read-only trace and compute
-/// model.
-fn run_scenario(r: &ResolvedScenario) -> Result<Value, ScenarioError> {
+/// model. An enabled `prof` routes through the profiled session path
+/// (graph build / network build / engine loop spans); profiling never
+/// changes the canonical report bytes.
+fn run_scenario(r: &ResolvedScenario, prof: &mut SelfProfiler) -> Result<Value, ScenarioError> {
     let e = r
         .exec
         .as_ref()
@@ -387,9 +426,12 @@ fn run_scenario(r: &ResolvedScenario) -> Result<Value, ScenarioError> {
         }
         builder = builder.budget(budget);
     }
-    builder
-        .try_run()
-        .map(|report| report.to_canonical_json())
+    let run = if prof.is_enabled() {
+        builder.try_run_profiled(prof)
+    } else {
+        builder.try_run()
+    };
+    run.map(|report| report.to_canonical_json())
         .map_err(|e| match e {
             SimError::BudgetExceeded { .. } => ScenarioError::Budget(e.to_string()),
             other => ScenarioError::Sim(other.to_string()),
@@ -403,11 +445,12 @@ fn execute_one(
     r: &ResolvedScenario,
     index: usize,
     fail_fast: bool,
+    prof: &mut SelfProfiler,
 ) -> Result<Value, ScenarioError> {
     if fail_fast {
-        return run_scenario(r);
+        return run_scenario(r, prof);
     }
-    match catch_unwind(AssertUnwindSafe(|| run_scenario(r))) {
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(r, prof))) {
         Ok(outcome) => outcome,
         Err(payload) => Err(ScenarioError::Panicked {
             index,
@@ -471,6 +514,7 @@ fn from_entry(entry: JournalEntry) -> (usize, ScenarioResult) {
             label: entry.label,
             outcome,
             wall_s: 0.0,
+            profile: None,
         },
     )
 }
@@ -494,6 +538,11 @@ pub struct SweepRunConfig {
     /// The raw spec text, recorded in a newly created journal's header
     /// so `--resume` can reconstruct the sweep without the spec file.
     pub spec_text: Option<String>,
+    /// Collect wall-clock self-profiles: per-scenario (resolve spans,
+    /// engine loop, journal I/O) and rolled up sweep-wide into
+    /// [`SweepOutcome::profile`]. Diagnostic only — the canonical sweep
+    /// output is byte-identical with profiling on or off.
+    pub profile: bool,
 }
 
 /// Expands `spec` and runs every scenario on `threads` worker threads,
@@ -578,40 +627,75 @@ pub fn run_sweep_with(
         None
     };
 
+    let mut prof = if config.profile {
+        SelfProfiler::new()
+    } else {
+        SelfProfiler::disabled()
+    };
     let skip: HashSet<usize> = (0..total).filter(|i| slots[*i].is_some()).collect();
-    let resolved = resolve_scenarios(scenarios, &skip)?;
+    let resolve_span = prof.begin("resolve");
+    let resolved = resolve_scenarios(scenarios, &skip, &mut prof);
+    prof.end(resolve_span);
+    let resolved = resolved?;
     let pending: Vec<usize> = (0..total).filter(|i| !skip.contains(i)).collect();
     let tracker = SweepProgress::with_replayed(total, replayed, config.progress);
     let started = Instant::now();
+    let execute_span = prof.begin("execute");
     let fresh = run_ordered(pending.len(), config.threads, |j| {
         let index = pending[j];
         let r = &resolved[index];
+        // Each worker scenario profiles into its own tree (the sweep
+        // profiler is not shared across threads); snapshots roll up
+        // under `scenarios` after the pool drains.
+        let mut sprof = if config.profile {
+            SelfProfiler::new()
+        } else {
+            SelfProfiler::disabled()
+        };
         let t0 = Instant::now();
-        let outcome = execute_one(r, index, config.fail_fast);
+        let outcome = execute_one(r, index, config.fail_fast, &mut sprof);
         let wall_s = t0.elapsed().as_secs_f64();
         if let Some(w) = &writer {
             let entry = to_entry(index, &r.scenario.label, &outcome);
-            if let Err(e) = w.record(&entry) {
+            let jt = sprof.is_enabled().then(Instant::now);
+            let written = w.record(&entry);
+            if let Some(jt) = jt {
+                sprof.add_path(&["journal_io"], jt.elapsed().as_secs_f64(), 1);
+            }
+            if let Err(e) = written {
                 // Losing durability must not lose the sweep: warn and
                 // keep the in-memory result.
                 eprintln!("warning: journal write failed: {e}");
             }
         }
         tracker.scenario_done(&r.scenario.label, outcome.is_err());
+        let profile = config.profile.then(|| sprof.snapshot());
         ScenarioResult {
             label: r.scenario.label.clone(),
             outcome,
             wall_s,
+            profile,
         }
     });
+    prof.end(execute_span);
     let elapsed_s = started.elapsed().as_secs_f64();
+    let aggregate_span = prof.begin("aggregate");
     for (j, result) in fresh.into_iter().enumerate() {
         slots[pending[j]] = Some(result);
     }
-    let results = slots
+    let results: Vec<ScenarioResult> = slots
         .into_iter()
         .map(|s| s.expect("every scenario is replayed or executed"))
         .collect();
+    prof.end(aggregate_span);
+    let profile = config.profile.then(|| {
+        for r in &results {
+            if let Some(p) = &r.profile {
+                prof.attach("scenarios", p);
+            }
+        }
+        prof.snapshot()
+    });
     Ok(SweepOutcome {
         name: spec.name.clone(),
         scenarios: resolved.into_iter().map(|r| r.scenario).collect(),
@@ -619,6 +703,7 @@ pub fn run_sweep_with(
         threads: config.threads.max(1),
         elapsed_s,
         replayed,
+        profile,
     })
 }
 
@@ -772,6 +857,37 @@ mod tests {
             result.is_err(),
             "--fail-fast lets the panic abort the sweep"
         );
+    }
+
+    #[test]
+    fn profiled_sweep_is_canonically_identical_and_carries_profile() {
+        let spec = tiny_spec();
+        let plain = run_sweep(&spec, 2, false).unwrap();
+        assert!(plain.profile.is_none(), "profiling is opt-in");
+        let config = SweepRunConfig {
+            threads: 2,
+            profile: true,
+            ..SweepRunConfig::default()
+        };
+        let profiled = run_sweep_with(&spec, &config).unwrap();
+        assert_eq!(
+            plain.to_canonical_string(),
+            profiled.to_canonical_string(),
+            "profiling must not perturb canonical bytes"
+        );
+        let prof = profiled.profile.as_ref().expect("sweep profile collected");
+        assert!(prof.find(&["resolve", "trace_build"]).is_some());
+        assert!(prof.find(&["execute"]).is_some());
+        assert!(prof.find(&["aggregate"]).is_some());
+        assert!(
+            prof.find(&["scenarios", "engine_loop"]).is_some(),
+            "per-scenario profiles roll up under `scenarios`:\n{}",
+            prof.render()
+        );
+        for r in &profiled.results {
+            let p = r.profile.as_ref().expect("each scenario profiled");
+            assert!(p.total(&["engine_loop"]).is_some(), "{}", r.label);
+        }
     }
 
     #[test]
