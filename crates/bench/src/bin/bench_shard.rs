@@ -1,0 +1,125 @@
+//! Sharded-DES benchmark: one large multi-iteration scenario executed at
+//! shard counts {1, 2, 4, 8}, asserting two contracts:
+//!
+//! * **Byte-identity always**: every sharded report's canonical JSON must
+//!   equal the single-threaded oracle's, byte for byte, on every host.
+//!   This is the sharded path's admission ticket — it is a pure speed
+//!   optimization, never a fidelity trade.
+//! * **Scaling where it can exist**: at least 2x wall-clock speedup at 4
+//!   shards — asserted only when the host has 4+ cores and the
+//!   `TRIOSIM_SHARD_GATE` environment variable is not `0` (CI smoke
+//!   machines disarm it); on smaller hosts the measured numbers are
+//!   still recorded, honestly, in the artifact.
+//!
+//! Results land in `results/BENCH_shard.json` with a machine-readable
+//! `gate_armed` flag, so downstream tooling can tell an enforced pass
+//! from a merely-recorded one.
+
+use triosim::{Parallelism, Platform, SimBuilder, SimReport};
+use triosim_bench::{json_num, json_obj, time_it, Summary};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Trace, Tracer};
+
+use serde::Value;
+
+const SHARD_POINTS: [usize; 4] = [1, 2, 4, 8];
+const REQUIRED_SPEEDUP: f64 = 2.0;
+const SPEEDUP_AT: usize = 4;
+const ITERATIONS: usize = 48;
+
+fn run(trace: &Trace, platform: &Platform, shards: usize) -> SimReport {
+    SimBuilder::new(trace, platform)
+        .parallelism(Parallelism::DataParallel { overlap: true })
+        .iterations(ITERATIONS)
+        .shards(shards)
+        .run()
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let gate_armed =
+        host_cores >= SPEEDUP_AT && std::env::var("TRIOSIM_SHARD_GATE").map_or(true, |v| v != "0");
+    println!(
+        "sharded-DES bench: resnet50 x{ITERATIONS} iterations on p2:8, shards {SHARD_POINTS:?}, \
+         host cores {host_cores}, gate {}",
+        if gate_armed { "armed" } else { "disarmed" }
+    );
+
+    let trace = Tracer::new(GpuModel::A100).trace(&ModelId::ResNet50.build(64));
+    let platform = Platform::p2(8);
+
+    let mut points = Vec::new();
+    let mut oracle: Option<String> = None;
+    let mut serial_wall = 0.0f64;
+    let mut wall_at_gate = f64::NAN;
+    for shards in SHARD_POINTS {
+        let (report, wall_s) = time_it(|| run(&trace, &platform, shards));
+        let canonical =
+            serde_json::to_string(&report.to_canonical_json()).expect("canonical JSON is finite");
+        println!(
+            "shards {shards} | wall {wall_s:>7.3} s | total {:>9.4} s simulated",
+            report.total_time_s()
+        );
+        match &oracle {
+            None => {
+                serial_wall = wall_s;
+                oracle = Some(canonical.clone());
+            }
+            Some(expected) => assert!(
+                *expected == canonical,
+                "shards={shards} produced different canonical bytes than the serial oracle"
+            ),
+        }
+        if shards == SPEEDUP_AT {
+            wall_at_gate = wall_s;
+        }
+        points.push(json_obj(vec![
+            ("shards", Value::UInt(shards as u64)),
+            ("wall_s", json_num(wall_s)),
+            ("speedup_vs_serial", json_num(serial_wall / wall_s)),
+        ]));
+    }
+
+    let speedup = serial_wall / wall_at_gate;
+    println!(
+        "speedup at {SPEEDUP_AT} shards: {speedup:.2}x (>= {REQUIRED_SPEEDUP:.0}x {} on this \
+         {host_cores}-core host); canonical bytes identical at every shard count",
+        if gate_armed {
+            "enforced"
+        } else {
+            "not enforced"
+        },
+    );
+    if gate_armed {
+        assert!(
+            speedup >= REQUIRED_SPEEDUP,
+            "{SPEEDUP_AT}-shard run only {speedup:.2}x faster than serial on a \
+             {host_cores}-core host"
+        );
+    } else {
+        eprintln!(
+            "warning: {REQUIRED_SPEEDUP:.0}x scaling gate NOT armed — host has {host_cores} \
+             cores (need {SPEEDUP_AT}+) or TRIOSIM_SHARD_GATE=0; measured numbers are recorded \
+             but not enforced"
+        );
+    }
+
+    let mut summary = Summary::new("BENCH_shard");
+    summary.text("scenario", "resnet50 b64 A100 ddp p2:8");
+    summary.int("iterations", ITERATIONS as u64);
+    summary.int("host_cores", host_cores as u64);
+    summary.put(
+        "shard_points",
+        Value::Array(
+            SHARD_POINTS
+                .iter()
+                .map(|&s| Value::UInt(s as u64))
+                .collect(),
+        ),
+    );
+    summary.put("points", Value::Array(points));
+    summary.num("speedup_4_vs_1", speedup);
+    summary.put("gate_armed", Value::Bool(gate_armed));
+    summary.put("bytes_identical", Value::Bool(true));
+    summary.finish();
+}

@@ -188,7 +188,10 @@ fn main() {
         Value::Array(outcomes.iter().map(point_json).collect()),
     );
     summary.num("speedup_8_vs_1", speedup);
-    summary.put("speedup_gate_enforced", Value::Bool(gate_active));
+    // `gate_armed` is the machine-readable contract shared by every bench
+    // artifact with a host-dependent performance gate: downstream tooling
+    // distinguishes an enforced pass from a merely-recorded measurement.
+    summary.put("gate_armed", Value::Bool(gate_active));
     summary.put("aggregates_identical", Value::Bool(true));
     summary.int("resume_replayed", resumed.replayed as u64);
     summary.put("resume_identical", Value::Bool(true));

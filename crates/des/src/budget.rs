@@ -101,6 +101,48 @@ impl RunBudget {
         self.max_events.is_none() && self.max_sim_time.is_none() && self.deadline.is_none()
     }
 
+    /// True when an event-count or sim-time limit (a deterministic axis)
+    /// is set.
+    pub fn has_deterministic_axes(&self) -> bool {
+        self.max_events.is_some() || self.max_sim_time.is_some()
+    }
+
+    /// True when a wall-clock deadline is armed.
+    pub fn has_wall_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// This budget with the wall-clock axis removed: only the
+    /// deterministic (event-count and sim-time) limits remain.
+    ///
+    /// Sharded runs use this to *replay* budget enforcement after the
+    /// fact: each shard records the virtual times of the real events it
+    /// delivered, and the merge walks them in canonical order through
+    /// this budget's [`check`](RunBudget::check) — tripping on exactly
+    /// the same event, with the same kind and limit, as the serial run.
+    /// The wall axis must be excluded because it is host-dependent by
+    /// design (and its `Instant` deadline belongs to the live run).
+    pub fn deterministic_only(&self) -> RunBudget {
+        RunBudget {
+            max_events: self.max_events,
+            max_sim_time: self.max_sim_time,
+            deadline: None,
+        }
+    }
+
+    /// This budget with the deterministic axes removed: only the live
+    /// wall-clock deadline remains. The complement of
+    /// [`deterministic_only`](RunBudget::deterministic_only) — sharded
+    /// workers carry this so a runaway still hits the host deadline while
+    /// the deterministic axes are enforced by replay.
+    pub fn wall_only(&self) -> RunBudget {
+        RunBudget {
+            max_events: None,
+            max_sim_time: None,
+            deadline: self.deadline,
+        }
+    }
+
     /// Checks the budget against the run's progress: `events` delivered
     /// so far and virtual time `now`. Returns the tripped axis and its
     /// configured limit (events, µs, or ms respectively), or `None` while
@@ -191,6 +233,27 @@ mod tests {
             b.check(5, VirtualTime::from_micros(9.0)),
             Some((BudgetKind::Events, 1))
         );
+    }
+
+    #[test]
+    fn axis_splits_partition_the_budget() {
+        let b = RunBudget::unlimited()
+            .with_max_events(7)
+            .with_max_sim_time_us(3)
+            .with_wall_timeout_ms(60_000);
+        assert!(b.has_deterministic_axes());
+        assert!(b.has_wall_deadline());
+        let det = b.deterministic_only();
+        assert!(det.has_deterministic_axes() && !det.has_wall_deadline());
+        assert_eq!(
+            det.check(8, VirtualTime::ZERO),
+            Some((BudgetKind::Events, 7))
+        );
+        let wall = b.wall_only();
+        assert!(!wall.has_deterministic_axes() && wall.has_wall_deadline());
+        assert!(wall.check(u64::MAX, VirtualTime::MAX).is_none());
+        assert!(RunBudget::unlimited().deterministic_only().is_unlimited());
+        assert!(RunBudget::unlimited().wall_only().is_unlimited());
     }
 
     #[test]

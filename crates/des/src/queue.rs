@@ -91,11 +91,21 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`VirtualTime::ZERO`].
     pub fn new() -> Self {
+        Self::starting_at(VirtualTime::ZERO)
+    }
+
+    /// Creates an empty queue with the clock already advanced to `origin`.
+    ///
+    /// Sharded execution uses this to replay a partition of a longer run
+    /// in its own queue: events before `origin` belong to other shards, so
+    /// scheduling anything earlier is rejected exactly as if the queue had
+    /// ticked its way there.
+    pub fn starting_at(origin: VirtualTime) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             pending: HashSet::new(),
             cancelled: HashSet::new(),
-            now: VirtualTime::ZERO,
+            now: origin,
             next_seq: 0,
             stats: QueueStats::default(),
         }
@@ -363,6 +373,18 @@ mod tests {
         q.schedule(VirtualTime::from_seconds(2.0), ());
         q.cancel(a);
         assert_eq!(q.stats().compactions(), 0);
+    }
+
+    #[test]
+    fn starting_at_sets_the_clock_and_rejects_the_past() {
+        let mut q = EventQueue::starting_at(VirtualTime::from_seconds(10.0));
+        assert_eq!(q.now(), VirtualTime::from_seconds(10.0));
+        q.schedule(VirtualTime::from_seconds(11.0), "ok");
+        assert_eq!(q.pop().unwrap().0, VirtualTime::from_seconds(11.0));
+        let past = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(VirtualTime::from_seconds(9.0), "past");
+        }));
+        assert!(past.is_err(), "scheduling before the origin must panic");
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Conservative-lookahead sharded execution: the parallel counterpart of
+//! [`EventQueue`](crate::EventQueue).
+//!
+//! A simulation is partitioned into *shards*, each owning its own event
+//! queue and driven by its own worker thread. Shards exchange
+//! virtual-time-stamped boundary events through per-shard mailboxes and
+//! synchronize at horizon barriers (the rustasim worker/synchronizer
+//! design):
+//!
+//! 1. Every cross-shard event must be stamped at least `lookahead` past
+//!    the sender's clock — the minimum cross-shard link latency gives the
+//!    natural lower bound.
+//! 2. At each round, the synchronizer computes the global minimum
+//!    next-event time `M` across all shards; the round's horizon is
+//!    `H = M + lookahead`.
+//! 3. Each shard may safely process every local event earlier than `H`:
+//!    any boundary event still in flight was sent at some time `≥ M`, so
+//!    it is stamped `≥ M + lookahead = H` and cannot affect this round.
+//! 4. Mailboxes are drained at the barrier and ingested in canonical
+//!    `(time, source shard, sequence)` order, so the merge — and with it
+//!    the whole execution — is deterministic.
+//!
+//! Because `M` is a property of the *global* event set, the sequence of
+//! horizons (and therefore which events fall into which round) does not
+//! depend on how the simulation is sharded. That makes round-granular
+//! bookkeeping — notably [`RunBudget`] enforcement, aggregated across
+//! shards at each barrier — deterministic across shard counts: the same
+//! budget trips with the same kind and limit whether the run uses one
+//! shard or eight.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::budget::{BudgetKind, RunBudget};
+use crate::queue::EventQueue;
+use crate::stats::QueueStats;
+use crate::time::{TimeSpan, VirtualTime};
+
+/// A boundary event in flight between shards.
+struct Remote<E> {
+    time: VirtualTime,
+    src: usize,
+    seq: u64,
+    event: E,
+}
+
+/// The per-shard execution context handed to [`ShardHandler::handle`].
+///
+/// Lets the handler schedule follow-up events on its own shard and emit
+/// boundary events to other shards, enforcing the lookahead contract.
+#[derive(Debug)]
+pub struct ShardCtx<'a, E> {
+    shard: usize,
+    lookahead: TimeSpan,
+    queue: &'a mut EventQueue<E>,
+    /// Boundary events staged this round as `(dst shard, time, event)`;
+    /// flushed into mailboxes before the next barrier.
+    staged: &'a mut Vec<(usize, VirtualTime, E)>,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// The shard this context belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The current virtual time on this shard.
+    pub fn now(&self) -> VirtualTime {
+        self.queue.now()
+    }
+
+    /// Schedules a local follow-up event on this shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in this shard's past.
+    pub fn schedule(&mut self, at: VirtualTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Emits an event to shard `dst` at absolute time `at`.
+    ///
+    /// A send to the local shard is an ordinary
+    /// [`schedule`](ShardCtx::schedule). A cross-shard send must respect
+    /// the conservative contract: `at` must be at least `lookahead` past
+    /// the sender's clock, otherwise the receiver could already have
+    /// advanced past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cross-shard `at` violates the lookahead bound.
+    pub fn send(&mut self, dst: usize, at: VirtualTime, event: E) {
+        if dst == self.shard {
+            self.schedule(at, event);
+            return;
+        }
+        assert!(
+            at >= self.now() + self.lookahead,
+            "cross-shard event at {at} violates the lookahead bound \
+             (now {now} + lookahead {la})",
+            now = self.now(),
+            la = self.lookahead.as_seconds(),
+        );
+        self.staged.push((dst, at, event));
+    }
+}
+
+/// Per-shard event logic for a sharded simulation.
+///
+/// One handler instance runs on each shard's worker thread; it owns that
+/// shard's mutable state and reacts to events, scheduling local
+/// follow-ups and emitting cross-shard boundary events through the
+/// [`ShardCtx`].
+pub trait ShardHandler: Send {
+    /// The event type exchanged within and across shards.
+    type Event: Send;
+
+    /// Processes one event at virtual time `now`.
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, Self::Event>, now: VirtualTime, event: Self::Event);
+}
+
+/// One shard's starting state: its handler plus the `(time, event)`
+/// pairs seeded into its queue before the first round.
+pub type ShardSeed<H> = (H, Vec<(VirtualTime, <H as ShardHandler>::Event)>);
+
+/// The result of a completed sharded run.
+#[derive(Debug)]
+pub struct ShardOutcome<H> {
+    /// The handlers, returned with their final state (one per shard).
+    pub handlers: Vec<H>,
+    /// Horizon rounds executed. A property of the global event set:
+    /// identical across shard counts for the same simulation.
+    pub rounds: u64,
+    /// Total events delivered across all shards.
+    pub events: u64,
+    /// Per-shard queue statistics merged via [`QueueStats::merge`].
+    pub queue_stats: QueueStats,
+}
+
+/// Synchronizer state shared by all worker threads.
+struct Coordinator<E> {
+    barrier: Barrier,
+    /// Per-shard mailboxes of in-flight boundary events.
+    mailboxes: Vec<Mutex<Vec<Remote<E>>>>,
+    /// Per-shard next-event time in femtoseconds (`u64::MAX` = idle).
+    next_times: Vec<AtomicU64>,
+    /// Per-shard cumulative delivered-event counts.
+    counts: Vec<AtomicU64>,
+    /// This round's horizon in femtoseconds, written by the leader.
+    horizon: AtomicU64,
+    /// Set by the leader when every shard is idle or the budget tripped.
+    done: AtomicBool,
+    /// Set by any worker whose handler panicked. The leader aborts the
+    /// run at its next horizon; workers keep the barrier protocol intact
+    /// so siblings never deadlock, and the original panic payload is
+    /// re-raised on the caller's thread.
+    poisoned: AtomicBool,
+    /// The budget trip, if any (leader-written, merged once).
+    trip: Mutex<Option<(BudgetKind, u64)>>,
+}
+
+/// A caught handler panic, parked until the protocol winds down.
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Runs a sharded simulation to completion.
+///
+/// `shards` supplies one handler per shard together with its initially
+/// scheduled events; `lookahead` is the conservative bound every
+/// cross-shard event must respect (the minimum cross-shard link latency).
+/// The optional `budget` is aggregated across shards at every horizon
+/// barrier and enforced at round granularity, which keeps trips
+/// deterministic across shard counts.
+///
+/// Workers run on scoped threads — one per shard — so handlers may borrow
+/// from the caller's stack.
+///
+/// # Errors
+///
+/// Returns the tripped axis and its limit when the aggregated budget is
+/// exceeded (the same `(kind, limit)` for every shard count).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, if `lookahead` is zero (no round could
+/// make progress), or if a handler violates the lookahead contract. A
+/// handler panic poisons the run: every worker exits the barrier
+/// protocol cleanly (no deadlocked siblings), and the original payload
+/// is re-raised here, on the caller's thread — the lowest-numbered
+/// panicking shard wins when several panic in the same round.
+pub fn run_sharded<H: ShardHandler>(
+    shards: Vec<ShardSeed<H>>,
+    lookahead: TimeSpan,
+    budget: Option<RunBudget>,
+) -> Result<ShardOutcome<H>, (BudgetKind, u64)> {
+    assert!(!shards.is_empty(), "need at least one shard");
+    assert!(
+        lookahead > TimeSpan::ZERO,
+        "a zero lookahead admits no event into any round"
+    );
+    let n = shards.len();
+    let sync: Coordinator<H::Event> = Coordinator {
+        barrier: Barrier::new(n),
+        mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        next_times: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        horizon: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        poisoned: AtomicBool::new(false),
+        trip: Mutex::new(None),
+    };
+    let rounds = AtomicU64::new(0);
+    let results: Vec<Mutex<Option<(H, QueueStats)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panics: Vec<Mutex<Option<PanicPayload>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for (shard, (handler, seeds)) in shards.into_iter().enumerate() {
+            let sync = &sync;
+            let rounds = &rounds;
+            let budget = &budget;
+            let slot = &results[shard];
+            let panic_slot = &panics[shard];
+            scope.spawn(move || {
+                worker(
+                    shard, handler, seeds, lookahead, sync, budget, rounds, slot, panic_slot,
+                );
+            });
+        }
+    });
+
+    for slot in panics {
+        if let Some(payload) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    if let Some(trip) = sync.trip.into_inner().unwrap_or(None) {
+        return Err(trip);
+    }
+    let mut handlers = Vec::with_capacity(n);
+    let mut queue_stats = QueueStats::default();
+    let mut events = 0;
+    for (i, slot) in results.into_iter().enumerate() {
+        let (h, s) = slot
+            .into_inner()
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| panic!("shard {i} worker exited without a result"));
+        events += s.delivered();
+        queue_stats.merge(&s);
+        handlers.push(h);
+    }
+    Ok(ShardOutcome {
+        handlers,
+        rounds: rounds.load(Ordering::Acquire),
+        events,
+        queue_stats,
+    })
+}
+
+/// One shard's worker loop: ingest → publish → barrier → horizon →
+/// process → flush, until the leader declares the run finished.
+#[allow(clippy::too_many_arguments)]
+fn worker<H: ShardHandler>(
+    shard: usize,
+    mut handler: H,
+    seeds: Vec<(VirtualTime, H::Event)>,
+    lookahead: TimeSpan,
+    sync: &Coordinator<H::Event>,
+    budget: &Option<RunBudget>,
+    rounds: &AtomicU64,
+    slot: &Mutex<Option<(H, QueueStats)>>,
+    panic_slot: &Mutex<Option<PanicPayload>>,
+) {
+    let mut queue = EventQueue::new();
+    for (at, ev) in seeds {
+        queue.schedule(at, ev);
+    }
+    let mut staged: Vec<(usize, VirtualTime, H::Event)> = Vec::new();
+    let mut panicked = false;
+    loop {
+        // Ingest the mailbox in canonical (time, source shard, sequence)
+        // order so simultaneous boundary events from different shards
+        // always enter the local queue the same way.
+        let mut inbox = {
+            let mut mb = sync.mailboxes[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *mb)
+        };
+        inbox.sort_by_key(|r| (r.time, r.src, r.seq));
+        for r in inbox {
+            queue.schedule(r.time, r.event);
+        }
+
+        // Publish this shard's next event time and cumulative work, then
+        // wait for every shard to do the same. A panicked shard reports
+        // idle forever: it stays in the protocol (keeping the barriers
+        // balanced) but contributes no more work.
+        let next = if panicked {
+            u64::MAX
+        } else {
+            queue.peek_time().map_or(u64::MAX, VirtualTime::as_femtos)
+        };
+        sync.next_times[shard].store(next, Ordering::Release);
+        sync.counts[shard].store(queue.stats().delivered(), Ordering::Release);
+        sync.barrier.wait();
+
+        // The leader computes the global minimum, checks the aggregated
+        // budget, and publishes the round's horizon.
+        if shard == 0 {
+            let min = sync
+                .next_times
+                .iter()
+                .map(|t| t.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u64::MAX);
+            if min == u64::MAX || sync.poisoned.load(Ordering::Acquire) {
+                sync.done.store(true, Ordering::Release);
+            } else {
+                let total: u64 = sync.counts.iter().map(|c| c.load(Ordering::Acquire)).sum();
+                let tripped = budget.as_ref().and_then(|b| {
+                    // The *next* event would push the run past the
+                    // budget: check one event ahead at the round's start
+                    // time, mirroring the serial check-before-process.
+                    b.check(total + 1, VirtualTime::from_femtos(min))
+                });
+                if let Some(t) = tripped {
+                    *sync.trip.lock().unwrap_or_else(|e| e.into_inner()) = Some(t);
+                    sync.done.store(true, Ordering::Release);
+                } else {
+                    let horizon = VirtualTime::from_femtos(min) + lookahead;
+                    sync.horizon.store(horizon.as_femtos(), Ordering::Release);
+                    rounds.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        sync.barrier.wait();
+
+        if sync.done.load(Ordering::Acquire) {
+            break;
+        }
+        let horizon = VirtualTime::from_femtos(sync.horizon.load(Ordering::Acquire));
+
+        // Process every local event strictly before the horizon; any
+        // boundary event still in flight is stamped >= horizon and so
+        // belongs to a later round. A handler panic must not unwind past
+        // the barriers (siblings would block forever), so it is caught
+        // here, parked in `panic_slot`, and re-raised by the caller once
+        // every worker has wound down.
+        if !panicked {
+            let run_round = std::panic::AssertUnwindSafe(|| {
+                while queue.peek_time().is_some_and(|t| t < horizon) {
+                    let Some((now, event)) = queue.pop() else {
+                        break;
+                    };
+                    let mut ctx = ShardCtx {
+                        shard,
+                        lookahead,
+                        queue: &mut queue,
+                        staged: &mut staged,
+                    };
+                    handler.handle(&mut ctx, now, event);
+                }
+            });
+            if let Err(payload) = std::panic::catch_unwind(run_round) {
+                panicked = true;
+                staged.clear();
+                *panic_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+                sync.poisoned.store(true, Ordering::Release);
+            }
+        }
+
+        // Flush staged boundary events into their mailboxes. The next
+        // barrier orders these writes before any shard's next ingest.
+        for (seq, (dst, time, event)) in staged.drain(..).enumerate() {
+            sync.mailboxes[dst]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Remote {
+                    time,
+                    src: shard,
+                    seq: seq as u64,
+                    event,
+                });
+        }
+        sync.barrier.wait();
+    }
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((handler, *queue.stats()));
+}

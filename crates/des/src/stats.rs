@@ -55,6 +55,22 @@ impl QueueStats {
         self.compactions
     }
 
+    /// Folds another queue's counters into this one: totals add, the
+    /// high-water mark takes the maximum.
+    ///
+    /// This is how sharded runs aggregate per-shard queue statistics into
+    /// one report. When the shards partition a run whose serial queue
+    /// fully drains at every partition boundary (so each shard's queue
+    /// replays exactly the pending-depth profile the serial queue had in
+    /// that span), the merged counters are identical to the serial run's.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.scheduled += other.scheduled;
+        self.delivered += other.delivered;
+        self.cancelled += other.cancelled;
+        self.max_pending = self.max_pending.max(other.max_pending);
+        self.compactions += other.compactions;
+    }
+
     pub(crate) fn record_scheduled(&mut self, pending: usize) {
         self.scheduled += 1;
         if pending > self.max_pending {
@@ -72,5 +88,48 @@ impl QueueStats {
 
     pub(crate) fn record_compaction(&mut self) {
         self.compactions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_high_water() {
+        let mut a = QueueStats {
+            scheduled: 10,
+            delivered: 8,
+            cancelled: 2,
+            max_pending: 5,
+            compactions: 1,
+        };
+        let b = QueueStats {
+            scheduled: 3,
+            delivered: 3,
+            cancelled: 0,
+            max_pending: 9,
+            compactions: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.scheduled(), 13);
+        assert_eq!(a.delivered(), 11);
+        assert_eq!(a.cancelled(), 2);
+        assert_eq!(a.max_pending(), 9);
+        assert_eq!(a.compactions(), 1);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = QueueStats {
+            scheduled: 7,
+            delivered: 7,
+            cancelled: 0,
+            max_pending: 4,
+            compactions: 2,
+        };
+        let before = a;
+        a.merge(&QueueStats::default());
+        assert_eq!(a, before);
     }
 }

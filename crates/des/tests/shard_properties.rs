@@ -1,0 +1,181 @@
+//! Properties of the conservative-lookahead sharded engine: serial
+//! equivalence (the 1-shard run is the oracle), determinism, round-count
+//! invariance across shard counts, and budget-trip determinism.
+
+use triosim_des::{
+    run_sharded, BudgetKind, RunBudget, ShardCtx, ShardHandler, ShardOutcome, TimeSpan, VirtualTime,
+};
+
+const ACTORS: usize = 8;
+
+/// Link latency out of `actor`: distinct per actor, all at least the
+/// lookahead bound (the minimum, 10 µs, out of actor 0).
+fn latency(actor: usize) -> TimeSpan {
+    TimeSpan::from_micros(10.0 + actor as f64)
+}
+
+fn lookahead() -> TimeSpan {
+    TimeSpan::from_micros(10.0)
+}
+
+/// Contiguous block partition of the actor ring over `shards` shards.
+fn shard_of(actor: usize, shards: usize) -> usize {
+    let per = ACTORS.div_ceil(shards);
+    (actor / per).min(shards - 1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Token {
+    actor: usize,
+    hops: u32,
+}
+
+/// One shard of the token ring: forwards tokens around the ring, logging
+/// every arrival it owns.
+struct RingShard {
+    shards: usize,
+    log: Vec<(usize, VirtualTime, u32)>,
+}
+
+impl ShardHandler for RingShard {
+    type Event = Token;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, Token>, now: VirtualTime, ev: Token) {
+        self.log.push((ev.actor, now, ev.hops));
+        if ev.hops == 0 {
+            return;
+        }
+        let next = (ev.actor + 1) % ACTORS;
+        ctx.send(
+            shard_of(next, self.shards),
+            now + latency(ev.actor),
+            Token {
+                actor: next,
+                hops: ev.hops - 1,
+            },
+        );
+    }
+}
+
+/// One `(actor, time, hops_left)` delivery record in the merged log.
+type LogEntry = (usize, VirtualTime, u32);
+
+/// Runs the ring on `shards` shards and returns the globally merged log
+/// plus the outcome bookkeeping (rounds, events).
+fn run_ring(
+    shards: usize,
+    hops: u32,
+    budget: Option<RunBudget>,
+) -> Result<(Vec<LogEntry>, u64, u64), (BudgetKind, u64)> {
+    let mut setup = Vec::new();
+    for s in 0..shards {
+        let mut seeds = Vec::new();
+        // Three tokens, seeded at staggered times on actors 0, 3, 5.
+        for (actor, start_us) in [(0usize, 0.0), (3, 4.0), (5, 7.0)] {
+            if shard_of(actor, shards) == s {
+                seeds.push((VirtualTime::from_micros(start_us), Token { actor, hops }));
+            }
+        }
+        seeds.sort_by_key(|(t, ev)| (*t, ev.actor));
+        setup.push((
+            RingShard {
+                shards,
+                log: Vec::new(),
+            },
+            seeds,
+        ));
+    }
+    let ShardOutcome {
+        handlers,
+        rounds,
+        events,
+        queue_stats,
+    } = run_sharded(setup, lookahead(), budget)?;
+    assert_eq!(queue_stats.delivered(), events);
+    let mut log: Vec<(usize, VirtualTime, u32)> =
+        handlers.into_iter().flat_map(|h| h.log).collect();
+    // Canonical order: (time, actor, hops). Arrival times in this ring
+    // are unique per (actor, hop), so the sort is a total order.
+    log.sort_by_key(|&(actor, t, hops)| (t, actor, hops));
+    Ok((log, rounds, events))
+}
+
+#[test]
+fn sharded_ring_matches_the_serial_oracle_at_every_shard_count() {
+    let (oracle, oracle_rounds, oracle_events) = run_ring(1, 40, None).expect("no budget");
+    assert_eq!(oracle.len(), 3 * 41, "three tokens, 40 hops each + seed");
+    for shards in [2, 4, 8] {
+        let (log, rounds, events) = run_ring(shards, 40, None).expect("no budget");
+        assert_eq!(log, oracle, "event log diverged at {shards} shards");
+        assert_eq!(events, oracle_events, "event count at {shards} shards");
+        assert_eq!(
+            rounds, oracle_rounds,
+            "horizon rounds are a property of the global event set"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_are_deterministic() {
+    let a = run_ring(4, 25, None).expect("no budget");
+    let b = run_ring(4, 25, None).expect("no budget");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn budget_trips_identically_across_shard_counts() {
+    let trip_at_1 = run_ring(1, 40, Some(RunBudget::unlimited().with_max_events(20)))
+        .expect_err("20 events cannot carry three tokens 40 hops");
+    assert_eq!(trip_at_1, (BudgetKind::Events, 20));
+    for shards in [2, 4, 8] {
+        let trip = run_ring(shards, 40, Some(RunBudget::unlimited().with_max_events(20)))
+            .expect_err("budget must trip at every shard count");
+        assert_eq!(trip, trip_at_1, "budget trip diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn sim_time_budget_trips_identically_across_shard_counts() {
+    let budget = || Some(RunBudget::unlimited().with_max_sim_time_us(60));
+    let trip_at_1 = run_ring(1, 40, budget()).expect_err("60us cannot finish the ring");
+    assert_eq!(trip_at_1, (BudgetKind::SimTime, 60));
+    for shards in [2, 4, 8] {
+        assert_eq!(run_ring(shards, 40, budget()), Err(trip_at_1));
+    }
+}
+
+#[test]
+fn generous_budget_changes_nothing() {
+    let plain = run_ring(4, 15, None).expect("no budget");
+    let budgeted = run_ring(
+        4,
+        15,
+        Some(RunBudget::unlimited().with_max_events(u64::MAX)),
+    )
+    .expect("generous budget never trips");
+    assert_eq!(plain, budgeted);
+}
+
+/// A handler that stamps a cross-shard event inside the lookahead window.
+struct Cheater;
+
+impl ShardHandler for Cheater {
+    type Event = u32;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, u32>, now: VirtualTime, _ev: u32) {
+        ctx.send(1, now + TimeSpan::from_micros(1.0), 0);
+    }
+}
+
+#[test]
+#[should_panic(expected = "lookahead")]
+fn violating_the_lookahead_contract_panics() {
+    let _ = run_sharded(
+        vec![
+            (Cheater, vec![(VirtualTime::ZERO, 0u32)]),
+            (Cheater, vec![]),
+        ],
+        TimeSpan::from_micros(10.0),
+        None,
+    );
+}

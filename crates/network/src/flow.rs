@@ -13,7 +13,8 @@ use std::sync::Arc;
 use triosim_des::{TimeSpan, VirtualTime};
 
 use crate::model::{
-    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetworkModel, PartitionedError,
+    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetStatsSnapshot, NetworkModel,
+    PartitionedError,
 };
 use crate::topology::{LinkId, NodeId, Topology};
 
@@ -135,12 +136,18 @@ struct CachedRoute {
 }
 
 /// Cumulative per-link activity counters.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Both fields are integers (ticks for time) so that forked-model
+/// statistics can be merged back exactly: integer sums are associative,
+/// which is what keeps sharded runs byte-identical to serial ones.
+/// Payload bytes are credited when a flow *delivers* (one full payload
+/// per route link), busy time accrues per progress window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkStats {
-    /// Payload bytes that crossed this link.
-    pub bytes: f64,
-    /// Seconds during which at least one flow was draining through it.
-    pub busy_s: f64,
+    /// Payload bytes of delivered flows that crossed this link.
+    pub bytes: u64,
+    /// Time during which at least one flow was draining through it.
+    pub busy: TimeSpan,
 }
 
 /// Reusable, epoch-stamped working memory for reallocation and progress
@@ -463,8 +470,10 @@ impl FlowNetwork {
             .ok_or(PartitionedError { src, dst })
     }
 
-    /// Advances every flow's drained-bytes accounting to `now`, crediting
-    /// per-link byte and busy-time counters along the way.
+    /// Advances every flow's drained-bytes accounting to `now`, marking
+    /// per-link busy time along the way. (Payload bytes are credited at
+    /// delivery — see [`deliver`](NetworkModel::deliver) — so the byte
+    /// counter stays an exact integer.)
     fn update_progress(&mut self, now: VirtualTime) {
         let sc = &mut self.scratch;
         let stats = &mut self.link_stats;
@@ -479,7 +488,6 @@ impl FlowNetwork {
                 let drained = (f.rate * dt).min(f.remaining);
                 f.remaining -= drained;
                 for &l in f.route.iter() {
-                    stats[l.0].bytes += drained;
                     sc.busy[l.0] = be;
                     any_busy = true;
                 }
@@ -488,10 +496,10 @@ impl FlowNetwork {
         }
         if now > self.last_progress {
             if any_busy {
-                let dt = (now - self.last_progress).as_seconds();
+                let dt = now - self.last_progress;
                 for (stat, mark) in stats.iter_mut().zip(&sc.busy) {
                     if *mark == be {
-                        stat.busy_s += dt;
+                        stat.busy += dt;
                     }
                 }
             }
@@ -512,9 +520,7 @@ impl FlowNetwork {
             .enumerate()
             .map(|(i, &s)| (LinkId(i), s))
             .collect();
-        // total_cmp: byte counters are accumulated floats, and a NaN from
-        // a degenerate accumulation must not panic a monitoring call.
-        v.sort_by(|a, b| b.1.bytes.total_cmp(&a.1.bytes));
+        v.sort_by_key(|&(_, s)| std::cmp::Reverse(s.bytes));
         v.truncate(k);
         v
     }
@@ -987,6 +993,12 @@ impl NetworkModel for FlowNetwork {
             members.swap_remove(pos);
         }
         self.free_slots.push(slot);
+        // Credit the full payload to every link on the route now that the
+        // flow has finished: an exact integer per link, independent of how
+        // many progress windows the drain spanned.
+        for &l in f.route.iter() {
+            self.link_stats[l.0].bytes += f.bytes;
+        }
         self.bytes_delivered += f.bytes;
         self.flows_completed += 1;
         self.reallocate(now, None, &f.route)
@@ -1017,12 +1029,53 @@ impl NetworkModel for FlowNetwork {
                 LinkObservation {
                     label: format!("n{}->n{}", src.0, dst.0),
                     bandwidth: self.topo.bandwidth(link),
-                    bytes: self.link_stats[i].bytes,
-                    busy_s: self.link_stats[i].busy_s,
+                    bytes: self.link_stats[i].bytes as f64,
+                    busy_s: self.link_stats[i].busy.as_seconds(),
                     active_flows: self.link_flows[i].len(),
                 }
             })
             .collect()
+    }
+
+    fn iteration_invariant(&self) -> bool {
+        // All time arithmetic in this model is either tick-integer or a
+        // function of tick *differences* (dt in seconds), so shifting a
+        // traffic pattern by a constant offset shifts every command by
+        // exactly that offset and leaves all statistics deltas identical.
+        true
+    }
+
+    fn fork_pristine(&self) -> Option<Box<dyn NetworkModel + Send>> {
+        let mut fork = FlowNetwork::with_config(self.topo.clone(), self.config);
+        fork.set_reallocation_mode(self.mode);
+        Some(Box::new(fork))
+    }
+
+    fn stats_snapshot(&self) -> Option<NetStatsSnapshot> {
+        Some(NetStatsSnapshot {
+            observation: self.observe(),
+            links: self.link_stats.iter().map(|s| (s.bytes, s.busy)).collect(),
+        })
+    }
+
+    fn absorb_stats(&mut self, snapshot: &NetStatsSnapshot) {
+        let o = &snapshot.observation;
+        self.bytes_delivered += o.bytes_delivered;
+        self.flows_completed += o.flows_completed;
+        self.reallocations += o.reallocations;
+        self.reschedules += o.reschedules;
+        self.link_faults += o.link_faults;
+        self.reroutes += o.reroutes;
+        self.added_hops += o.added_hops;
+        assert_eq!(
+            snapshot.links.len(),
+            self.link_stats.len(),
+            "absorbed snapshot must come from a fork of the same topology"
+        );
+        for (stat, &(bytes, busy)) in self.link_stats.iter_mut().zip(&snapshot.links) {
+            stat.bytes += bytes;
+            stat.busy += busy;
+        }
     }
 }
 
@@ -1185,17 +1238,51 @@ mod tests {
         net.deliver(f, done);
         let route = net.topology().route(NodeId(0), NodeId(1)).unwrap();
         let stats = net.link_stats(route[0]);
+        assert_eq!(stats.bytes, 2_000_000, "exact payload credit at delivery");
         assert!(
-            (stats.bytes - 2_000_000.0).abs() < 1.0,
-            "bytes {}",
-            stats.bytes
+            (stats.busy.as_seconds() - 2e-3).abs() < 1e-9,
+            "busy {}",
+            stats.busy.as_seconds()
         );
-        assert!((stats.busy_s - 2e-3).abs() < 1e-9, "busy {}", stats.busy_s);
         // The reverse link carried nothing.
         let back = net.topology().route(NodeId(1), NodeId(0)).unwrap();
-        assert_eq!(net.link_stats(back[0]).bytes, 0.0);
+        assert_eq!(net.link_stats(back[0]).bytes, 0);
         let hottest = net.hottest_links(1);
         assert_eq!(hottest[0].0, route[0]);
+    }
+
+    #[test]
+    fn fork_pristine_and_absorb_reproduce_the_serial_stats_exactly() {
+        // Serial oracle: two flows, back to back.
+        let run = |net: &mut dyn NetworkModel, offset: VirtualTime| {
+            let mut t = offset;
+            for _ in 0..2 {
+                let (f, cmds) = net.send(t, NodeId(0), NodeId(1), 1_000_000);
+                let done = sched_time(&cmds, f);
+                net.deliver(f, done);
+                t = done + TimeSpan::from_micros(10.0);
+            }
+        };
+        let mut serial = one_link_net(1e9, 0.0);
+        run(&mut serial, VirtualTime::ZERO);
+        run(&mut serial, VirtualTime::from_seconds(1.0));
+
+        // Sharded shape: the second batch runs on a pristine fork at a
+        // shifted origin, then its stats are absorbed.
+        let mut base = one_link_net(1e9, 0.0);
+        assert!(base.iteration_invariant());
+        run(&mut base, VirtualTime::ZERO);
+        let mut fork = base.fork_pristine().expect("flow network forks");
+        assert_eq!(fork.in_flight(), 0);
+        run(fork.as_mut(), VirtualTime::from_seconds(1.0));
+        let snap = fork.stats_snapshot().expect("fork snapshots");
+        base.absorb_stats(&snap);
+
+        assert_eq!(base.observe(), serial.observe());
+        assert_eq!(
+            base.stats_snapshot().expect("snapshot"),
+            serial.stats_snapshot().expect("snapshot")
+        );
     }
 
     #[test]

@@ -52,7 +52,8 @@ mod topology;
 
 pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats, ReallocationMode};
 pub use model::{
-    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetworkModel, PartitionedError,
+    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetStatsSnapshot, NetworkModel,
+    PartitionedError,
 };
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

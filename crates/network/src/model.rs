@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use triosim_des::VirtualTime;
+use triosim_des::{TimeSpan, VirtualTime};
 
 use crate::topology::NodeId;
 
@@ -134,6 +134,23 @@ pub struct LinkObservation {
     pub active_flows: usize,
 }
 
+/// An exact, mergeable snapshot of a model's cumulative statistics.
+///
+/// Sharded execution runs iteration blocks on *forked* copies of a
+/// network model and must fold their statistics back into the original
+/// without floating-point drift. Every field is therefore an integer
+/// (tick-typed for durations): integer sums are associative, so the
+/// merged totals are byte-identical to the serial run's regardless of
+/// merge order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    /// Whole-network cumulative counters at snapshot time.
+    pub observation: NetObservation,
+    /// Per-link `(payload bytes crossed, busy time)` in the model's
+    /// stable link order. Empty for models without link accounting.
+    pub links: Vec<(u64, TimeSpan)>,
+}
+
 /// A network performance model that the simulator can drive.
 ///
 /// The protocol:
@@ -224,6 +241,37 @@ pub trait NetworkModel: fmt::Debug {
     /// models without link-level accounting) reports no links.
     fn observe_links(&self) -> Vec<LinkObservation> {
         Vec::new()
+    }
+
+    /// True when the model is *iteration-invariant*: running the same
+    /// traffic pattern shifted by a constant virtual-time offset produces
+    /// identically shifted commands and identical statistics deltas.
+    /// Required for iteration-axis sharding (each shard replays later
+    /// iterations against a fresh fork). The default is conservative.
+    fn iteration_invariant(&self) -> bool {
+        false
+    }
+
+    /// A fresh copy of this model in its pristine (pre-traffic) state:
+    /// same topology and configuration, zeroed statistics, no in-flight
+    /// flows. `None` (the default) means the model cannot be forked and
+    /// sharded execution must fall back to the serial path.
+    fn fork_pristine(&self) -> Option<Box<dyn NetworkModel + Send>> {
+        None
+    }
+
+    /// This model's cumulative statistics as an exactly mergeable
+    /// snapshot, or `None` (the default) when the model does not support
+    /// snapshot/absorb merging.
+    fn stats_snapshot(&self) -> Option<NetStatsSnapshot> {
+        None
+    }
+
+    /// Folds a fork's statistics snapshot into this model's cumulative
+    /// counters (integer sums — exact in any order). The default is a
+    /// no-op for models without snapshot support.
+    fn absorb_stats(&mut self, snapshot: &NetStatsSnapshot) {
+        let _ = snapshot;
     }
 }
 

@@ -211,6 +211,42 @@ impl AttributionAccumulator {
         self.bucket_gpu_time(it);
     }
 
+    /// Folds another accumulator's totals into this one *exactly*.
+    ///
+    /// Every running total here is an integer (ticks or counts), so the
+    /// sums are associative: absorbing per-shard accumulators in
+    /// canonical iteration-block order yields byte-for-byte the same
+    /// state a serial run would have reached. `other` must share this
+    /// accumulator's task structure (same labels/classes/deps) and its
+    /// iterations must chronologically follow this one's — its
+    /// `last_path` becomes the merged "most recent" path when it
+    /// recorded any iterations.
+    pub fn absorb(&mut self, other: &AttributionAccumulator) {
+        assert_eq!(
+            self.labels, other.labels,
+            "absorbed accumulator must cover the same task graph"
+        );
+        for (mine, theirs) in self.on_path.iter_mut().zip(&other.on_path) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+        }
+        for (mine, theirs) in self.per_gpu.iter_mut().zip(&other.per_gpu) {
+            mine.compute += theirs.compute;
+            mine.overlapped += theirs.overlapped;
+            mine.exposed += theirs.exposed;
+            mine.idle += theirs.idle;
+            mine.total += theirs.total;
+        }
+        self.path_total += other.path_total;
+        self.path_compute += other.path_compute;
+        self.path_comm += other.path_comm;
+        self.iterations += other.iterations;
+        if other.iterations > 0 {
+            self.last_path.clear();
+            self.last_path.extend_from_slice(&other.last_path);
+        }
+    }
+
     fn walk_critical_path(&mut self, it: &IterationObservation<'_>) {
         // Sink: the latest-finishing task (ties toward smallest index).
         let mut sink: Option<(usize, VirtualTime)> = None;
@@ -694,6 +730,38 @@ mod tests {
         assert_eq!(acc.last_path().len(), 3);
         assert_eq!(acc.last_path()[0].0, 0);
         assert_eq!(acc.last_path()[2].0, 2);
+    }
+
+    #[test]
+    fn absorb_matches_recording_the_iterations_serially() {
+        let start = [Some(t(0.0)), Some(t(2.0)), Some(t(3.0))];
+        let finish = [Some(t(2.0)), Some(t(3.0)), Some(t(4.0))];
+        let pred = [None, None, None];
+
+        // Serial oracle: both iterations into one accumulator.
+        let mut serial = chain_accumulator();
+        serial.record_iteration(&chain_observation(&start, &finish, &pred));
+        serial.record_iteration(&chain_observation(&start, &finish, &pred));
+
+        // Sharded shape: one iteration each, then absorb in order.
+        let mut first = chain_accumulator();
+        first.record_iteration(&chain_observation(&start, &finish, &pred));
+        let mut second = chain_accumulator();
+        second.record_iteration(&chain_observation(&start, &finish, &pred));
+        first.absorb(&second);
+
+        assert_eq!(first.iterations(), serial.iterations());
+        assert_eq!(first.last_path(), serial.last_path());
+        let stringify = |acc: &AttributionAccumulator| {
+            serde_json::to_string(&acc.finish(Vec::new(), None).to_value())
+                .expect("attribution JSON is finite")
+        };
+        assert_eq!(stringify(&first), stringify(&serial));
+
+        // Absorbing an empty accumulator changes nothing.
+        let snapshot = stringify(&first);
+        first.absorb(&chain_accumulator());
+        assert_eq!(stringify(&first), snapshot);
     }
 
     #[test]

@@ -37,7 +37,8 @@ impl fmt::Display for SpecError {
                 f,
                 "unknown scenario field `{name}` (try model, trace_batch, gpu, platform, \
                  parallelism, global_batch, fidelity, collective, iterations, realloc, \
-                 faults, fault_seed, max_events, max_sim_time_us, wall_timeout_ms, label)"
+                 faults, fault_seed, max_events, max_sim_time_us, wall_timeout_ms, shards, \
+                 label)"
             ),
             SpecError::BadValue { field, detail } => write!(f, "field `{field}`: {detail}"),
             SpecError::Empty => write!(f, "sweep expands to zero scenarios"),
@@ -95,6 +96,12 @@ pub struct Scenario {
     /// canonical serialization (and thus from journal compatibility
     /// hashes and canonical sweep output).
     pub wall_timeout_ms: Option<u64>,
+    /// Worker threads for iteration-axis sharding inside this scenario
+    /// (`SimBuilder::shards`). Sharding is gated on byte-identity, so
+    /// like `wall_timeout_ms` this is a host-tuning knob **excluded**
+    /// from the canonical serialization: the same sweep run at any
+    /// shard count produces the same journal hashes and output bytes.
+    pub shards: u64,
 }
 
 impl Default for Scenario {
@@ -116,6 +123,7 @@ impl Default for Scenario {
             max_events: None,
             max_sim_time_us: None,
             wall_timeout_ms: None,
+            shards: 1,
         }
     }
 }
@@ -236,6 +244,7 @@ const FIELD_NAMES: &[&str] = &[
     "max_events",
     "max_sim_time_us",
     "wall_timeout_ms",
+    "shards",
 ];
 
 fn decode<T: Deserialize>(field: &str, v: &Value) -> Result<T, SpecError> {
@@ -263,6 +272,15 @@ fn apply_field(s: &mut Scenario, name: &str, v: &Value) -> Result<(), SpecError>
         "max_events" => s.max_events = Some(decode(name, v)?),
         "max_sim_time_us" => s.max_sim_time_us = Some(decode(name, v)?),
         "wall_timeout_ms" => s.wall_timeout_ms = Some(decode(name, v)?),
+        "shards" => {
+            s.shards = decode(name, v)?;
+            if s.shards == 0 {
+                return Err(SpecError::BadValue {
+                    field: name.to_string(),
+                    detail: "need at least one shard".into(),
+                });
+            }
+        }
         other => return Err(SpecError::UnknownField(other.to_string())),
     }
     Ok(())
@@ -589,6 +607,30 @@ mod tests {
             !json.contains("wall_timeout_ms"),
             "wall clock is host-dependent and must stay out of canonical output: {json}"
         );
+    }
+
+    #[test]
+    fn shards_parse_but_are_never_serialized() {
+        let spec = SweepSpec::from_json(
+            r#"{ "defaults": { "shards": 4 }, "scenarios": [ {}, { "shards": 1 } ] }"#,
+        )
+        .unwrap();
+        let s = spec.expand().unwrap();
+        assert_eq!(s[0].shards, 4);
+        assert_eq!(s[1].shards, 1, "per-scenario override wins");
+        let json = serde_json::to_string(&s[0].to_value()).unwrap();
+        assert!(
+            !json.contains("shards"),
+            "shard count is a host-tuning knob and must stay out of canonical output: {json}"
+        );
+        let err = SweepSpec::from_json(r#"{ "scenarios": [ { "shards": 0 } ] }"#)
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        match err {
+            SpecError::BadValue { field, .. } => assert_eq!(field, "shards"),
+            other => panic!("wrong error {other:?}"),
+        }
     }
 
     #[test]

@@ -48,6 +48,9 @@ COMMANDS:
         --parallelism <dp|ddp|tp|pp[:chunks]|hp:groups[:chunks]>  (default ddp)
         --batch <n>             global batch (default: weak scaling)
         --iterations <n>        back-to-back training iterations (default 1)
+        --shards <n>            worker threads for iteration-axis sharding
+                                (default 1; output is byte-identical at any
+                                shard count — sharding only changes speed)
         --reference             run the ground-truth reference instead
         --timeline <file>       write the Chrome-trace timeline
         --html <file>           write a self-contained HTML timeline view
@@ -69,8 +72,8 @@ COMMANDS:
                                 compute/overlap/exposed-comm/idle buckets,
                                 top critical ops, stragglers, hot links
         --trace <file>          plus the same --platform/--parallelism/
-                                --batch/--iterations/--reference/--faults/
-                                --fault-seed flags as `simulate`
+                                --batch/--iterations/--shards/--reference/
+                                --faults/--fault-seed flags as `simulate`
         --top <k>               critical ops / links to list (default 8)
         --profile               also print the wall-clock self-profile
     memory                      estimate the per-GPU memory footprint
@@ -147,6 +150,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "parallelism",
             "batch",
             "iterations",
+            "shards",
             "reference",
             "timeline",
             "html",
@@ -165,6 +169,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "parallelism",
             "batch",
             "iterations",
+            "shards",
             "reference",
             "faults",
             "fault-seed",
@@ -325,6 +330,13 @@ fn apply_sim_flags<'a>(
             return Err("--iterations must be at least 1".into());
         }
         builder = builder.iterations(iters);
+    }
+    if let Some(shards) = opts.get("shards") {
+        let shards: usize = parse(shards)?;
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        builder = builder.shards(shards);
     }
     if opts.contains_key("reference") {
         builder = builder.fidelity(Fidelity::Reference);

@@ -279,6 +279,100 @@ pub fn execute_budgeted_profiled<'a>(
     ex.run(iterations)
 }
 
+/// Builds a [`BottleneckReport`] from an attribution accumulator and the
+/// network's link observations — shared between the serial epilogue and
+/// the sharded merge (which reconstructs the identical report from
+/// absorbed per-block state).
+pub(crate) fn bottleneck_report(
+    network: &dyn NetworkModel,
+    attr: &AttributionAccumulator,
+    total: TimeSpan,
+    lost_compute: Option<&[f64]>,
+) -> BottleneckReport {
+    let total_s = total.as_seconds();
+    let links = network
+        .observe_links()
+        .into_iter()
+        .map(|l| HotLink {
+            label: l.label,
+            busy_s: l.busy_s,
+            bytes: l.bytes,
+            utilization: if total_s > 0.0 {
+                (l.busy_s / total_s).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    attr.finish(links, lost_compute)
+}
+
+/// Everything one sharded iteration block produces, in exactly the shape
+/// the merge needs: integer-tick running totals (summable without
+/// drift), raw interval lists (concatenated then canonically sorted),
+/// and per-event virtual times for deterministic budget replay.
+pub(crate) struct BlockOutcome {
+    /// End time of each completed iteration, in order.
+    pub iter_ends: Vec<VirtualTime>,
+    /// Per-GPU cumulative busy time (integer ticks).
+    pub gpu_busy: Vec<TimeSpan>,
+    /// Raw `(start, end)` transfer intervals.
+    pub comm_intervals: Vec<(VirtualTime, VirtualTime)>,
+    /// Timeline records of the block's iterations.
+    pub timeline: Vec<TimelineRecord>,
+    /// Payload bytes transferred.
+    pub bytes_transferred: u64,
+    /// Event-queue counters.
+    pub queue_stats: triosim_des::QueueStats,
+    /// Attribution state (absorbed into the probe's accumulator).
+    pub attr: AttributionAccumulator,
+    /// Virtual time of every real event, when tracking was requested.
+    pub event_times: Vec<VirtualTime>,
+    /// Real events delivered (equals `event_times.len()` when tracked).
+    pub budget_events: u64,
+    /// Set when the block stopped early (its live wall-clock guard).
+    pub error: Option<SimError>,
+}
+
+/// Runs iterations `iter_offset..iter_offset + iterations` of `graph` as
+/// one sharded block: the clock starts at `origin`, no observability or
+/// faults are attached (the sharded path is gated on both being absent),
+/// and `budget` is the block's *live* guard (callers pass
+/// [`RunBudget::wall_only`]; deterministic axes are replayed at merge
+/// time from `event_times`, which is recorded when `track_events` is
+/// set).
+pub(crate) fn execute_block(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    origin: VirtualTime,
+    iter_offset: usize,
+    iterations: usize,
+    budget: RunBudget,
+    track_events: bool,
+) -> BlockOutcome {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut ex = Executor::new(graph, network)
+        .with_origin(origin)
+        .with_iter_offset(iter_offset)
+        .with_budget(budget);
+    if track_events {
+        ex = ex.with_event_tracking();
+    }
+    let error = ex.run_iterations(iterations).err();
+    BlockOutcome {
+        iter_ends: ex.iter_ends,
+        gpu_busy: ex.gpus.iter().map(|g| g.busy_time).collect(),
+        comm_intervals: ex.comm_intervals,
+        timeline: ex.timeline,
+        bytes_transferred: ex.bytes_transferred,
+        queue_stats: *ex.queue.stats(),
+        attr: ex.attr,
+        event_times: ex.event_times,
+        budget_events: ex.budget_events,
+        error,
+    }
+}
+
 /// Maps a topology node to a GPU index under the repo-wide platform
 /// convention (`Platform::gpu_node(i) == NodeId(1 + i)`, `NodeId(0)` is
 /// the host, nodes past `1 + gpus` are NICs/spines).
@@ -289,7 +383,9 @@ fn node_gpu(node: NodeId, gpus: usize) -> Option<usize> {
 struct GpuStream {
     ready: VecDeque<TaskId>,
     busy: bool,
-    busy_time: f64,
+    /// Cumulative busy time in integer ticks: exact, so per-block totals
+    /// from sharded runs sum to byte-identical per-GPU compute figures.
+    busy_time: TimeSpan,
 }
 
 /// Live state of one fault-injected run. Present only when the session
@@ -370,6 +466,18 @@ struct Executor<'a> {
     budget_events: u64,
     /// Iteration currently executing (jitter coordinate).
     current_iter: usize,
+    // ------- sharded-execution support (inert on ordinary runs) -------
+    /// Global index of this run's first iteration; a sharded block of
+    /// iterations `k..k+m` runs with `iter_offset = k` so per-iteration
+    /// coordinates (jitter, logs) match the serial run's.
+    iter_offset: usize,
+    /// Virtual time at which each completed iteration ended.
+    iter_ends: Vec<VirtualTime>,
+    /// When set, the virtual time of every real (compute/flow) event is
+    /// recorded so a sharded merge can *replay* deterministic budget
+    /// enforcement in canonical order.
+    track_events: bool,
+    event_times: Vec<VirtualTime>,
     prev_link_busy: Vec<f64>,
     prev_sample_at: VirtualTime,
     collective_of_first: HashMap<TaskId, usize>,
@@ -437,7 +545,7 @@ impl<'a> Executor<'a> {
                 .map(|_| GpuStream {
                     ready: VecDeque::new(),
                     busy: false,
-                    busy_time: 0.0,
+                    busy_time: TimeSpan::ZERO,
                 })
                 .collect(),
             flow_task: HashMap::new(),
@@ -460,6 +568,10 @@ impl<'a> Executor<'a> {
             budget: None,
             budget_events: 0,
             current_iter: 0,
+            iter_offset: 0,
+            iter_ends: Vec::new(),
+            track_events: false,
+            event_times: Vec::new(),
             prev_link_busy: Vec::new(),
             prev_sample_at: VirtualTime::ZERO,
             collective_of_first: HashMap::new(),
@@ -519,11 +631,38 @@ impl<'a> Executor<'a> {
         self
     }
 
-    fn run(mut self, iterations: usize) -> Result<SimReport, SimError> {
+    /// Starts the clock (and the sampling origin) at `origin` instead of
+    /// zero: a sharded iteration block replays iterations `k..` exactly
+    /// where the serial run would have placed them.
+    fn with_origin(mut self, origin: VirtualTime) -> Self {
+        self.queue = EventQueue::starting_at(origin);
+        self.prev_sample_at = origin;
+        self.iter_begin = origin;
+        self
+    }
+
+    /// Sets the global index of this run's first iteration (sharded
+    /// blocks only; coordinates per-iteration state like jitter).
+    fn with_iter_offset(mut self, offset: usize) -> Self {
+        self.iter_offset = offset;
+        self
+    }
+
+    /// Records the virtual time of every real event for post-hoc
+    /// deterministic budget replay (sharded blocks only).
+    fn with_event_tracking(mut self) -> Self {
+        self.track_events = true;
+        self
+    }
+
+    /// Runs `iterations` back-to-back iterations, folding each into the
+    /// attribution accumulator and recording its end time. On error the
+    /// loop stops with the structured error; completed-iteration state
+    /// (`iter_ends`, attribution) remains valid for inspection.
+    fn run_iterations(&mut self, iterations: usize) -> Result<(), SimError> {
         let base_indegree = self.indegree.clone();
-        let engine_t = self.profiling.then(Instant::now);
         for iter in 0..iterations {
-            self.current_iter = iter;
+            self.current_iter = self.iter_offset + iter;
             if iter > 0 {
                 self.indegree.clone_from(&base_indegree);
                 self.completed = 0;
@@ -532,12 +671,6 @@ impl<'a> Executor<'a> {
             }
             self.run_once();
             if let Some(e) = self.stop_error.take() {
-                // Close observability sinks so partial traces flush, then
-                // surface the structured error instead of the deadlock
-                // panic the unfinished graph would otherwise trigger.
-                let total = self.queue.now() - VirtualTime::ZERO;
-                self.flush_selfprof(engine_t, iter as u64 + 1);
-                self.finish_observability(total, None);
                 return Err(e);
             }
             assert_eq!(
@@ -546,8 +679,9 @@ impl<'a> Executor<'a> {
                 "execution deadlocked: {} of {} tasks completed (iteration {})",
                 self.completed,
                 self.graph.len(),
-                iter
+                self.current_iter
             );
+            self.iter_ends.push(self.queue.now());
             // Fold the completed iteration into the bottleneck
             // attribution (pure virtual-time state, always on).
             self.attr.record_iteration(&IterationObservation {
@@ -564,21 +698,32 @@ impl<'a> Executor<'a> {
                         now,
                         "executor",
                         "iteration_end",
-                        &[("iteration", AttrValue::U64(iter as u64))],
+                        &[("iteration", AttrValue::U64(self.current_iter as u64))],
                     );
                 }
             }
+        }
+        Ok(())
+    }
+
+    fn run(mut self, iterations: usize) -> Result<SimReport, SimError> {
+        let engine_t = self.profiling.then(Instant::now);
+        if let Err(e) = self.run_iterations(iterations) {
+            // Close observability sinks so partial traces flush, then
+            // surface the structured error instead of the deadlock
+            // panic the unfinished graph would otherwise trigger.
+            let total = self.queue.now() - VirtualTime::ZERO;
+            let done = self.iter_ends.len() as u64 + 1;
+            self.flush_selfprof(engine_t, done);
+            self.finish_observability(total, None);
+            return Err(e);
         }
         self.flush_selfprof(engine_t, iterations as u64);
 
         let total = self.queue.now() - VirtualTime::ZERO;
         let bottleneck = self.build_bottleneck(total);
         self.finish_observability(total, Some(&bottleneck));
-        let per_gpu_compute = self
-            .gpus
-            .iter()
-            .map(|g| triosim_des::TimeSpan::from_seconds(g.busy_time))
-            .collect();
+        let per_gpu_compute = self.gpus.iter().map(|g| g.busy_time).collect();
         let comm_busy = union_length(self.comm_intervals);
         let mut timeline = self.timeline;
         timeline.sort_by_key(|r| (r.start, r.end));
@@ -609,24 +754,8 @@ impl<'a> Executor<'a> {
     /// Folds the accumulated attribution state into the run's
     /// [`BottleneckReport`], ranking links by busy time.
     fn build_bottleneck(&self, total: TimeSpan) -> BottleneckReport {
-        let total_s = total.as_seconds();
-        let links = self
-            .network
-            .observe_links()
-            .into_iter()
-            .map(|l| HotLink {
-                label: l.label,
-                busy_s: l.busy_s,
-                bytes: l.bytes,
-                utilization: if total_s > 0.0 {
-                    (l.busy_s / total_s).clamp(0.0, 1.0)
-                } else {
-                    0.0
-                },
-            })
-            .collect();
         let lost = self.faults.as_ref().map(|fr| fr.lost_compute.as_slice());
-        self.attr.finish(links, lost)
+        bottleneck_report(self.network, &self.attr, total, lost)
     }
 
     /// Records the engine-loop wall time (and the network model's share
@@ -657,7 +786,7 @@ impl<'a> Executor<'a> {
         let links = self.network.observe_links();
         let now = self.queue.now();
         let total_s = total.as_seconds();
-        let gpu_busy: Vec<f64> = self.gpus.iter().map(|g| g.busy_time).collect();
+        let gpu_busy: Vec<f64> = self.gpus.iter().map(|g| g.busy_time.as_seconds()).collect();
         let dispatches = self.dispatches;
         let fault_stats = self
             .faults
@@ -852,12 +981,17 @@ impl<'a> Executor<'a> {
             // events take effect. Ticks and fault injections are
             // excluded so budget trips are independent of observability
             // settings and fault-plan shape.
-            if let Some(b) = &self.budget {
-                if matches!(
+            if (self.budget.is_some() || self.track_events)
+                && matches!(
                     event,
                     Event::ComputeDone { .. } | Event::FlowDelivered { .. }
-                ) {
-                    self.budget_events += 1;
+                )
+            {
+                self.budget_events += 1;
+                if self.track_events {
+                    self.event_times.push(now);
+                }
+                if let Some(b) = &self.budget {
                     if let Some((kind, limit)) = b.check(self.budget_events, now) {
                         self.stop_error = Some(SimError::BudgetExceeded { kind, limit });
                         return;
@@ -870,7 +1004,7 @@ impl<'a> Executor<'a> {
                     self.dispatches[0] += 1;
                     self.gpus[gpu].busy = false;
                     let start = self.compute_start[task.0].expect("compute was started");
-                    self.gpus[gpu].busy_time += (now - start).as_seconds();
+                    self.gpus[gpu].busy_time += now - start;
                     self.attr_end[task.0] = Some(now);
                     self.last_done[gpu] = Some(task.0 as u32);
                     self.timeline.push(TimelineRecord {

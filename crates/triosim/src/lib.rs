@@ -62,6 +62,7 @@ mod parallelism;
 mod platform;
 mod report;
 mod session;
+mod shardexec;
 pub mod sweep;
 mod taskgraph;
 mod viz;

@@ -61,6 +61,7 @@ pub struct SimBuilder<'a> {
     network: Option<Box<dyn NetworkModel>>,
     collective_style: CollectiveStyle,
     iterations: usize,
+    shards: usize,
     observability: Observability,
     faults: Option<FaultPlan>,
     fault_seed: Option<u64>,
@@ -80,6 +81,7 @@ impl<'a> SimBuilder<'a> {
             network: None,
             collective_style: CollectiveStyle::default(),
             iterations: 1,
+            shards: 1,
             observability: Observability::off(),
             faults: None,
             fault_seed: None,
@@ -97,6 +99,27 @@ impl<'a> SimBuilder<'a> {
     pub fn iterations(mut self, iterations: usize) -> Self {
         assert!(iterations > 0, "need at least one iteration");
         self.iterations = iterations;
+        self
+    }
+
+    /// Executes multi-iteration runs with up to `n` worker threads
+    /// sharded along the iteration axis (DESIGN.md §12). The report is
+    /// byte-identical to the single-threaded run at any shard count —
+    /// sharding only changes wall-clock time, never output.
+    ///
+    /// The parallel path engages when the run has more than one
+    /// iteration, no fault plan, no observability recorder or progress
+    /// monitor, and an iteration-invariant network model that supports
+    /// pristine forking (the default [`FlowNetwork`] does). Every other
+    /// configuration — and `n == 1` — runs serially, which is always
+    /// correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one shard");
+        self.shards = n;
         self
     }
 
@@ -351,6 +374,19 @@ impl<'a> SimBuilder<'a> {
                 Some(p),
             );
         }
+        if self.shards > 1 && self.iterations > 1 && plan.is_empty() && !obs.is_active() {
+            // The sharded path subsumes the budgeted one: deterministic
+            // axes are enforced live on the probe iteration and replayed
+            // in canonical event order over the parallel blocks, so
+            // trips carry the exact serial kind and limit.
+            return crate::shardexec::execute_sharded(
+                &graph,
+                network.as_mut(),
+                self.iterations,
+                self.shards,
+                self.budget.take().unwrap_or_else(RunBudget::unlimited),
+            );
+        }
         if let Some(budget) = self.budget.take() {
             return execute_budgeted(
                 &graph,
@@ -511,6 +547,98 @@ mod tests {
             .try_run()
             .expect_err("budget trips long before the scheduled fault");
         assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_serial() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let serial = SimBuilder::new(&t, &p).iterations(5).run();
+        for shards in [2, 3, 8] {
+            let sharded = SimBuilder::new(&t, &p).iterations(5).shards(shards).run();
+            assert_eq!(
+                serial.to_canonical_json(),
+                sharded.to_canonical_json(),
+                "shards={shards} diverged from the serial oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_budget_trip_matches_serial_kind_and_limit() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let run = |shards: usize, limit: u64| {
+            SimBuilder::new(&t, &p)
+                .iterations(4)
+                .shards(shards)
+                .budget(RunBudget::unlimited().with_max_events(limit))
+                .try_run()
+        };
+        // A limit the probe iteration itself trips.
+        let serial = run(1, 10).expect_err("10 events cannot finish");
+        for shards in [2, 4] {
+            let sharded = run(shards, 10).expect_err("10 events cannot finish");
+            assert_eq!(serial.to_string(), sharded.to_string());
+        }
+        // A family of limits sweeping from "trips in the probe" through
+        // "trips in a parallel block via deterministic replay" to "never
+        // trips": serial and sharded must agree exactly at every point.
+        for limit in [10, 1_000, 10_000, 100_000, u64::MAX - 1] {
+            let serial = run(1, limit).map(|r| r.to_canonical_json());
+            for shards in [2, 4] {
+                let sharded = run(shards, limit).map(|r| r.to_canonical_json());
+                match (&serial, &sharded) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "limit={limit} shards={shards}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(
+                            a.to_string(),
+                            b.to_string(),
+                            "limit={limit} shards={shards}"
+                        );
+                    }
+                    _ => panic!("limit={limit} shards={shards}: serial and sharded disagree"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_composes_with_budget_byte_identically() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let plain = SimBuilder::new(&t, &p).iterations(4).run();
+        let sharded = SimBuilder::new(&t, &p)
+            .iterations(4)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_max_events(u64::MAX))
+            .try_run()
+            .expect("generous budget never trips");
+        assert_eq!(plain.to_canonical_json(), sharded.to_canonical_json());
+    }
+
+    #[test]
+    fn shards_with_faults_fall_back_to_the_serial_path() {
+        use triosim_faults::GpuSlowdown;
+        let t = trace();
+        let p = Platform::p2(2);
+        let plan = FaultPlan {
+            gpu_slowdowns: vec![GpuSlowdown {
+                gpu: 1,
+                factor: 1.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let serial = SimBuilder::new(&t, &p)
+            .iterations(3)
+            .faults(plan.clone())
+            .run();
+        let sharded = SimBuilder::new(&t, &p)
+            .iterations(3)
+            .shards(4)
+            .faults(plan)
+            .run();
+        assert_eq!(serial.to_canonical_json(), sharded.to_canonical_json());
     }
 
     #[test]

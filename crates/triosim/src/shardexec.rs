@@ -1,0 +1,259 @@
+//! Sharded parallel execution along the iteration axis (DESIGN.md §12).
+//!
+//! A training run simulates the same task graph `N` times back to back.
+//! Between iterations the simulation is *quiescent*: the event queue is
+//! fully drained (heap and cancelled set empty) and the network carries
+//! no in-flight flows — the graph cannot complete otherwise. On the
+//! sharded path's gating conditions (no faults, no observability, an
+//! iteration-invariant network that can be forked pristine), iteration
+//! `k` is therefore a pure time-shifted replay of iteration 0: it sees a
+//! behaviorally pristine network and starts at `k × T1`, where `T1` is
+//! the duration of one iteration. That gives the conservative-lookahead
+//! argument its strongest possible form — the lookahead between
+//! iteration shards is the *entire iteration*, so shards never need to
+//! exchange boundary events at all.
+//!
+//! Concretely:
+//!
+//! 1. A serial **probe** runs iteration 0 on the real network under the
+//!    real budget, measuring `T1`.
+//! 2. The remaining `N - 1` iterations are split into contiguous blocks,
+//!    one per worker thread. Each block runs on a pristine fork of the
+//!    network with its clock started at `k × T1` — exactly where the
+//!    serial run would have placed its first iteration.
+//! 3. The **committer** validates that every iteration ended exactly
+//!    where the probe's `T1` predicts (any mismatch falls back to a full
+//!    serial rerun — correctness never depends on the shift argument
+//!    holding), replays deterministic budget axes over the merged event
+//!    times, and folds per-block statistics into the probe's.
+//!
+//! Every merged quantity is an integer (ticks, bytes, counts) or a raw
+//! record list sorted by a total key, so the merge is associative and
+//! the final [`SimReport`]'s canonical JSON is **byte-identical** to the
+//! single-threaded oracle's at any shard count.
+
+use std::thread;
+
+use triosim_des::{QueueStats, RunBudget, TimeSpan, VirtualTime};
+use triosim_faults::FaultPlan;
+use triosim_network::NetworkModel;
+
+use crate::error::SimError;
+use crate::executor::{
+    bottleneck_report, execute_block, execute_budgeted, BlockOutcome, Observability,
+};
+use crate::report::{union_length, SimReport};
+use crate::taskgraph::TaskGraph;
+
+/// Executes `graph` for `iterations` iterations using up to `shards`
+/// worker threads, producing a report byte-identical to the serial
+/// [`execute_budgeted`] run with an empty fault plan and observability
+/// off (callers gate on those two conditions — see `SimBuilder`).
+///
+/// Models that cannot be forked pristinely (or are not
+/// iteration-invariant) simply take the serial path here; shard count
+/// provably never changes output bytes, only wall-clock time.
+///
+/// # Errors
+///
+/// Exactly the serial path's: [`SimError::BudgetExceeded`] with the same
+/// kind and limit on deterministic-axis trips (replayed in canonical
+/// event order), or a wall-clock trip from whichever part of the run hit
+/// the host deadline first.
+///
+/// # Panics
+///
+/// Panics if `shards < 2` or `iterations < 2` (the caller's gate).
+pub(crate) fn execute_sharded(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    shards: usize,
+    budget: RunBudget,
+) -> Result<SimReport, SimError> {
+    assert!(shards >= 2, "sharded execution needs at least two shards");
+    assert!(
+        iterations >= 2,
+        "sharded execution needs at least two iterations"
+    );
+    let shardable = network.iteration_invariant()
+        && network.stats_snapshot().is_some()
+        && network.fork_pristine().is_some();
+    if !shardable {
+        return execute_budgeted(
+            graph,
+            network,
+            iterations,
+            Observability::off(),
+            &FaultPlan::default(),
+            budget,
+        );
+    }
+
+    // Deterministic budget axes are enforced live on the probe and
+    // *replayed* over the blocks' recorded event times at commit.
+    let replay = budget.has_deterministic_axes();
+
+    // Phase 1: serial probe — iteration 0 on the real network, real
+    // budget. Its trips are the serial run's trips.
+    let probe = execute_block(
+        graph,
+        network,
+        VirtualTime::ZERO,
+        0,
+        1,
+        budget.clone(),
+        false,
+    );
+    if let Some(e) = probe.error {
+        return Err(e);
+    }
+    let t1_end = *probe.iter_ends.last().expect("probe ran one iteration");
+    let t1 = t1_end - VirtualTime::ZERO;
+    if t1.is_zero() {
+        // A zero-length iteration gives blocks no time offset to anchor
+        // to; degenerate, and not worth threading. Serial rerun.
+        return serial_rerun(graph, network, iterations, budget);
+    }
+
+    // Phase 2: contiguous iteration blocks, one worker each.
+    let remaining = iterations - 1;
+    let workers = shards.min(remaining);
+    let base = remaining / workers;
+    let extra = remaining % workers;
+    // (first global iteration index, iteration count) per block.
+    let mut layout = Vec::with_capacity(workers);
+    let mut next = 1usize;
+    for b in 0..workers {
+        let len = base + usize::from(b < extra);
+        layout.push((next, len));
+        next += len;
+    }
+    let wall = budget.wall_only();
+    let block_origin =
+        |first: usize| -> VirtualTime { VirtualTime::from_femtos(t1.as_femtos() * first as u64) };
+    let mut blocks: Vec<(BlockOutcome, Box<dyn NetworkModel + Send>)> = thread::scope(|scope| {
+        let handles: Vec<_> = layout
+            .iter()
+            .map(|&(first, len)| {
+                let mut fork = network
+                    .fork_pristine()
+                    .expect("gated on a forkable network model");
+                let wall = wall.clone();
+                scope.spawn(move || {
+                    let out = execute_block(
+                        graph,
+                        fork.as_mut(),
+                        block_origin(first),
+                        first,
+                        len,
+                        wall,
+                        replay,
+                    );
+                    (out, fork)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    // Phase 3: commit. First validate the time-shift argument held: every
+    // iteration must have ended exactly on the `T1` grid. A single
+    // mismatch discards all sharded state and reruns serially — the
+    // fallback is the oracle, so correctness never rests on the shift.
+    let on_grid = layout.iter().zip(&blocks).all(|(&(first, len), (out, _))| {
+        out.error.is_some()
+            || (out.iter_ends.len() == len
+                && out
+                    .iter_ends
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &end)| end == block_origin(first + i + 1)))
+    });
+    if !on_grid {
+        return serial_rerun(graph, network, iterations, budget);
+    }
+
+    // Deterministic budget replay over the blocks' event times in
+    // canonical (block, event) order — identical to the serial order
+    // because block k's events all precede block k+1's. The replay wins
+    // over any block's wall-clock error: the serial run would have
+    // tripped the deterministic axis at that exact event too.
+    if replay {
+        let det = budget.deterministic_only();
+        let mut events = probe.budget_events;
+        for (out, _) in &blocks {
+            for &t in &out.event_times {
+                events += 1;
+                if let Some((kind, limit)) = det.check(events, t) {
+                    return Err(SimError::BudgetExceeded { kind, limit });
+                }
+            }
+        }
+    }
+    if let Some(e) = blocks.iter_mut().find_map(|(out, _)| out.error.take()) {
+        return Err(e);
+    }
+
+    // Exact merge, in block order (== iteration order). Integer sums and
+    // stable re-sorts only — see the module docs.
+    let mut attr = probe.attr;
+    let mut queue_stats: QueueStats = probe.queue_stats;
+    let mut gpu_busy: Vec<TimeSpan> = probe.gpu_busy;
+    let mut comm_intervals = probe.comm_intervals;
+    let mut timeline = probe.timeline;
+    let mut bytes = probe.bytes_transferred;
+    for (out, fork) in blocks {
+        attr.absorb(&out.attr);
+        queue_stats.merge(&out.queue_stats);
+        for (mine, theirs) in gpu_busy.iter_mut().zip(&out.gpu_busy) {
+            *mine += *theirs;
+        }
+        comm_intervals.extend(out.comm_intervals);
+        timeline.extend(out.timeline);
+        bytes += out.bytes_transferred;
+        let snap = fork.stats_snapshot().expect("gated on snapshot support");
+        network.absorb_stats(&snap);
+    }
+    let total = VirtualTime::from_femtos(t1.as_femtos() * iterations as u64) - VirtualTime::ZERO;
+    let bottleneck = bottleneck_report(network, &attr, total, None);
+    let comm_busy = union_length(comm_intervals);
+    timeline.sort_by_key(|r| (r.start, r.end));
+    let mut report = SimReport::new(
+        total,
+        gpu_busy,
+        comm_busy,
+        bytes,
+        graph.len() * iterations,
+        queue_stats,
+        network.observe(),
+        timeline,
+    );
+    report.set_bottleneck(bottleneck);
+    Ok(report)
+}
+
+/// The sharded path's escape hatch: a full serial run on a pristine fork
+/// of the network (the probe already consumed iteration 0 of the real
+/// one), producing exactly what the serial path would have.
+fn serial_rerun(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    budget: RunBudget,
+) -> Result<SimReport, SimError> {
+    let mut fresh = network
+        .fork_pristine()
+        .expect("gated on a forkable network model");
+    execute_budgeted(
+        graph,
+        fresh.as_mut(),
+        iterations,
+        Observability::off(),
+        &FaultPlan::default(),
+        budget,
+    )
+}

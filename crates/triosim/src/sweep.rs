@@ -172,6 +172,7 @@ struct ExecScenario {
     compute: ComputeModel,
     faults: Option<FaultPlan>,
     fault_seed: Option<u64>,
+    shards: usize,
 }
 
 /// The outcome of one scenario: its canonical report (or a deterministic
@@ -360,6 +361,7 @@ fn resolve_scenarios(
             fault_seed: scenario.fault_seed,
             global_batch: scenario.global_batch,
             iterations: scenario.iterations as usize,
+            shards: (scenario.shards as usize).max(1),
             trace,
             platform,
             parallelism,
@@ -383,7 +385,11 @@ fn resolve_scenarios(
 /// model. An enabled `prof` routes through the profiled session path
 /// (graph build / network build / engine loop spans); profiling never
 /// changes the canonical report bytes.
-fn run_scenario(r: &ResolvedScenario, prof: &mut SelfProfiler) -> Result<Value, ScenarioError> {
+fn run_scenario(
+    r: &ResolvedScenario,
+    shard_cap: usize,
+    prof: &mut SelfProfiler,
+) -> Result<Value, ScenarioError> {
     let e = r
         .exec
         .as_ref()
@@ -400,6 +406,11 @@ fn run_scenario(r: &ResolvedScenario, prof: &mut SelfProfiler) -> Result<Value, 
         .compute_model(e.compute.clone())
         .collective_style(e.collective)
         .iterations(e.iterations)
+        // Intra-scenario sharding never oversubscribes the host: the
+        // pool's workers and each scenario's shard threads multiply, so
+        // the cap divides the cores among the pool workers. Shard count
+        // is gated on byte-identity, so clamping cannot change output.
+        .shards(e.shards.min(shard_cap).max(1))
         .network(Box::new(network) as Box<dyn NetworkModel>);
     if let Some(batch) = e.global_batch {
         builder = builder.global_batch(batch);
@@ -445,12 +456,13 @@ fn execute_one(
     r: &ResolvedScenario,
     index: usize,
     fail_fast: bool,
+    shard_cap: usize,
     prof: &mut SelfProfiler,
 ) -> Result<Value, ScenarioError> {
     if fail_fast {
-        return run_scenario(r, prof);
+        return run_scenario(r, shard_cap, prof);
     }
-    match catch_unwind(AssertUnwindSafe(|| run_scenario(r, prof))) {
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(r, shard_cap, prof))) {
         Ok(outcome) => outcome,
         Err(payload) => Err(ScenarioError::Panicked {
             index,
@@ -639,6 +651,10 @@ pub fn run_sweep_with(
     let resolved = resolved?;
     let pending: Vec<usize> = (0..total).filter(|i| !skip.contains(i)).collect();
     let tracker = SweepProgress::with_replayed(total, replayed, config.progress);
+    // Pool workers x per-scenario shard threads must not oversubscribe
+    // the host: each scenario may use at most its fair share of cores.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shard_cap = (cores / config.threads.max(1)).max(1);
     let started = Instant::now();
     let execute_span = prof.begin("execute");
     let fresh = run_ordered(pending.len(), config.threads, |j| {
@@ -653,7 +669,7 @@ pub fn run_sweep_with(
             SelfProfiler::disabled()
         };
         let t0 = Instant::now();
-        let outcome = execute_one(r, index, config.fail_fast, &mut sprof);
+        let outcome = execute_one(r, index, config.fail_fast, shard_cap, &mut sprof);
         let wall_s = t0.elapsed().as_secs_f64();
         if let Some(w) = &writer {
             let entry = to_entry(index, &r.scenario.label, &outcome);
@@ -748,6 +764,21 @@ mod tests {
             }
             other => panic!("wrong error {other:?}"),
         }
+    }
+
+    #[test]
+    fn canonical_output_is_shard_count_invariant() {
+        let base = r#"{
+            "name": "shardy",
+            "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                          "platform": "p2:2", "iterations": 3 SHARDS },
+            "grid": { "parallelism": ["ddp", "tp"] }
+        }"#;
+        let serial = SweepSpec::from_json(&base.replace("SHARDS", "")).unwrap();
+        let sharded = SweepSpec::from_json(&base.replace("SHARDS", r#", "shards": 4"#)).unwrap();
+        let a = run_sweep(&serial, 1, false).unwrap().to_canonical_string();
+        let b = run_sweep(&sharded, 1, false).unwrap().to_canonical_string();
+        assert_eq!(a, b, "shard count must never leak into canonical output");
     }
 
     #[test]

@@ -83,6 +83,48 @@ fn golden_pp() {
     check("pp", Parallelism::Pipeline { chunks: 2 });
 }
 
+/// The golden quartet under `--shards 4`: a single-iteration run takes
+/// the serial path regardless of the shard knob, so the snapshots must
+/// match exactly — and at multiple iterations the sharded path engages
+/// and must still be byte-identical to the serial oracle.
+#[test]
+fn golden_quartet_is_shard_invariant() {
+    let trace = Tracer::new(GpuModel::A40).trace(&ModelId::Vgg11.build(8));
+    let platform = Platform::p2(2);
+    let quartet = [
+        ("dp", Parallelism::DataParallel { overlap: false }),
+        ("ddp", Parallelism::DataParallel { overlap: true }),
+        ("tp", Parallelism::TensorParallel),
+        ("pp", Parallelism::Pipeline { chunks: 2 }),
+    ];
+    for (name, parallelism) in quartet {
+        // Snapshot configuration (1 iteration): the shard knob is inert.
+        let sharded = SimBuilder::new(&trace, &platform)
+            .parallelism(parallelism)
+            .shards(4)
+            .run();
+        let sharded =
+            serde_json::to_string(&sharded.to_canonical_json()).expect("canonical JSON is finite");
+        if !bless_mode() {
+            let path = golden_dir().join(format!("{name}.json"));
+            let expected = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+            assert_eq!(sharded, expected, "`{name}` drifted under --shards 4");
+        }
+        // Multi-iteration: the parallel path engages; bytes must match
+        // the serial oracle exactly.
+        let run = |shards: usize| {
+            let r = SimBuilder::new(&trace, &platform)
+                .parallelism(parallelism)
+                .iterations(3)
+                .shards(shards)
+                .run();
+            serde_json::to_string(&r.to_canonical_json()).expect("canonical JSON is finite")
+        };
+        assert_eq!(run(1), run(4), "`{name}` x3 diverged under --shards 4");
+    }
+}
+
 /// The snapshot comparison is only as strong as the canonical form:
 /// verify the timeline hash actually covers scheduling order, not just
 /// aggregate totals, by checking two different configurations disagree.

@@ -1,0 +1,160 @@
+//! Sharded-execution identity properties: the parallel path must be
+//! byte-identical to the single-threaded oracle at every shard count,
+//! for every parallelism strategy, with and without fault plans, and
+//! must trip run budgets with exactly the serial kind and limit.
+//!
+//! Honest note on faults: a non-empty fault plan *disables* the sharded
+//! path (faults break iteration-invariance, so `SimBuilder` routes those
+//! runs serially). The fault cases here therefore assert the gating —
+//! that asking for shards never changes a faulted run — rather than
+//! exercising parallel workers.
+
+use proptest::prelude::*;
+use triosim::{FaultPlan, GpuSlowdown, Jitter, Parallelism, Platform, SimBuilder};
+use triosim_des::RunBudget;
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Trace, Tracer};
+
+fn trace(model: ModelId, batch: u64) -> Trace {
+    Tracer::new(GpuModel::A100).trace(&model.build(batch))
+}
+
+fn parallelism(index: usize) -> Parallelism {
+    match index % 4 {
+        0 => Parallelism::DataParallel { overlap: false },
+        1 => Parallelism::DataParallel { overlap: true },
+        2 => Parallelism::TensorParallel,
+        _ => Parallelism::Pipeline { chunks: 2 },
+    }
+}
+
+fn model(index: usize) -> ModelId {
+    [ModelId::Vgg11, ModelId::ResNet18][index % 2]
+}
+
+fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        gpu_slowdowns: vec![GpuSlowdown {
+            gpu: 0,
+            factor: 1.25,
+        }],
+        jitter: Some(Jitter { amplitude: 0.03 }),
+        ..FaultPlan::default()
+    }
+}
+
+fn canonical(
+    t: &Trace,
+    p: &Platform,
+    par: Parallelism,
+    iterations: usize,
+    shards: usize,
+    faults: Option<&FaultPlan>,
+) -> String {
+    let mut b = SimBuilder::new(t, p)
+        .parallelism(par)
+        .iterations(iterations)
+        .shards(shards);
+    if let Some(plan) = faults {
+        b = b.faults(plan.clone());
+    }
+    serde_json::to_string(&b.run().to_canonical_json()).expect("canonical JSON is finite")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole contract: any shard count, any parallelism, any
+    /// iteration count — same bytes as the serial oracle.
+    #[test]
+    fn sharded_reports_are_byte_identical_to_serial(
+        model_ix in 0usize..2,
+        par_ix in 0usize..4,
+        gpus_ix in 0usize..2,
+        batch_ix in 0usize..2,
+        iterations in 2usize..6,
+    ) {
+        let gpus = [2usize, 4][gpus_ix];
+        let batch = [4u64, 8][batch_ix];
+        let t = trace(model(model_ix), batch);
+        let p = Platform::p2(gpus);
+        let par = parallelism(par_ix);
+        let serial = canonical(&t, &p, par, iterations, 1, None);
+        for shards in [2, 4, 8] {
+            let sharded = canonical(&t, &p, par, iterations, shards, None);
+            prop_assert_eq!(
+                &serial, &sharded,
+                "shards={} diverged (model={:?} par={:?} gpus={} iters={})",
+                shards, model(model_ix), par, gpus, iterations
+            );
+        }
+    }
+
+    /// Fault plans route serially regardless of the shard knob: asking
+    /// for shards never changes a faulted run's bytes.
+    #[test]
+    fn faulted_runs_ignore_the_shard_knob(
+        par_ix in 0usize..4,
+        seed in 0u64..1000,
+        iterations in 2usize..4,
+    ) {
+        let t = trace(ModelId::Vgg11, 4);
+        let p = Platform::p2(2);
+        let par = parallelism(par_ix);
+        let plan = fault_plan(seed);
+        let serial = canonical(&t, &p, par, iterations, 1, Some(&plan));
+        let sharded = canonical(&t, &p, par, iterations, 4, Some(&plan));
+        prop_assert_eq!(serial, sharded);
+    }
+
+    /// Budget trips are deterministic across shard counts: same
+    /// `BudgetKind`, same limit message — or the same successful bytes.
+    #[test]
+    fn budget_trips_are_shard_count_invariant(
+        limit_ix in 0usize..5,
+        iterations in 2usize..5,
+    ) {
+        let limit = [50u64, 500, 5_000, 50_000, 500_000][limit_ix];
+        let t = trace(ModelId::Vgg11, 4);
+        let p = Platform::p2(2);
+        let run = |shards: usize| {
+            SimBuilder::new(&t, &p)
+                .iterations(iterations)
+                .shards(shards)
+                .budget(RunBudget::unlimited().with_max_events(limit))
+                .try_run()
+                .map(|r| serde_json::to_string(&r.to_canonical_json()).expect("finite"))
+                .map_err(|e| e.to_string())
+        };
+        let serial = run(1);
+        for shards in [2, 4, 8] {
+            prop_assert_eq!(&serial, &run(shards), "limit={} shards={}", limit, shards);
+        }
+    }
+}
+
+/// Simulated-time budgets must also trip identically — the deterministic
+/// replay covers both event and sim-time axes.
+#[test]
+fn sim_time_budget_trips_identically_across_shard_counts() {
+    let t = trace(ModelId::Vgg11, 4);
+    let p = Platform::p2(2);
+    let run = |shards: usize, us: u64| {
+        SimBuilder::new(&t, &p)
+            .iterations(4)
+            .shards(shards)
+            .budget(RunBudget::unlimited().with_max_sim_time_us(us))
+            .try_run()
+            .map(|r| serde_json::to_string(&r.to_canonical_json()).expect("finite"))
+            .map_err(|e| e.to_string())
+    };
+    // Sweep trip points from "inside the probe iteration" to "inside a
+    // parallel block" to "never".
+    for us in [1, 1_000, 30_000, 1_000_000_000] {
+        let serial = run(1, us);
+        for shards in [2, 4] {
+            assert_eq!(serial, run(shards, us), "us={us} shards={shards}");
+        }
+    }
+}
