@@ -33,6 +33,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Collective expansion runs inside every simulation build: production
+// code here must degrade through typed errors, never unwrap. Tests are
+// exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod bucket;
 mod schedule;

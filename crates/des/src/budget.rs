@@ -29,6 +29,8 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::VirtualTime;
 
 /// Which budget axis a run exceeded.
@@ -143,6 +145,30 @@ impl RunBudget {
         }
     }
 
+    /// A stable fingerprint of the deterministic axes (event cap and
+    /// sim-time horizon), FNV-1a over their configured limits.
+    ///
+    /// Checkpoint specs fold this in so a snapshot taken under one budget
+    /// is never restored under a different deterministic budget — the
+    /// resumed run would trip (or fail to trip) at a different event than
+    /// the uninterrupted oracle. The wall-clock deadline is deliberately
+    /// excluded: it is host-dependent by design and is re-armed on
+    /// restore.
+    pub fn deterministic_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.max_events.map_or(0, |m| 1 + m));
+        fold(self.max_sim_time.map_or(0, |(_, us)| 1 + us));
+        h
+    }
+
     /// Checks the budget against the run's progress: `events` delivered
     /// so far and virtual time `now`. Returns the tripped axis and its
     /// configured limit (events, µs, or ms respectively), or `None` while
@@ -171,6 +197,20 @@ impl RunBudget {
         }
         None
     }
+}
+
+/// Serializable progress along a [`RunBudget`]'s deterministic axes.
+///
+/// The event counter is the only budget state a resumed run needs:
+/// sim-time enforcement reads the restored clock directly, and the
+/// wall-clock deadline is re-armed fresh on restore (an `Instant` is
+/// meaningless across processes). Checkpoints embed this so the resumed
+/// run's [`check`](RunBudget::check) calls continue from the exact event
+/// count the interrupted run reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BudgetProgress {
+    /// Real (budget-counted) events delivered so far.
+    pub events: u64,
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ mod stats;
 mod ticker;
 mod time;
 
-pub use budget::{BudgetKind, RunBudget};
+pub use budget::{BudgetKind, BudgetProgress, RunBudget};
 pub use engine::{Engine, EngineCtx, EngineError, Handler, HandlerId, HandlerStats};
 pub use queue::{EventId, EventQueue};
 pub use shard::{run_sharded, ShardCtx, ShardHandler, ShardOutcome, ShardSeed};

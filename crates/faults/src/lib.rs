@@ -24,6 +24,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Fault plans parse untrusted JSON and drive the crash-safe sweep
+// layer: production code here must degrade through typed errors, never
+// unwrap. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::fmt;
 

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use triosim_des::{TimeSpan, VirtualTime};
 
 use crate::model::{
-    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetStatsSnapshot, NetworkModel,
-    PartitionedError,
+    FlowId, LinkCheckpoint, LinkFault, LinkObservation, NetCheckpoint, NetCommand, NetObservation,
+    NetRestoreError, NetStatsSnapshot, NetworkModel, PartitionedError,
 };
 use crate::topology::{LinkId, NodeId, Topology};
 
@@ -1076,6 +1076,107 @@ impl NetworkModel for FlowNetwork {
             stat.bytes += bytes;
             stat.busy += busy;
         }
+    }
+
+    fn spec_fingerprint(&self) -> u64 {
+        // FNV-1a over the model's full configuration: the serialized
+        // topology (nodes, links, parameters, transit restrictions), the
+        // fidelity knobs as raw bits, and the reallocation mode. Live
+        // mutable state (link stats, counters, the route cache) is
+        // deliberately excluded — two runs of the same *spec* must agree
+        // even when captured at different points in time.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let topo_json =
+            serde_json::to_string(&self.topo).expect("topologies serialize to plain JSON");
+        fold(topo_json.as_bytes());
+        fold(&self.config.per_message_overhead_s.to_bits().to_le_bytes());
+        fold(&self.config.chunk_bytes.to_le_bytes());
+        fold(&self.config.chunk_overhead_s.to_bits().to_le_bytes());
+        fold(&self.config.bandwidth_ramp_bytes.to_bits().to_le_bytes());
+        fold(&[match self.mode {
+            ReallocationMode::Incremental => 0u8,
+            ReallocationMode::Full => 1,
+            ReallocationMode::FullReschedule => 2,
+        }]);
+        h
+    }
+
+    fn checkpoint_state(&self) -> Option<NetCheckpoint> {
+        // Snapshots are only meaningful at quiescent instants: an
+        // in-flight flow's continuous drain state has no exact serialized
+        // form, so the model simply refuses to checkpoint mid-transfer.
+        if !self.slot_of.is_empty() {
+            return None;
+        }
+        Some(NetCheckpoint {
+            bytes_delivered: self.bytes_delivered,
+            flows_completed: self.flows_completed,
+            reallocations: self.reallocations,
+            reschedules: self.reschedules,
+            link_faults: self.link_faults,
+            reroutes: self.reroutes,
+            added_hops: self.added_hops,
+            links: (0..self.link_stats.len())
+                .map(|i| {
+                    let l = LinkId(i);
+                    LinkCheckpoint {
+                        bandwidth_bits: self.topo.bandwidth(l).to_bits(),
+                        up: self.topo.is_link_up(l),
+                        bytes: self.link_stats[i].bytes,
+                        busy: self.link_stats[i].busy,
+                    }
+                })
+                .collect(),
+        })
+    }
+
+    fn restore_state(&mut self, ck: &NetCheckpoint) -> Result<(), NetRestoreError> {
+        if !self.slot_of.is_empty() {
+            return Err(NetRestoreError::NotQuiescent);
+        }
+        if ck.links.len() != self.link_stats.len() {
+            return Err(NetRestoreError::LinkCountMismatch {
+                expected: self.link_stats.len(),
+                got: ck.links.len(),
+            });
+        }
+        // Validate every bandwidth before mutating anything, so a corrupt
+        // snapshot leaves the model untouched instead of half-restored.
+        for (i, lc) in ck.links.iter().enumerate() {
+            let bw = f64::from_bits(lc.bandwidth_bits);
+            if !bw.is_finite() || bw <= 0.0 {
+                return Err(NetRestoreError::BadBandwidth { link: i });
+            }
+        }
+        self.bytes_delivered = ck.bytes_delivered;
+        self.flows_completed = ck.flows_completed;
+        self.reallocations = ck.reallocations;
+        self.reschedules = ck.reschedules;
+        self.link_faults = ck.link_faults;
+        self.reroutes = ck.reroutes;
+        self.added_hops = ck.added_hops;
+        for (i, lc) in ck.links.iter().enumerate() {
+            let l = LinkId(i);
+            self.topo
+                .set_bandwidth(l, f64::from_bits(lc.bandwidth_bits));
+            self.topo.set_link_up(l, lc.up);
+            self.link_stats[i] = LinkStats {
+                bytes: lc.bytes,
+                busy: lc.busy,
+            };
+        }
+        // Routes are recomputed on demand from the restored topology —
+        // the snapshot is route-cache-free by design.
+        self.route_cache.fill(None);
+        Ok(())
     }
 }
 

@@ -52,8 +52,8 @@ mod topology;
 
 pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats, ReallocationMode};
 pub use model::{
-    FlowId, LinkFault, LinkObservation, NetCommand, NetObservation, NetStatsSnapshot, NetworkModel,
-    PartitionedError,
+    FlowId, LinkCheckpoint, LinkFault, LinkObservation, NetCheckpoint, NetCommand, NetObservation,
+    NetRestoreError, NetStatsSnapshot, NetworkModel, PartitionedError,
 };
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

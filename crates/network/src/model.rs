@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
 use triosim_des::{TimeSpan, VirtualTime};
 
 use crate::topology::NodeId;
@@ -151,6 +152,95 @@ pub struct NetStatsSnapshot {
     pub links: Vec<(u64, TimeSpan)>,
 }
 
+/// One link's complete checkpointable state: the live topology
+/// parameters fault injection may have changed (bandwidth, up/down) plus
+/// the cumulative per-link statistics.
+///
+/// Bandwidth is stored as raw IEEE-754 bits so restore reproduces the
+/// exact value a chain of degradations left behind — a decimal
+/// round-trip could perturb the last ulp and shift downstream flow
+/// timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkCheckpoint {
+    /// Link bandwidth in bytes/s, as `f64::to_bits`.
+    pub bandwidth_bits: u64,
+    /// Whether the link is up.
+    pub up: bool,
+    /// Payload bytes that have crossed the link.
+    pub bytes: u64,
+    /// Cumulative busy time (integer ticks).
+    pub busy: TimeSpan,
+}
+
+/// A complete, self-contained snapshot of a network model's state at a
+/// quiescent instant (no flows in flight).
+///
+/// Deliberately route-cache-free: routes are a pure function of the
+/// restored topology state, so the cache rebuilds on demand and its
+/// contents never appear in (or constrain) the snapshot format.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetCheckpoint {
+    /// Payload bytes delivered so far.
+    pub bytes_delivered: u64,
+    /// Flows completed so far.
+    pub flows_completed: u64,
+    /// Bandwidth-reallocation rounds performed.
+    pub reallocations: u64,
+    /// Delivery events re-armed by reallocation.
+    pub reschedules: u64,
+    /// Link faults applied.
+    pub link_faults: u64,
+    /// In-flight flows rerouted around a failed link.
+    pub reroutes: u64,
+    /// Extra hops accumulated by reroutes.
+    pub added_hops: u64,
+    /// Per-link state in the model's stable link order.
+    pub links: Vec<LinkCheckpoint>,
+}
+
+/// Why a [`NetworkModel::restore_state`] call was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRestoreError {
+    /// The model does not implement checkpoint/restore.
+    Unsupported,
+    /// The snapshot's link list does not match this model's topology.
+    LinkCountMismatch {
+        /// Links in the live topology.
+        expected: usize,
+        /// Links in the snapshot.
+        got: usize,
+    },
+    /// A snapshot link carries a non-finite or non-positive bandwidth.
+    BadBandwidth {
+        /// Index of the offending link.
+        link: usize,
+    },
+    /// The model has in-flight flows; restore requires a quiescent model.
+    NotQuiescent,
+}
+
+impl fmt::Display for NetRestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetRestoreError::Unsupported => {
+                f.write_str("network model does not support checkpoint/restore")
+            }
+            NetRestoreError::LinkCountMismatch { expected, got } => write!(
+                f,
+                "snapshot has {got} links but the topology has {expected}"
+            ),
+            NetRestoreError::BadBandwidth { link } => {
+                write!(f, "snapshot link {link} has a non-positive bandwidth")
+            }
+            NetRestoreError::NotQuiescent => {
+                f.write_str("cannot restore into a network with in-flight flows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetRestoreError {}
+
 /// A network performance model that the simulator can drive.
 ///
 /// The protocol:
@@ -272,6 +362,40 @@ pub trait NetworkModel: fmt::Debug {
     /// no-op for models without snapshot support.
     fn absorb_stats(&mut self, snapshot: &NetStatsSnapshot) {
         let _ = snapshot;
+    }
+
+    /// A stable fingerprint of the model's *configuration* (topology
+    /// shape, link parameters, timing constants) — folded into a
+    /// checkpoint's spec hash so a snapshot is never restored against a
+    /// differently configured network. The default (`0`) is fine for
+    /// models that also leave [`checkpoint_state`](Self::checkpoint_state)
+    /// unimplemented.
+    fn spec_fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// The model's complete state as a restorable snapshot, or `None`
+    /// when the model cannot be checkpointed **right now** (flows in
+    /// flight — snapshots are only taken at quiescent instants) or does
+    /// not support checkpointing at all (the default).
+    fn checkpoint_state(&self) -> Option<NetCheckpoint> {
+        None
+    }
+
+    /// Restores this (freshly constructed, traffic-free) model to the
+    /// state `ck` describes: exact link bandwidths and up/down flags,
+    /// cumulative counters, per-link statistics. Any derived caches are
+    /// rebuilt lazily — the snapshot is route-cache-free by design.
+    ///
+    /// # Errors
+    ///
+    /// [`NetRestoreError::Unsupported`] (the default) for models without
+    /// checkpoint support; [`NetRestoreError::NotQuiescent`] when flows
+    /// are in flight; [`NetRestoreError::LinkCountMismatch`] when the
+    /// snapshot does not match the live topology.
+    fn restore_state(&mut self, ck: &NetCheckpoint) -> Result<(), NetRestoreError> {
+        let _ = ck;
+        Err(NetRestoreError::Unsupported)
     }
 }
 

@@ -272,6 +272,25 @@ impl Topology {
         self.links[link.0].bandwidth *= factor;
     }
 
+    /// Sets the bandwidth of one link to an absolute value in bytes/s.
+    ///
+    /// [`scale_bandwidth`](Topology::scale_bandwidth) composes
+    /// multiplicatively and therefore cannot reproduce an exact prior
+    /// state; checkpoint restore uses this setter to put every link back
+    /// at the precise (bit-exact) bandwidth the snapshot recorded,
+    /// including mid-run fault degradations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not positive.
+    pub fn set_bandwidth(&mut self, link: LinkId, bandwidth: f64) {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        self.links[link.0].bandwidth = bandwidth;
+    }
+
     /// All links leaving `node`, in insertion order (including links that
     /// are currently down).
     pub fn links_from(&self, node: NodeId) -> &[(NodeId, LinkId)] {

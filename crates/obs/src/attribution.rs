@@ -34,7 +34,7 @@
 
 use std::collections::HashMap;
 
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 use triosim_des::{TimeSpan, VirtualTime};
 
 /// Number of critical ops and hot links retained in a
@@ -146,6 +146,52 @@ struct BucketTicks {
     total: TimeSpan,
 }
 
+/// One GPU's serialized bucket totals inside an [`AttributionState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GpuBucketState {
+    /// GPU-busy (compute) ticks.
+    pub compute: TimeSpan,
+    /// Comm-in-flight-while-computing ticks (informational overlay).
+    pub overlapped: TimeSpan,
+    /// Comm-in-flight-while-idle ticks.
+    pub exposed: TimeSpan,
+    /// Neither-compute-nor-comm ticks.
+    pub idle: TimeSpan,
+    /// Total ticks bucketed for this GPU.
+    pub total: TimeSpan,
+}
+
+/// One `(task, start, finish)` segment of a serialized critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSegmentState {
+    /// Task index.
+    pub task: u32,
+    /// Segment start time.
+    pub start: VirtualTime,
+    /// Segment finish time.
+    pub finish: VirtualTime,
+}
+
+/// The complete accumulated state of an [`AttributionAccumulator`], in a
+/// serializable form for mid-run checkpoints.
+///
+/// Only *accumulated* totals appear here: the static task structure
+/// (labels, classes, dependencies) is a pure function of the simulation
+/// spec and is rebuilt from it on restore, and the scratch buffers are
+/// per-iteration working memory that is empty at every iteration
+/// boundary. All quantities are integer ticks or counts, so a restored
+/// accumulator continues to byte-identical final reports.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttributionState {
+    on_path: Vec<(TimeSpan, u64)>,
+    per_gpu: Vec<GpuBucketState>,
+    path_total: TimeSpan,
+    path_compute: TimeSpan,
+    path_comm: TimeSpan,
+    iterations: u64,
+    last_path: Vec<PathSegmentState>,
+}
+
 /// Accumulates per-iteration attribution state across a run.
 #[derive(Debug)]
 pub struct AttributionAccumulator {
@@ -245,6 +291,98 @@ impl AttributionAccumulator {
             self.last_path.clear();
             self.last_path.extend_from_slice(&other.last_path);
         }
+    }
+
+    /// The accumulated totals as a serializable [`AttributionState`]
+    /// (checkpoint support; see the state type's docs for what is — and
+    /// deliberately is not — captured).
+    pub fn snapshot(&self) -> AttributionState {
+        AttributionState {
+            on_path: self.on_path.clone(),
+            per_gpu: self
+                .per_gpu
+                .iter()
+                .map(|b| GpuBucketState {
+                    compute: b.compute,
+                    overlapped: b.overlapped,
+                    exposed: b.exposed,
+                    idle: b.idle,
+                    total: b.total,
+                })
+                .collect(),
+            path_total: self.path_total,
+            path_compute: self.path_compute,
+            path_comm: self.path_comm,
+            iterations: self.iterations,
+            last_path: self
+                .last_path
+                .iter()
+                .map(|&(task, start, finish)| PathSegmentState {
+                    task,
+                    start,
+                    finish,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces the accumulated totals with `state` (checkpoint restore
+    /// into a freshly constructed accumulator over the same task graph).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the mismatched dimension when `state`
+    /// does not fit this accumulator's task count or GPU count — a
+    /// corrupt or mismatched snapshot must degrade to a typed error, not
+    /// an out-of-bounds panic later.
+    pub fn restore(&mut self, state: &AttributionState) -> Result<(), String> {
+        if state.on_path.len() != self.on_path.len() {
+            return Err(format!(
+                "attribution state covers {} tasks but the graph has {}",
+                state.on_path.len(),
+                self.on_path.len()
+            ));
+        }
+        if state.per_gpu.len() != self.per_gpu.len() {
+            return Err(format!(
+                "attribution state covers {} GPUs but the platform has {}",
+                state.per_gpu.len(),
+                self.per_gpu.len()
+            ));
+        }
+        if let Some(seg) = state
+            .last_path
+            .iter()
+            .find(|seg| seg.task as usize >= self.labels.len())
+        {
+            return Err(format!(
+                "attribution state path references task {} but the graph has {}",
+                seg.task,
+                self.labels.len()
+            ));
+        }
+        self.on_path.clone_from(&state.on_path);
+        for (mine, theirs) in self.per_gpu.iter_mut().zip(&state.per_gpu) {
+            *mine = BucketTicks {
+                compute: theirs.compute,
+                overlapped: theirs.overlapped,
+                exposed: theirs.exposed,
+                idle: theirs.idle,
+                total: theirs.total,
+            };
+        }
+        self.path_total = state.path_total;
+        self.path_compute = state.path_compute;
+        self.path_comm = state.path_comm;
+        self.iterations = state.iterations;
+        self.last_path.clear();
+        self.last_path.extend(
+            state
+                .last_path
+                .iter()
+                .map(|seg| (seg.task, seg.start, seg.finish)),
+        );
+        Ok(())
     }
 
     fn walk_critical_path(&mut self, it: &IterationObservation<'_>) {

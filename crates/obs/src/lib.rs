@@ -26,6 +26,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Observability feeds the canonical report surface and the checkpoint
+// layer: production code here must degrade through typed errors, never
+// unwrap. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod attribution;
 mod chrome;
@@ -35,8 +39,9 @@ mod prometheus;
 pub mod selfprof;
 
 pub use attribution::{
-    AttributionAccumulator, BottleneckReport, CriticalOp, DepTable, GpuBuckets, HotLink,
-    IterationObservation, Straggler, TaskClass,
+    AttributionAccumulator, AttributionState, BottleneckReport, CriticalOp, DepTable,
+    GpuBucketState, GpuBuckets, HotLink, IterationObservation, PathSegmentState, Straggler,
+    TaskClass,
 };
 pub use chrome::ChromeTraceSink;
 pub use jsonl::JsonlSink;

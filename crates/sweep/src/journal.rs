@@ -578,6 +578,65 @@ mod tests {
     }
 
     #[test]
+    fn file_truncated_mid_header_is_corruption_not_a_panic() {
+        // A kill during the very first write can leave a prefix of the
+        // header and nothing else — no newline anywhere in the file.
+        let path = temp_path("midheader");
+        std::fs::write(&path, r#"{"journal":"trios"#).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(
+            matches!(&err, JournalError::Corrupt { line: 1, detail }
+                if detail.contains("no complete header line")),
+            "got {err:?}"
+        );
+        let err = JournalWriter::open_append(&path).unwrap_err();
+        assert!(
+            matches!(&err, JournalError::Corrupt { line: 1, detail }
+                if detail.contains("no complete header line")),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn complete_header_without_newline_is_corruption_not_a_panic() {
+        // The header text is fully present but never terminated: still
+        // not a single complete line, so nothing is trustworthy.
+        let path = temp_path("headnonl");
+        let full = temp_path("headnonl-src");
+        JournalWriter::create(&full, &header(2)).unwrap();
+        let text = std::fs::read_to_string(&full).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 1, .. }),
+            "got {err:?}"
+        );
+        let err = JournalWriter::open_append(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 1, .. }),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&full).ok();
+    }
+
+    #[test]
+    fn terminated_partial_header_is_corruption_not_a_panic() {
+        // Rarer shape: the header line is truncated but something (an
+        // fs repair, a concatenation bug) supplied a trailing newline.
+        // The line is complete, so tail-tolerance must not apply to it.
+        let path = temp_path("tornheader");
+        std::fs::write(&path, "{\"journal\":\"trios\n").unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 1, .. }),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn malformed_middle_line_is_corruption() {
         let path = temp_path("corrupt");
         let w = JournalWriter::create(&path, &header(3)).unwrap();

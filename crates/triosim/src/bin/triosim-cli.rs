@@ -64,6 +64,16 @@ COMMANDS:
                                 (GPU slowdowns, jitter, link degradation,
                                 link failure/repair, GPU drop-out)
         --fault-seed <n>        override the plan's jitter seed
+        --checkpoint <file>     write a crash-safe engine snapshot at
+                                iteration boundaries (atomic rename +
+                                fsync); a killed run resumes from it
+        --checkpoint-every <n>  boundaries between snapshots (default 1;
+                                requires --checkpoint)
+        --restore <file>        resume from a snapshot; output is
+                                byte-identical to an uninterrupted run
+        --report <file>         write the canonical JSON report (the
+                                byte-stable form golden tests compare;
+                                what --restore reproduces exactly)
         --profile               print the simulator's own wall-clock
                                 self-profile (setup vs engine loop) after
                                 the run; never changes simulation output
@@ -105,6 +115,12 @@ COMMANDS:
                                 aggregate, per-scenario engine loops);
                                 the canonical aggregate stays
                                 byte-identical
+        --checkpoint-dir <dir>  write per-scenario engine snapshots into
+                                <dir> so a resumed sweep restarts
+                                in-progress scenarios from their last
+                                iteration boundary instead of scratch
+        --checkpoint-every <n>  boundaries between snapshots (default 1;
+                                requires --checkpoint-dir)
 ";
 
 fn main() -> ExitCode {
@@ -161,6 +177,10 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "sample-period-us",
             "faults",
             "fault-seed",
+            "checkpoint",
+            "checkpoint-every",
+            "restore",
+            "report",
             "profile",
         ],
         "analyze" => &[
@@ -187,6 +207,8 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "fail-fast",
             "metrics",
             "profile",
+            "checkpoint-dir",
+            "checkpoint-every",
         ],
         // Unknown commands produce their own error.
         _ => return Ok(()),
@@ -410,7 +432,28 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         builder = builder.sample_period(TimeSpan::from_micros(us));
     }
+    if let Some(path) = opts.get("checkpoint") {
+        let every: usize = match opts.get("checkpoint-every") {
+            Some(n) => parse(n)?,
+            None => 1,
+        };
+        if every == 0 {
+            return Err("--checkpoint-every must be at least 1".into());
+        }
+        builder = builder.checkpoint(path, every);
+    } else if opts.contains_key("checkpoint-every") {
+        return Err("--checkpoint-every requires --checkpoint".into());
+    }
+    if let Some(path) = opts.get("restore") {
+        builder = builder.restore(path);
+    }
     let (report, profile) = run_builder(builder, opts)?;
+
+    if let Some(out) = opts.get("report") {
+        let mut line = report.to_canonical_string();
+        line.push('\n');
+        std::fs::write(out, line).map_err(|e| format!("{out}: {e}"))?;
+    }
 
     println!(
         "{} | {} x {} | {}",
@@ -668,6 +711,19 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             .map(std::num::NonZero::get)
             .unwrap_or(1),
     };
+    let checkpoint_every: usize = match opts.get("checkpoint-every") {
+        Some(n) => {
+            if !opts.contains_key("checkpoint-dir") {
+                return Err("--checkpoint-every requires --checkpoint-dir".into());
+            }
+            let n: usize = parse(n)?;
+            if n == 0 {
+                return Err("--checkpoint-every must be at least 1".into());
+            }
+            n
+        }
+        None => 1,
+    };
     let config = triosim::SweepRunConfig {
         threads,
         progress: opts.contains_key("progress"),
@@ -676,6 +732,8 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         fail_fast: opts.contains_key("fail-fast"),
         spec_text: Some(text),
         profile: opts.contains_key("profile"),
+        checkpoint_dir: opts.get("checkpoint-dir").map(std::path::PathBuf::from),
+        checkpoint_every,
     };
     let outcome = triosim::run_sweep_with(&spec, &config).map_err(|e| e.to_string())?;
 

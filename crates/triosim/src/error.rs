@@ -49,6 +49,10 @@ pub enum SimError {
         /// The configured limit on that axis (events, µs, or ms).
         limit: u64,
     },
+    /// A checkpoint snapshot could not be written, read, or applied.
+    /// Carries the typed cause; see [`CheckpointError`] for the taxonomy
+    /// (I/O, corruption, spec mismatch, future format version).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +78,7 @@ impl fmt::Display for SimError {
                     write!(f, "budget exceeded: wall clock passed {limit}ms")
                 }
             },
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }

@@ -18,8 +18,14 @@ use triosim_obs::{
     ProgressMonitor, Recorder, SelfProfiler, TaskClass,
 };
 
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointError, ExecutorState, FaultState, OutageState, SimSnapshot,
+};
 use crate::error::SimError;
-use crate::report::{union_length, FaultStats, SimReport, TimelineRecord, TimelineTrack};
+use crate::report::{
+    merge_intervals, timeline_fnv, union_length, FaultStats, SimReport, TimelineRecord,
+    TimelineTrack, FNV_OFFSET,
+};
 use crate::taskgraph::{TaskGraph, TaskId, TaskKind};
 
 #[derive(Debug)]
@@ -279,6 +285,78 @@ pub fn execute_budgeted_profiled<'a>(
     ex.run(iterations)
 }
 
+/// [`execute_budgeted`] with periodic boundary snapshots: every
+/// `ck.every`-th iteration boundary writes a crash-safe snapshot to
+/// `ck.path`. Checkpointing reads only quiescent state, so the report —
+/// including its canonical bytes — is byte-identical to the same run
+/// without checkpointing. Observability is not supported on this path
+/// (the builder gates it off with a warning).
+///
+/// # Errors
+///
+/// [`SimError::Checkpoint`] when a snapshot cannot be written, plus
+/// everything [`execute_budgeted`] reports.
+///
+/// # Panics
+///
+/// Same conditions as [`execute_iterations`].
+pub(crate) fn execute_with_checkpoints(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    plan: &FaultPlan,
+    budget: RunBudget,
+    ck: CheckpointConfig,
+) -> Result<SimReport, SimError> {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut ex = Executor::new(graph, network)
+        .with_budget(budget)
+        .with_checkpoint(ck);
+    let session = FaultSession::new(plan, graph.gpus());
+    if !session.is_empty() {
+        ex = ex.with_faults(session);
+    }
+    ex.run(iterations)
+}
+
+/// Resumes a run from a boundary snapshot: executes iterations
+/// `completed..iterations` on top of the restored state, producing a
+/// report byte-identical to an uninterrupted `iterations`-iteration run.
+/// The caller has already validated the spec hash and applied the
+/// network half of the snapshot via `NetworkModel::restore_state`. When
+/// `ck` is set, checkpointing continues on the resumed run.
+///
+/// # Errors
+///
+/// [`SimError::Checkpoint`] on structurally invalid snapshot state, plus
+/// everything [`execute_budgeted`] reports.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_restored(
+    graph: &TaskGraph,
+    network: &mut dyn NetworkModel,
+    iterations: usize,
+    plan: &FaultPlan,
+    budget: RunBudget,
+    completed: usize,
+    state: &ExecutorState,
+    ck: Option<CheckpointConfig>,
+) -> Result<SimReport, SimError> {
+    assert!(
+        completed <= iterations,
+        "restore cannot exceed the requested iteration count"
+    );
+    let mut ex = Executor::new(graph, network).with_budget(budget);
+    let session = FaultSession::new(plan, graph.gpus());
+    if !session.is_empty() {
+        ex = ex.with_faults(session);
+    }
+    if let Some(ck) = ck {
+        ex = ex.with_checkpoint(ck);
+    }
+    let ex = ex.with_restored_state(completed, state)?;
+    ex.run(iterations - completed)
+}
+
 /// Builds a [`BottleneckReport`] from an attribution accumulator and the
 /// network's link observations — shared between the serial epilogue and
 /// the sharded merge (which reconstructs the identical report from
@@ -437,6 +515,18 @@ struct Executor<'a> {
     comm_intervals: Vec<(VirtualTime, VirtualTime)>,
     compute_start: Vec<Option<VirtualTime>>,
     timeline: Vec<TimelineRecord>,
+    /// True for checkpoint-aware runs (snapshotting enabled, or resumed
+    /// from a snapshot): the timeline digest below is maintained
+    /// incrementally and handed to the report, so the hash work is done
+    /// exactly once no matter how many snapshots are written.
+    tl_active: bool,
+    /// Running timeline digest: `(count, FNV state)` over all records
+    /// digested so far (including any pre-restore prefix, whose records
+    /// are *not* in `timeline`), plus the index of the first
+    /// not-yet-digested record in `timeline`. Advanced at each snapshot
+    /// and finalized over the tail when the report is built.
+    tl_digest: (u64, u64),
+    tl_mark: usize,
     completed: usize,
     bytes_transferred: u64,
     // ------- observability (all inert unless `ticking`/`observing`) -------
@@ -495,6 +585,10 @@ struct Executor<'a> {
     last_done: Vec<Option<u32>>,
     /// Virtual time the current iteration's roots were seeded.
     iter_begin: VirtualTime,
+    // ------- checkpointing (`None` on ordinary runs) -------
+    /// When set, a snapshot is written at every `every`-th iteration
+    /// boundary — the quiescent instants where the queue is drained.
+    ckpt: Option<CheckpointConfig>,
     // ------- host self-profiling (`None` keeps the unprofiled hot loop) -------
     selfprof: Option<&'a mut SelfProfiler>,
     /// Cached `selfprof.is_some_and(enabled)`, tested in the hot loop.
@@ -554,6 +648,9 @@ impl<'a> Executor<'a> {
             comm_intervals: Vec::new(),
             compute_start: vec![None; n],
             timeline: Vec::new(),
+            tl_active: false,
+            tl_digest: (0, FNV_OFFSET),
+            tl_mark: 0,
             completed: 0,
             bytes_transferred: 0,
             obs: Observability::off(),
@@ -583,6 +680,7 @@ impl<'a> Executor<'a> {
             attr_gpu_pred: vec![None; n],
             last_done: vec![None; gpus],
             iter_begin: VirtualTime::ZERO,
+            ckpt: None,
             selfprof: None,
             profiling: false,
             net_wall_s: 0.0,
@@ -655,6 +753,221 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Enables periodic boundary snapshots to `ck.path`.
+    fn with_checkpoint(mut self, ck: CheckpointConfig) -> Self {
+        self.ckpt = Some(ck);
+        self.tl_active = true;
+        self
+    }
+
+    /// Rehydrates the executor from a quiescent-boundary snapshot taken
+    /// after `completed` iterations: the clock, queue statistics, and
+    /// every accumulated counter and record resume exactly where the
+    /// interrupted run left them. Structural mismatches (wrong GPU
+    /// count, malformed fault state) are typed errors — the spec hash
+    /// upstream should make them impossible, but a hand-edited snapshot
+    /// must fail loudly, not corrupt the run.
+    fn with_restored_state(
+        mut self,
+        completed: usize,
+        st: &ExecutorState,
+    ) -> Result<Self, SimError> {
+        let corrupt = |msg: String| SimError::Checkpoint(CheckpointError::Corrupt(msg));
+        if st.dispatches.len() != 4 {
+            return Err(corrupt(format!(
+                "expected 4 dispatch counters, found {}",
+                st.dispatches.len()
+            )));
+        }
+        if st.gpu_busy.len() != self.gpus.len() {
+            return Err(corrupt(format!(
+                "snapshot has {} GPUs, scenario has {}",
+                st.gpu_busy.len(),
+                self.gpus.len()
+            )));
+        }
+        if st.iter_ends.len() != completed {
+            return Err(corrupt(format!(
+                "snapshot claims {completed} completed iterations but records {} boundary times",
+                st.iter_ends.len()
+            )));
+        }
+        self.queue = EventQueue::starting_at_with_stats(st.now, st.queue);
+        self.prev_sample_at = st.now;
+        self.iter_begin = st.now;
+        self.iter_offset = completed;
+        for (gpu, busy) in self.gpus.iter_mut().zip(&st.gpu_busy) {
+            gpu.busy_time = *busy;
+        }
+        self.dispatches = [
+            st.dispatches[0],
+            st.dispatches[1],
+            st.dispatches[2],
+            st.dispatches[3],
+        ];
+        // Snapshots store the merged union; further raw intervals simply
+        // append and the report's final merge folds them in exactly.
+        self.comm_intervals.clone_from(&st.comm_intervals);
+        // Pre-restore timeline records exist only as a digest: seed the
+        // running digest with it, so both further snapshots and the
+        // report's `timeline_hash` continue the interrupted fold. The
+        // record list itself restarts empty, so a restored run's
+        // timeline *export* covers only post-restore iterations.
+        self.tl_active = true;
+        self.tl_digest = (st.timeline_count, st.timeline_fnv);
+        self.tl_mark = 0;
+        self.bytes_transferred = st.bytes_transferred;
+        self.iter_ends.clone_from(&st.iter_ends);
+        self.budget_events = st.budget.events;
+        self.attr.restore(&st.attr).map_err(corrupt)?;
+        match (&mut self.faults, &st.faults) {
+            (Some(fr), Some(fs)) => {
+                if fs.injected_by_kind.len() != 4 {
+                    return Err(corrupt(format!(
+                        "expected 4 per-kind fault counters, found {}",
+                        fs.injected_by_kind.len()
+                    )));
+                }
+                if fs.lost_compute_bits.len() != self.gpus.len() {
+                    return Err(corrupt(format!(
+                        "fault state has {} GPUs of lost compute, scenario has {}",
+                        fs.lost_compute_bits.len(),
+                        self.gpus.len()
+                    )));
+                }
+                let cursor = fs.cursor as usize;
+                if cursor > fr.session.timeline().len() {
+                    return Err(corrupt(format!(
+                        "fault cursor {cursor} is past the {}-entry fault timeline",
+                        fr.session.timeline().len()
+                    )));
+                }
+                fr.cursor = cursor;
+                fr.injected = fs.injected;
+                fr.injected_by_kind = [
+                    fs.injected_by_kind[0],
+                    fs.injected_by_kind[1],
+                    fs.injected_by_kind[2],
+                    fs.injected_by_kind[3],
+                ];
+                fr.lost_compute = fs
+                    .lost_compute_bits
+                    .iter()
+                    .map(|&bits| f64::from_bits(bits))
+                    .collect();
+                fr.outage_since = fs
+                    .outages
+                    .iter()
+                    .map(|o| ((o.src as usize, o.dst as usize), o.since))
+                    .collect();
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(corrupt(
+                    "snapshot lacks fault state but the scenario has a fault plan".to_string(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(corrupt(
+                    "snapshot carries fault state but the scenario has no fault plan".to_string(),
+                ))
+            }
+        }
+        Ok(self)
+    }
+
+    /// Serializes the current (quiescent) state and writes it
+    /// crash-safely over the configured snapshot path.
+    ///
+    /// Called only at iteration boundaries, where `run_once` has drained
+    /// the queue and cancelled any pending tick or fault-arming event —
+    /// so the state reduces to accumulated counters and records, and the
+    /// armed-fault invariant (`fault_event == None`) holds.
+    fn write_checkpoint(&mut self) -> Result<(), SimError> {
+        // Compact the raw interval list into its union in place: the
+        // report's `union_length` is invariant under this (union is
+        // associative and idempotent), and it keeps every snapshot —
+        // and the run's own memory — proportional to the iteration
+        // count instead of the event count.
+        self.comm_intervals = merge_intervals(std::mem::take(&mut self.comm_intervals));
+        self.fold_timeline_digest();
+        let ck = self.ckpt.as_ref().expect("checkpointing is configured");
+        let net = self.network.checkpoint_state().ok_or_else(|| {
+            SimError::Checkpoint(CheckpointError::Unsupported(
+                "network model has in-flight state or does not expose snapshots".to_string(),
+            ))
+        })?;
+        let faults = self.faults.as_ref().map(|fr| {
+            debug_assert!(
+                fr.fault_event.is_none(),
+                "boundary invariant: fault events are cancelled when the queue drains"
+            );
+            let mut outages: Vec<OutageState> = fr
+                .outage_since
+                .iter()
+                .map(|(&(src, dst), &since)| OutageState {
+                    src: src as u64,
+                    dst: dst as u64,
+                    since,
+                })
+                .collect();
+            outages.sort_by_key(|o| (o.src, o.dst));
+            FaultState {
+                cursor: fr.cursor as u64,
+                injected: fr.injected,
+                injected_by_kind: fr.injected_by_kind.to_vec(),
+                lost_compute_bits: fr.lost_compute.iter().map(|s| s.to_bits()).collect(),
+                outages,
+            }
+        });
+        let snap = SimSnapshot {
+            checkpoint: checkpoint::SNAPSHOT_MAGIC.to_string(),
+            version: checkpoint::SNAPSHOT_VERSION,
+            spec_hash: format!("{:016x}", ck.spec_hash),
+            completed: (self.current_iter + 1) as u64,
+            state: ExecutorState {
+                now: self.queue.now(),
+                queue: *self.queue.stats(),
+                dispatches: self.dispatches.to_vec(),
+                gpu_busy: self.gpus.iter().map(|g| g.busy_time).collect(),
+                comm_intervals: self.comm_intervals.clone(),
+                timeline_count: self.tl_digest.0,
+                timeline_fnv: self.tl_digest.1,
+                bytes_transferred: self.bytes_transferred,
+                iter_ends: self.iter_ends.clone(),
+                budget: triosim_des::BudgetProgress {
+                    events: self.budget_events,
+                },
+                attr: self.attr.snapshot(),
+                net,
+                faults,
+            },
+        };
+        checkpoint::write_snapshot(&ck.path, &snap).map_err(SimError::Checkpoint)
+    }
+
+    /// Folds the timeline records accumulated since the last fold into
+    /// the running digest. Each segment is sorted on its own: segments
+    /// are whole runs of iterations, iterations occupy disjoint, ordered
+    /// spans of virtual time, so segment-by-segment folding equals the
+    /// whole-run sorted fold — and each record is hashed exactly once,
+    /// whether the digest advances at snapshots, at the final report, or
+    /// both.
+    fn fold_timeline_digest(&mut self) {
+        // Sorting the segment *in place* keeps the fold's memory access
+        // contiguous, and leaves the whole timeline pre-sorted for the
+        // report (segments occupy disjoint, ordered spans, so sorted
+        // segments concatenate into the sorted whole; the stable sort
+        // keeps push order among equal keys either way).
+        let fresh = &mut self.timeline[self.tl_mark..];
+        fresh.sort_by_key(|r| (r.start, r.end));
+        self.tl_digest = (
+            self.tl_digest.0 + fresh.len() as u64,
+            timeline_fnv(self.tl_digest.1, fresh.iter()),
+        );
+        self.tl_mark = self.timeline.len();
+    }
+
     /// Runs `iterations` back-to-back iterations, folding each into the
     /// attribution accumulator and recording its end time. On error the
     /// loop stops with the structured error; completed-iteration state
@@ -702,6 +1015,16 @@ impl<'a> Executor<'a> {
                     );
                 }
             }
+            // The boundary is quiescent here: the queue is drained and
+            // tick/fault events were cancelled, so a snapshot reduces to
+            // accumulated counters and records.
+            let snapshot_due = self
+                .ckpt
+                .as_ref()
+                .is_some_and(|ck| (self.current_iter + 1).is_multiple_of(ck.every));
+            if snapshot_due {
+                self.write_checkpoint()?;
+            }
         }
         Ok(())
     }
@@ -724,6 +1047,15 @@ impl<'a> Executor<'a> {
         let bottleneck = self.build_bottleneck(total);
         self.finish_observability(total, Some(&bottleneck));
         let per_gpu_compute = self.gpus.iter().map(|g| g.busy_time).collect();
+        // Checkpoint-aware runs finalize the incremental digest over the
+        // undigested tail and hand it to the report, so the report never
+        // re-hashes records a snapshot already folded.
+        let digest = if self.tl_active {
+            self.fold_timeline_digest();
+            Some(self.tl_digest)
+        } else {
+            None
+        };
         let comm_busy = union_length(self.comm_intervals);
         let mut timeline = self.timeline;
         timeline.sort_by_key(|r| (r.start, r.end));
@@ -732,12 +1064,17 @@ impl<'a> Executor<'a> {
             per_gpu_compute,
             comm_busy,
             self.bytes_transferred,
-            self.graph.len() * iterations,
+            // Restored runs execute only the remaining iterations but
+            // report the whole run: count from the global offset.
+            self.graph.len() * (self.iter_offset + iterations),
             *self.queue.stats(),
             self.network.observe(),
             timeline,
         );
         report.set_bottleneck(bottleneck);
+        if let Some((count, fnv)) = digest {
+            report.set_timeline_digest(count, fnv);
+        }
         if let Some(fr) = &self.faults {
             report.set_fault_stats(FaultStats {
                 faults_injected: fr.injected,

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod compute;
 mod error;
 mod executor;
@@ -67,6 +68,7 @@ pub mod sweep;
 mod taskgraph;
 mod viz;
 
+pub use checkpoint::CheckpointError;
 pub use compute::{ComputeModel, Fidelity};
 pub use error::SimError;
 pub use executor::{

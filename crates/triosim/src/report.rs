@@ -68,6 +68,12 @@ pub struct SimReport {
     queue: QueueStats,
     net: NetObservation,
     timeline: Vec<TimelineRecord>,
+    /// Precomputed digest of the *whole logical run's* timeline:
+    /// `(record count, FNV state)`. Set by checkpoint-aware runs, which
+    /// fold the digest incrementally (and, after a restore, start from
+    /// the snapshot's state — pre-restore records are not materialized
+    /// in `timeline`). `None` on plain runs, which fold at report time.
+    timeline_digest: Option<(u64, u64)>,
     fault_stats: Option<FaultStats>,
     bottleneck: BottleneckReport,
 }
@@ -93,6 +99,7 @@ impl SimReport {
             queue,
             net,
             timeline,
+            timeline_digest: None,
             fault_stats: None,
             bottleneck: BottleneckReport::default(),
         }
@@ -100,6 +107,15 @@ impl SimReport {
 
     pub(crate) fn set_fault_stats(&mut self, stats: FaultStats) {
         self.fault_stats = Some(stats);
+    }
+
+    /// Installs the incrementally-folded timeline digest: `count`
+    /// records whose sorted-order FNV fold ended in state `fnv`. The
+    /// canonical `timeline_records`/`timeline_hash` then come from the
+    /// digest, which covers the whole logical run even when a restore
+    /// left pre-restore records unmaterialized.
+    pub(crate) fn set_timeline_digest(&mut self, count: u64, fnv: u64) {
+        self.timeline_digest = Some((count, fnv));
     }
 
     pub(crate) fn set_bottleneck(&mut self, bottleneck: BottleneckReport) {
@@ -312,7 +328,9 @@ impl SimReport {
             ),
             (
                 "timeline_records".to_string(),
-                u(self.timeline.len() as u64),
+                u(self
+                    .timeline_digest
+                    .map_or(self.timeline.len() as u64, |(count, _)| count)),
             ),
             ("timeline_hash".to_string(), u(self.timeline_hash())),
             ("bottleneck".to_string(), self.bottleneck.to_value()),
@@ -336,31 +354,24 @@ impl SimReport {
         Value::Object(fields)
     }
 
+    /// [`to_canonical_json`](Self::to_canonical_json) as a compact JSON
+    /// string (what `triosim-cli simulate --report` writes).
+    pub fn to_canonical_string(&self) -> String {
+        serde_json::to_string(&self.to_canonical_json())
+            .expect("canonical report JSON has no non-finite floats")
+    }
+
     /// FNV-1a hash over every timeline record (label, track, start/end
     /// bits, layer). Order-sensitive, so any drift in task scheduling —
     /// not just in the aggregate totals — changes the canonical JSON.
+    /// Checkpoint-aware runs install the digest precomputed by their
+    /// incremental segment folds (seeded, after a restore, from the
+    /// snapshot), which equals this batch fold exactly.
     fn timeline_hash(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        for r in &self.timeline {
-            eat(r.label.as_bytes());
-            eat(&[0xff]);
-            match r.track {
-                TimelineTrack::Gpu(i) => eat(&(i as u64).to_le_bytes()),
-                TimelineTrack::Network => eat(&u64::MAX.to_le_bytes()),
-            }
-            eat(&r.start.as_seconds().to_bits().to_le_bytes());
-            eat(&r.end.as_seconds().to_bits().to_le_bytes());
-            eat(&r.layer.map_or(u64::MAX, |l| l as u64).to_le_bytes());
+        match self.timeline_digest {
+            Some((_, fnv)) => fnv,
+            None => timeline_fnv(FNV_OFFSET, self.timeline.iter()),
         }
-        h
     }
 
     /// Exports the timeline as Chrome `about:tracing` JSON.
@@ -398,28 +409,65 @@ impl SimReport {
     }
 }
 
-/// Merges possibly-overlapping intervals and returns their union length.
-pub(crate) fn union_length(mut intervals: Vec<(VirtualTime, VirtualTime)>) -> TimeSpan {
+/// FNV-1a initial state: the digest of zero timeline records.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds timeline records (in the order given, which must be the
+/// canonical `(start, end)` sort order) into a running FNV-1a state.
+/// Because the fold is sequential, a sorted run splits into sorted
+/// segments — each iteration's records — and folding segment by
+/// segment yields the same state as folding the whole run at once.
+/// That is what lets checkpoints carry a fixed-size digest instead of
+/// the records themselves.
+pub(crate) fn timeline_fnv<'a, I>(seed: u64, records: I) -> u64
+where
+    I: Iterator<Item = &'a TimelineRecord>,
+{
+    let mut h = seed;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for r in records {
+        eat(r.label.as_bytes());
+        eat(&[0xff]);
+        match r.track {
+            TimelineTrack::Gpu(i) => eat(&(i as u64).to_le_bytes()),
+            TimelineTrack::Network => eat(&u64::MAX.to_le_bytes()),
+        }
+        eat(&r.start.as_seconds().to_bits().to_le_bytes());
+        eat(&r.end.as_seconds().to_bits().to_le_bytes());
+        eat(&r.layer.map_or(u64::MAX, |l| l as u64).to_le_bytes());
+    }
+    h
+}
+
+/// Merges possibly-overlapping intervals into their union: sorted,
+/// disjoint, with touching intervals coalesced. The union is
+/// associative and idempotent, so pre-merged interval sets (as stored
+/// in checkpoints) fold in without changing any derived length.
+pub(crate) fn merge_intervals(
+    mut intervals: Vec<(VirtualTime, VirtualTime)>,
+) -> Vec<(VirtualTime, VirtualTime)> {
     intervals.sort();
-    let mut total = TimeSpan::ZERO;
-    let mut current: Option<(VirtualTime, VirtualTime)> = None;
+    let mut merged: Vec<(VirtualTime, VirtualTime)> = Vec::new();
     for (s, e) in intervals {
-        match current {
-            None => current = Some((s, e)),
-            Some((cs, ce)) => {
-                if s <= ce {
-                    current = Some((cs, ce.max(e)));
-                } else {
-                    total += ce - cs;
-                    current = Some((s, e));
-                }
-            }
+        match merged.last_mut() {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => merged.push((s, e)),
         }
     }
-    if let Some((cs, ce)) = current {
-        total += ce - cs;
-    }
-    total
+    merged
+}
+
+/// Merges possibly-overlapping intervals and returns their union length.
+pub(crate) fn union_length(intervals: Vec<(VirtualTime, VirtualTime)>) -> TimeSpan {
+    merge_intervals(intervals)
+        .into_iter()
+        .fold(TimeSpan::ZERO, |acc, (s, e)| acc + (e - s))
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The high-level simulation entry point.
 
+use std::path::PathBuf;
 use std::str::FromStr;
 
 use triosim_des::{RunBudget, TimeSpan};
@@ -9,11 +10,12 @@ use triosim_obs::{ProgressMonitor, Recorder, SelfProfiler};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace};
 
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError};
 use crate::compute::{ComputeModel, Fidelity};
 use crate::error::SimError;
 use crate::executor::{
     execute_budgeted, execute_budgeted_profiled, execute_faulted, execute_iterations,
-    execute_observed, Observability,
+    execute_observed, execute_restored, execute_with_checkpoints, Observability,
 };
 use crate::extrapolate::extrapolate_with_style;
 use crate::parallelism::{CollectiveStyle, Parallelism};
@@ -66,6 +68,37 @@ pub struct SimBuilder<'a> {
     faults: Option<FaultPlan>,
     fault_seed: Option<u64>,
     budget: Option<RunBudget>,
+    checkpoint: Option<(PathBuf, usize)>,
+    restore: Option<PathBuf>,
+}
+
+/// Why a `--shards` request takes the serial path instead, in priority
+/// order. `None` means the sharded executor engages (though it may still
+/// fall back serially if the network model cannot be forked pristinely).
+pub(crate) fn shard_fallback_reason(
+    shards: usize,
+    iterations: usize,
+    plan_empty: bool,
+    obs_active: bool,
+    profiling: bool,
+    checkpointing: bool,
+) -> Option<&'static str> {
+    if shards <= 1 {
+        return None;
+    }
+    if profiling {
+        Some("self-profiling is active")
+    } else if checkpointing {
+        Some("checkpoint/restore runs serially")
+    } else if !plan_empty {
+        Some("a fault plan is present")
+    } else if obs_active {
+        Some("an observability recorder or progress monitor is attached")
+    } else if iterations <= 1 {
+        Some("the run has a single iteration")
+    } else {
+        None
+    }
 }
 
 impl<'a> SimBuilder<'a> {
@@ -86,6 +119,8 @@ impl<'a> SimBuilder<'a> {
             faults: None,
             fault_seed: None,
             budget: None,
+            checkpoint: None,
+            restore: None,
         }
     }
 
@@ -211,6 +246,36 @@ impl<'a> SimBuilder<'a> {
     /// calling [`try_run`](Self::try_run).
     pub fn budget(mut self, budget: RunBudget) -> Self {
         self.budget = (!budget.is_unlimited()).then_some(budget);
+        self
+    }
+
+    /// Writes a crash-safe engine snapshot to `path` after every `every`
+    /// completed iterations (DESIGN.md §13). Snapshots are taken at
+    /// quiescent iteration boundaries, written atomically (temp file +
+    /// fsync + rename), and stamped with a scenario spec hash; a later
+    /// run restores with [`restore`](Self::restore) and produces
+    /// canonical bytes identical to an uninterrupted run.
+    ///
+    /// Checkpointed runs execute serially; observability and
+    /// self-profiling are disabled with a warning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be at least 1");
+        self.checkpoint = Some((path.into(), every));
+        self
+    }
+
+    /// Resumes from a snapshot written by [`checkpoint`](Self::checkpoint).
+    /// The snapshot's spec hash must match this builder's scenario
+    /// (trace, platform, parallelism, network, fault plan, deterministic
+    /// budget axes) — iteration count, shard count, and wall-clock
+    /// timeout may differ. Composes with `checkpoint` to keep
+    /// checkpointing the resumed run.
+    pub fn restore(mut self, path: impl Into<PathBuf>) -> Self {
+        self.restore = Some(path.into());
         self
     }
 
@@ -359,6 +424,81 @@ impl<'a> SimBuilder<'a> {
             Some(p) => p.time("network_build", || self.resolved_network()),
         };
         let obs = std::mem::take(&mut self.observability);
+        let checkpointing = self.checkpoint.is_some() || self.restore.is_some();
+        if let Some(reason) = shard_fallback_reason(
+            self.shards,
+            self.iterations,
+            plan.is_empty(),
+            obs.is_active(),
+            prof.is_some(),
+            checkpointing,
+        ) {
+            eprintln!(
+                "warning: --shards {} ignored ({reason}); running serially — output bytes are \
+                 unchanged",
+                self.shards
+            );
+        }
+        if checkpointing {
+            if prof.is_some() {
+                eprintln!("warning: self-profiling is disabled under checkpoint/restore");
+            }
+            if obs.is_active() {
+                eprintln!(
+                    "warning: observability recorders and progress are disabled under \
+                     checkpoint/restore"
+                );
+            }
+            let budget = self.budget.take().unwrap_or_else(RunBudget::unlimited);
+            let hash = checkpoint::spec_hash(&graph, network.as_ref(), &plan, &budget);
+            let ck = self
+                .checkpoint
+                .take()
+                .map(|(path, every)| CheckpointConfig {
+                    path,
+                    every,
+                    spec_hash: hash,
+                });
+            if let Some(path) = self.restore.take() {
+                let snap = checkpoint::read_snapshot(&path).map_err(SimError::Checkpoint)?;
+                let found = snap.parsed_spec_hash().map_err(SimError::Checkpoint)?;
+                if found != hash {
+                    return Err(SimError::Checkpoint(CheckpointError::SpecMismatch {
+                        expected: hash,
+                        found,
+                    }));
+                }
+                let completed = snap.completed as usize;
+                if completed > self.iterations {
+                    return Err(SimError::Checkpoint(CheckpointError::Corrupt(format!(
+                        "snapshot completed {completed} iterations but the run requests only {}",
+                        self.iterations
+                    ))));
+                }
+                network
+                    .restore_state(&snap.state.net)
+                    .map_err(|e| SimError::Checkpoint(CheckpointError::Corrupt(e.to_string())))?;
+                return execute_restored(
+                    &graph,
+                    network.as_mut(),
+                    self.iterations,
+                    &plan,
+                    budget,
+                    completed,
+                    &snap.state,
+                    ck,
+                );
+            }
+            let ck = ck.expect("checkpointing implies a checkpoint path");
+            return execute_with_checkpoints(
+                &graph,
+                network.as_mut(),
+                self.iterations,
+                &plan,
+                budget,
+                ck,
+            );
+        }
         if let Some(p) = prof {
             // One entry point covers every configuration; unlimited
             // budgets and empty plans are dropped inside the executor,
@@ -639,6 +779,48 @@ mod tests {
             .faults(plan)
             .run();
         assert_eq!(serial.to_canonical_json(), sharded.to_canonical_json());
+    }
+
+    #[test]
+    fn fallback_reasons_are_named_in_priority_order() {
+        // (shards, iterations, plan_empty, obs, prof, ckpt) → reason
+        let r = |sh, it, pe, ob, pr, ck| shard_fallback_reason(sh, it, pe, ob, pr, ck);
+        assert_eq!(
+            r(1, 1, false, true, true, true),
+            None,
+            "1 shard never warns"
+        );
+        assert_eq!(r(4, 8, true, false, false, false), None, "shardable run");
+        assert_eq!(
+            r(4, 8, true, false, true, false),
+            Some("self-profiling is active")
+        );
+        assert_eq!(
+            r(4, 8, true, false, false, true),
+            Some("checkpoint/restore runs serially")
+        );
+        assert_eq!(
+            r(4, 8, false, false, false, false),
+            Some("a fault plan is present")
+        );
+        assert_eq!(
+            r(4, 8, true, true, false, false),
+            Some("an observability recorder or progress monitor is attached")
+        );
+        assert_eq!(
+            r(4, 1, true, false, false, false),
+            Some("the run has a single iteration")
+        );
+    }
+
+    #[test]
+    fn checkpoint_cadence_must_be_positive() {
+        let t = trace();
+        let p = Platform::p2(2);
+        let result = std::panic::catch_unwind(|| {
+            let _ = SimBuilder::new(&t, &p).checkpoint("/tmp/x", 0);
+        });
+        assert!(result.is_err(), "zero cadence must panic");
     }
 
     #[test]

@@ -76,10 +76,20 @@ pub(crate) fn execute_sharded(
         iterations >= 2,
         "sharded execution needs at least two iterations"
     );
-    let shardable = network.iteration_invariant()
-        && network.stats_snapshot().is_some()
-        && network.fork_pristine().is_some();
-    if !shardable {
+    let fallback = if !network.iteration_invariant() {
+        Some("the network model is not iteration-invariant")
+    } else if network.stats_snapshot().is_none() {
+        Some("the network model does not expose a stats snapshot")
+    } else if network.fork_pristine().is_none() {
+        Some("the network model cannot be forked pristinely")
+    } else {
+        None
+    };
+    if let Some(reason) = fallback {
+        eprintln!(
+            "warning: shard request ignored ({reason}); running serially — output bytes are \
+             unchanged"
+        );
         return execute_budgeted(
             graph,
             network,

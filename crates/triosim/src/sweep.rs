@@ -46,7 +46,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -389,59 +389,104 @@ fn run_scenario(
     r: &ResolvedScenario,
     shard_cap: usize,
     prof: &mut SelfProfiler,
+    ckpt: Option<(&Path, usize, usize)>,
 ) -> Result<Value, ScenarioError> {
     let e = r
         .exec
         .as_ref()
         .expect("only pending scenarios are executed");
-    let topo = e.platform.topology().clone();
-    let mut network = match e.fidelity {
-        Fidelity::TrioSim => FlowNetwork::new(topo),
-        Fidelity::Reference => FlowNetwork::with_config(topo, FlowNetworkConfig::reference()),
-    };
-    network.set_reallocation_mode(e.realloc);
-    let mut builder = SimBuilder::new(&e.trace, &e.platform)
-        .parallelism(e.parallelism)
-        .fidelity(e.fidelity)
-        .compute_model(e.compute.clone())
-        .collective_style(e.collective)
-        .iterations(e.iterations)
-        // Intra-scenario sharding never oversubscribes the host: the
-        // pool's workers and each scenario's shard threads multiply, so
-        // the cap divides the cores among the pool workers. Shard count
-        // is gated on byte-identity, so clamping cannot change output.
-        .shards(e.shards.min(shard_cap).max(1))
-        .network(Box::new(network) as Box<dyn NetworkModel>);
-    if let Some(batch) = e.global_batch {
-        builder = builder.global_batch(batch);
-    }
-    if let Some(plan) = &e.faults {
-        builder = builder.faults(plan.clone());
-    }
-    if let Some(seed) = e.fault_seed {
-        builder = builder.fault_seed(seed);
-    }
-    // Runaway guard: built here (not at resolve time) because the
-    // wall-clock deadline arms the moment it is constructed.
     let s = &r.scenario;
-    if s.max_events.is_some() || s.max_sim_time_us.is_some() || s.wall_timeout_ms.is_some() {
-        let mut budget = RunBudget::unlimited();
-        if let Some(n) = s.max_events {
-            budget = budget.with_max_events(n);
+    // Reconstructible builder: a stale per-scenario snapshot must not
+    // fail the scenario, so the rerun-from-scratch path rebuilds the
+    // whole configuration (network state included) from the same inputs.
+    let mk = || {
+        let topo = e.platform.topology().clone();
+        let mut network = match e.fidelity {
+            Fidelity::TrioSim => FlowNetwork::new(topo),
+            Fidelity::Reference => FlowNetwork::with_config(topo, FlowNetworkConfig::reference()),
+        };
+        network.set_reallocation_mode(e.realloc);
+        let mut builder = SimBuilder::new(&e.trace, &e.platform)
+            .parallelism(e.parallelism)
+            .fidelity(e.fidelity)
+            .compute_model(e.compute.clone())
+            .collective_style(e.collective)
+            .iterations(e.iterations)
+            // Intra-scenario sharding never oversubscribes the host: the
+            // pool's workers and each scenario's shard threads multiply, so
+            // the cap divides the cores among the pool workers. Shard count
+            // is gated on byte-identity, so clamping cannot change output.
+            .shards(e.shards.min(shard_cap).max(1))
+            .network(Box::new(network) as Box<dyn NetworkModel>);
+        if let Some(batch) = e.global_batch {
+            builder = builder.global_batch(batch);
         }
-        if let Some(us) = s.max_sim_time_us {
-            budget = budget.with_max_sim_time_us(us);
+        if let Some(plan) = &e.faults {
+            builder = builder.faults(plan.clone());
         }
-        if let Some(ms) = s.wall_timeout_ms {
-            budget = budget.with_wall_timeout_ms(ms);
+        if let Some(seed) = e.fault_seed {
+            builder = builder.fault_seed(seed);
         }
-        builder = builder.budget(budget);
+        // Runaway guard: built here (not at resolve time) because the
+        // wall-clock deadline arms the moment it is constructed.
+        if s.max_events.is_some() || s.max_sim_time_us.is_some() || s.wall_timeout_ms.is_some() {
+            let mut budget = RunBudget::unlimited();
+            if let Some(n) = s.max_events {
+                budget = budget.with_max_events(n);
+            }
+            if let Some(us) = s.max_sim_time_us {
+                budget = budget.with_max_sim_time_us(us);
+            }
+            if let Some(ms) = s.wall_timeout_ms {
+                budget = budget.with_wall_timeout_ms(ms);
+            }
+            builder = builder.budget(budget);
+        }
+        builder
+    };
+    let ckpt_path =
+        ckpt.map(|(dir, every, index)| (dir.join(format!("scenario-{index}.ckpt")), every));
+    let mut builder = mk();
+    let mut resuming = false;
+    if let Some((path, every)) = &ckpt_path {
+        builder = builder.checkpoint(path, *every);
+        if path.exists() {
+            resuming = true;
+            builder = builder.restore(path);
+        }
     }
-    let run = if prof.is_enabled() {
+    let mut run = if prof.is_enabled() {
         builder.try_run_profiled(prof)
     } else {
         builder.try_run()
     };
+    if resuming {
+        if let Err(SimError::Checkpoint(ce)) = &run {
+            // A stale or corrupt snapshot (e.g. the spec changed between
+            // sweep invocations) must not fail the scenario: warn, drop
+            // it, and rerun from scratch with checkpointing still on.
+            let (path, every) = ckpt_path
+                .as_ref()
+                .expect("resuming implies a snapshot path");
+            eprintln!(
+                "warning: scenario snapshot {} unusable ({ce}); rerunning from scratch",
+                path.display()
+            );
+            std::fs::remove_file(path).ok();
+            let fresh = mk().checkpoint(path, *every);
+            run = if prof.is_enabled() {
+                fresh.try_run_profiled(prof)
+            } else {
+                fresh.try_run()
+            };
+        }
+    }
+    if run.is_ok() {
+        // The scenario finished; its snapshot has served its purpose.
+        if let Some((path, _)) = &ckpt_path {
+            std::fs::remove_file(path).ok();
+        }
+    }
     run.map(|report| report.to_canonical_json())
         .map_err(|e| match e {
             SimError::BudgetExceeded { .. } => ScenarioError::Budget(e.to_string()),
@@ -458,11 +503,13 @@ fn execute_one(
     fail_fast: bool,
     shard_cap: usize,
     prof: &mut SelfProfiler,
+    ckpt: Option<(&Path, usize)>,
 ) -> Result<Value, ScenarioError> {
+    let ckpt = ckpt.map(|(dir, every)| (dir, every, index));
     if fail_fast {
-        return run_scenario(r, shard_cap, prof);
+        return run_scenario(r, shard_cap, prof, ckpt);
     }
-    match catch_unwind(AssertUnwindSafe(|| run_scenario(r, shard_cap, prof))) {
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(r, shard_cap, prof, ckpt))) {
         Ok(outcome) => outcome,
         Err(payload) => Err(ScenarioError::Panicked {
             index,
@@ -555,6 +602,17 @@ pub struct SweepRunConfig {
     /// [`SweepOutcome::profile`]. Diagnostic only — the canonical sweep
     /// output is byte-identical with profiling on or off.
     pub profile: bool,
+    /// Write per-scenario engine snapshots (`scenario-<index>.ckpt`)
+    /// into this directory at iteration boundaries. A journaled sweep
+    /// killed mid-scenario then resumed restarts that scenario from its
+    /// last boundary instead of from scratch; snapshots are deleted as
+    /// their scenarios complete, and a stale or corrupt snapshot demotes
+    /// to a warning plus a from-scratch rerun. Checkpointed scenarios
+    /// run serially (per-scenario sharding is gated off with a warning).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Iteration boundaries between snapshots (`0` means every
+    /// boundary). Only meaningful with `checkpoint_dir`.
+    pub checkpoint_every: usize,
 }
 
 /// Expands `spec` and runs every scenario on `threads` worker threads,
@@ -606,6 +664,10 @@ pub fn run_sweep_with(
              appending to the journal it reads)"
                 .into(),
         ));
+    }
+    if let Some(dir) = &config.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SweepError::Journal(format!("checkpoint dir {}: {e}", dir.display())))?;
     }
     let scenarios = spec.expand()?;
     let total = scenarios.len();
@@ -669,7 +731,11 @@ pub fn run_sweep_with(
             SelfProfiler::disabled()
         };
         let t0 = Instant::now();
-        let outcome = execute_one(r, index, config.fail_fast, shard_cap, &mut sprof);
+        let ckpt = config
+            .checkpoint_dir
+            .as_deref()
+            .map(|dir| (dir, config.checkpoint_every.max(1)));
+        let outcome = execute_one(r, index, config.fail_fast, shard_cap, &mut sprof, ckpt);
         let wall_s = t0.elapsed().as_secs_f64();
         if let Some(w) = &writer {
             let entry = to_entry(index, &r.scenario.label, &outcome);
@@ -739,6 +805,90 @@ mod tests {
             }"#,
         )
         .unwrap()
+    }
+
+    fn iterated_spec() -> SweepSpec {
+        SweepSpec::from_json(
+            r#"{
+                "name": "iterated",
+                "defaults": { "model": "vgg11", "trace_batch": 8, "gpu": "A40",
+                              "iterations": 3 },
+                "grid": {
+                    "parallelism": ["ddp", "tp"],
+                    "platform": ["p2:2"]
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "triosim-sweep-ckpt-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn snapshot_files(dir: &Path) -> Vec<PathBuf> {
+        std::fs::read_dir(dir)
+            .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn checkpointed_sweep_is_byte_identical_and_cleans_up() {
+        let spec = iterated_spec();
+        let plain = run_sweep(&spec, 1, false).unwrap().to_canonical_string();
+        let dir = temp_dir("identity");
+        let outcome = run_sweep_with(
+            &spec,
+            &SweepRunConfig {
+                threads: 1,
+                checkpoint_dir: Some(dir.clone()),
+                ..SweepRunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, outcome.to_canonical_string());
+        assert!(
+            snapshot_files(&dir).is_empty(),
+            "completed scenarios delete their snapshots"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_snapshot_demotes_to_a_fresh_rerun() {
+        let spec = iterated_spec();
+        let plain = run_sweep(&spec, 1, false).unwrap().to_canonical_string();
+        let dir = temp_dir("stale");
+        // A leftover snapshot from some other world: not even JSON.
+        std::fs::write(dir.join("scenario-0.ckpt"), "{torn").unwrap();
+        let outcome = run_sweep_with(
+            &spec,
+            &SweepRunConfig {
+                threads: 1,
+                checkpoint_dir: Some(dir.clone()),
+                ..SweepRunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.failures(),
+            0,
+            "stale snapshot must not fail the scenario"
+        );
+        assert_eq!(plain, outcome.to_canonical_string());
+        assert!(
+            snapshot_files(&dir).is_empty(),
+            "stale snapshot is cleaned up"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
