@@ -1,0 +1,175 @@
+//! Flow-vs-packet cross-validation benchmark: the machine-readable twin
+//! of `tests/fidelity.rs`, run against larger scenarios.
+//!
+//! Two contracts, asserted on every host:
+//!
+//! * **Convergence where protocol effects cannot matter**: on an
+//!   uncongested NVSwitch platform (every flow on its own link, windows
+//!   covering the bandwidth-delay product) the packet tier's total must
+//!   agree with the flow tier's within a tight relative bound.
+//! * **Divergence where they must**: on oversubscribed fat trees —
+//!   including a 4-to-1 incast — the packet tier must report a
+//!   divergence ratio above 1 *and* the structured evidence for it:
+//!   nonzero ECN marks, drops on the incast, retransmits, and a
+//!   populated queue-depth histogram.
+//!
+//! A wall-clock sanity gate (the whole suite under a generous budget) is
+//! enforced only on hosts with 4+ cores, recorded on all of them.
+//! Results land in `results/BENCH_fidelity.json`.
+
+use triosim::{Fidelity, Parallelism, Platform, SimBuilder, SimReport};
+use triosim_bench::{json_num, json_obj, time_it, Summary};
+use triosim_modelzoo::ModelId;
+use triosim_trace::{GpuModel, Trace, Tracer};
+
+use serde::Value;
+
+/// Uncongested convergence must hold within this relative bound.
+const CONVERGENCE_BOUND: f64 = 0.02;
+/// The wall-clock sanity gate: the full suite in release mode stays
+/// comfortably under this on any 4-core-plus host.
+const WALL_BUDGET_S: f64 = 120.0;
+const GATE_CORES: usize = 4;
+
+fn run(trace: &Trace, platform: &Platform, parallelism: Parallelism, f: Fidelity) -> SimReport {
+    SimBuilder::new(trace, platform)
+        .parallelism(parallelism)
+        .fidelity(f)
+        .run()
+}
+
+/// One flow-vs-packet pair, printed and summarized: the divergence ratio
+/// (packet total over flow total) plus the packet tier's evidence
+/// counters.
+fn pair(
+    label: &str,
+    trace: &Trace,
+    platform: &Platform,
+    parallelism: Parallelism,
+) -> (f64, Value, SimReport) {
+    let flow = run(trace, platform, parallelism, Fidelity::TrioSim);
+    let packet = run(trace, platform, parallelism, Fidelity::Packet);
+    assert!(
+        flow.packet_stats().is_none(),
+        "flow tier must not report packet counters"
+    );
+    let ps = *packet
+        .packet_stats()
+        .expect("packet tier reports packet counters");
+    let ratio = packet.total_time_s() / flow.total_time_s();
+    println!(
+        "{label:<24} flow {:>9.4} s | packet {:>9.4} s | ratio {ratio:>5.3} | \
+         drops {:>6} | ecn {:>6} | retx {:>6} | max depth {:>3}",
+        flow.total_time_s(),
+        packet.total_time_s(),
+        ps.drops,
+        ps.ecn_marks,
+        ps.retransmits,
+        ps.max_queue_depth,
+    );
+    let point = json_obj(vec![
+        ("scenario", Value::Str(label.to_string())),
+        ("flow_total_s", json_num(flow.total_time_s())),
+        ("packet_total_s", json_num(packet.total_time_s())),
+        ("divergence_ratio", json_num(ratio)),
+        ("packets_sent", Value::UInt(ps.packets_sent)),
+        ("drops", Value::UInt(ps.drops)),
+        ("ecn_marks", Value::UInt(ps.ecn_marks)),
+        ("retransmits", Value::UInt(ps.retransmits)),
+        ("max_queue_depth", Value::UInt(ps.max_queue_depth)),
+        (
+            "queue_depth_hist",
+            Value::Array(
+                ps.queue_depth_hist
+                    .iter()
+                    .map(|&n| Value::UInt(n))
+                    .collect(),
+            ),
+        ),
+    ]);
+    (ratio, point, packet)
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let gate_armed = triosim_bench::gate_armed(GATE_CORES);
+    println!(
+        "fidelity cross-validation bench: host cores {host_cores}, wall gate {}",
+        if gate_armed { "armed" } else { "disarmed" }
+    );
+    let ddp = Parallelism::DataParallel { overlap: true };
+    let (mut summary, total_wall) = time_it(|| {
+        let resnet = Tracer::new(GpuModel::A100).trace(&ModelId::ResNet18.build(8));
+
+        // Convergence: NVSwitch gives every collective flow its own
+        // link, so the tiers must agree tightly.
+        let (ratio, point, _) = pair("uncongested p2:2 ddp", &resnet, &Platform::p2(2), ddp);
+        assert!(
+            (ratio - 1.0).abs() <= CONVERGENCE_BOUND,
+            "uncongested tiers diverged: ratio {ratio} (bound {CONVERGENCE_BOUND})"
+        );
+        let convergence = (ratio, point);
+
+        // Divergence: a 4:1-oversubscribed fat tree (one GPU per leaf,
+        // every byte over the thin spine uplinks)...
+        let fat2 = Platform::fat_tree(GpuModel::A100, 2, 1, 25e9, 5e-6, 4.0, "fat2");
+        let (fat_ratio, fat_point, _) = pair("congested fat-tree ddp", &resnet, &fat2, ddp);
+        assert!(
+            fat_ratio > 1.0,
+            "congested fat tree must diverge: ratio {fat_ratio}"
+        );
+
+        // ...and a 4-GPU incast (TP funnels every shard's activations
+        // across the oversubscribed spine at once).
+        let fat4 = Platform::fat_tree(GpuModel::A100, 4, 1, 25e9, 5e-6, 4.0, "fat4");
+        let (incast_ratio, incast_point, incast) = pair(
+            "incast fat-tree 4gpu tp",
+            &resnet,
+            &fat4,
+            Parallelism::TensorParallel,
+        );
+        let ps = incast.packet_stats().expect("packet run");
+        assert!(
+            incast_ratio > 1.0 && ps.drops > 0 && ps.ecn_marks > 0,
+            "incast must diverge with drops and marks: ratio {incast_ratio}, {ps:?}"
+        );
+
+        let mut summary = Summary::new("BENCH_fidelity");
+        summary.text("workload", "resnet18 b8 A100");
+        summary.int("host_cores", host_cores as u64);
+        summary.num("convergence_ratio", convergence.0);
+        summary.num("convergence_bound", CONVERGENCE_BOUND);
+        summary.num("incast_divergence_ratio", incast_ratio);
+        summary.put(
+            "points",
+            Value::Array(vec![convergence.1, fat_point, incast_point]),
+        );
+        summary.put("gate_armed", Value::Bool(gate_armed));
+        summary
+    });
+
+    println!(
+        "suite wall {total_wall:.2} s (budget {WALL_BUDGET_S:.0} s, {} on this \
+         {host_cores}-core host)",
+        if gate_armed {
+            "enforced"
+        } else {
+            "not enforced"
+        },
+    );
+    if gate_armed {
+        assert!(
+            total_wall <= WALL_BUDGET_S,
+            "fidelity suite took {total_wall:.1} s — the packet tier has lost its \
+             lightweight-simulator performance envelope"
+        );
+    } else {
+        eprintln!(
+            "warning: wall gate NOT armed — host has {host_cores} cores (need {GATE_CORES}+); \
+             measured numbers are recorded but not enforced"
+        );
+    }
+    summary.num("wall_s", total_wall);
+    summary.num("wall_budget_s", WALL_BUDGET_S);
+    summary.finish();
+}

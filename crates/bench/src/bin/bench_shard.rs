@@ -37,8 +37,8 @@ fn run(trace: &Trace, platform: &Platform, shards: usize) -> SimReport {
 
 fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let gate_armed =
-        host_cores >= SPEEDUP_AT && std::env::var("TRIOSIM_SHARD_GATE").map_or(true, |v| v != "0");
+    let gate_armed = triosim_bench::gate_armed(SPEEDUP_AT)
+        && std::env::var("TRIOSIM_SHARD_GATE").map_or(true, |v| v != "0");
     println!(
         "sharded-DES bench: resnet50 x{ITERATIONS} iterations on p2:8, shards {SHARD_POINTS:?}, \
          host cores {host_cores}, gate {}",

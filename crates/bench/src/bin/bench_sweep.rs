@@ -146,7 +146,7 @@ fn main() {
     );
 
     let speedup = outcomes[1].scenarios_per_sec() / outcomes[0].scenarios_per_sec();
-    let gate_active = host_cores >= THREAD_POINTS[1];
+    let gate_active = triosim_bench::gate_armed(THREAD_POINTS[1]);
     println!(
         "speedup at {} threads: {speedup:.2}x (>= {REQUIRED_SPEEDUP:.0}x {} on this \
          {host_cores}-core host)",

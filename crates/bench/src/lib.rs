@@ -294,6 +294,17 @@ pub fn field_u64(v: &Value, path: &[&str]) -> u64 {
     }
 }
 
+/// Whether a host-dependent performance gate should be *enforced* (hard
+/// assertion) rather than merely recorded: true when the host has at
+/// least `min_cores` cores. Bench binaries with wall-clock or scaling
+/// gates (`bench_sweep`, `bench_shard`, `bench_fidelity`) share this
+/// predicate and record it as the `gate_armed` summary field; callers
+/// AND in any binary-specific environment overrides (e.g.
+/// `TRIOSIM_SHARD_GATE=0`) on top.
+pub fn gate_armed(min_cores: usize) -> bool {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get) >= min_cores
+}
+
 /// Worker-thread count for sweep-backed binaries: `--threads <n>` when
 /// given, otherwise the host's available parallelism. Thread count never
 /// changes results (the sweep aggregate is canonical), only wall time.
@@ -421,6 +432,13 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains(r#""x":1"#));
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn gate_arms_on_core_count() {
+        // One core always satisfies the minimum; usize::MAX never does.
+        assert!(gate_armed(1));
+        assert!(!gate_armed(usize::MAX));
     }
 
     #[test]

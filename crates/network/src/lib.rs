@@ -20,8 +20,12 @@
 //! * [`PhotonicNetwork`] — the circuit-switching Passage model from case
 //!   study §7.1 (link setup latency, limited ports with LRU eviction,
 //!   fixed per-circuit bandwidth).
+//! * [`PacketNetwork`] — the opt-in packet-level tier: MTU packetization,
+//!   FIFO tail-drop switch queues, store-and-forward per-hop delays, ECN
+//!   with a DCTCP-style window, and RTO retransmission. Cross-validated
+//!   against [`FlowNetwork`] by `tests/fidelity.rs`.
 //!
-//! Both network models implement [`NetworkModel`], mirroring the paper's
+//! All network models implement [`NetworkModel`], mirroring the paper's
 //! claim that a model only needs `Send` and `Deliver` to plug in.
 //!
 //! # Example
@@ -47,13 +51,15 @@
 
 mod flow;
 mod model;
+mod packet;
 mod photonic;
 mod topology;
 
 pub use flow::{FlowNetwork, FlowNetworkConfig, LinkStats, ReallocationMode};
 pub use model::{
     FlowId, LinkCheckpoint, LinkFault, LinkObservation, NetCheckpoint, NetCommand, NetObservation,
-    NetRestoreError, NetStatsSnapshot, NetworkModel, PartitionedError,
+    NetRestoreError, NetStatsSnapshot, NetworkModel, PacketObservation, PartitionedError,
 };
+pub use packet::{PacketConfig, PacketNetwork};
 pub use photonic::{PhotonicConfig, PhotonicNetwork};
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

@@ -80,6 +80,32 @@ pub struct NetObservation {
     pub added_hops: u64,
 }
 
+/// Cumulative packet-level counters, reported only by models that
+/// simulate individual packets (the packet fidelity tier).
+///
+/// `queue_depth_hist[i]` counts switch-queue enqueues observed at a
+/// waiting depth in `[2^(i-1), 2^i)` packets (bucket 0 is an empty
+/// queue; the last bucket is open-ended). Together with `drops` and
+/// `ecn_marks` this is the structured divergence evidence the
+/// flow-vs-packet cross-validation harness reports on congested
+/// topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketObservation {
+    /// Data packets injected at sources, including retransmissions.
+    pub packets_sent: u64,
+    /// Packets re-injected after an RTO fired for a tail-drop.
+    pub retransmits: u64,
+    /// Packets tail-dropped at a full switch queue.
+    pub drops: u64,
+    /// Packets ECN-marked at enqueue (queue depth at or above the
+    /// marking threshold).
+    pub ecn_marks: u64,
+    /// Deepest switch-queue waiting depth observed, in packets.
+    pub max_queue_depth: u64,
+    /// Log2-bucketed histogram of switch-queue depth at enqueue.
+    pub queue_depth_hist: [u64; 8],
+}
+
 /// A fault applied to the duplex link between two endpoints.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LinkFault {
@@ -331,6 +357,15 @@ pub trait NetworkModel: fmt::Debug {
     /// models without link-level accounting) reports no links.
     fn observe_links(&self) -> Vec<LinkObservation> {
         Vec::new()
+    }
+
+    /// Packet-level counters for models that simulate individual packets,
+    /// or `None` (the default) for flow-level models. Callers skip packet
+    /// report sections and metrics entirely on `None`, which keeps
+    /// flow-tier output byte-identical to builds that predate the packet
+    /// tier.
+    fn observe_packets(&self) -> Option<PacketObservation> {
+        None
     }
 
     /// True when the model is *iteration-invariant*: running the same

@@ -594,6 +594,56 @@ impl Topology {
         t
     }
 
+    /// A three-level oversubscribed datacenter fabric: `pods` pods of
+    /// `leaves_per_pod` leaf switches with `hosts_per_leaf` hosts each,
+    /// one aggregation switch per pod, all pods under one core switch.
+    /// Each tier's uplink is oversubscribed by the same factor: leaf
+    /// uplinks run at `host_bandwidth * hosts_per_leaf /
+    /// oversubscription`, aggregation uplinks at `leaf_uplink *
+    /// leaves_per_pod / oversubscription`. Node ids: hosts first
+    /// (pod-major, then leaf, then host), then leaves (pod-major), then
+    /// one aggregation switch per pod, then the core.
+    ///
+    /// This is the topology where packet-level queueing visibly
+    /// diverges from the flow model: cross-pod collectives funnel into
+    /// progressively thinner uplinks at every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `oversubscription < 1`.
+    pub fn oversubscribed_pods(
+        pods: usize,
+        leaves_per_pod: usize,
+        hosts_per_leaf: usize,
+        host_bandwidth: f64,
+        latency: f64,
+        oversubscription: f64,
+    ) -> Self {
+        assert!(
+            pods > 0 && leaves_per_pod > 0 && hosts_per_leaf > 0,
+            "every tier needs at least one node"
+        );
+        assert!(oversubscription >= 1.0, "oversubscription must be >= 1");
+        let hosts = pods * leaves_per_pod * hosts_per_leaf;
+        let leaves = pods * leaves_per_pod;
+        let mut t = Topology::new(hosts + leaves + pods + 1);
+        let leaf = |i: usize| NodeId(hosts + i);
+        let agg = |p: usize| NodeId(hosts + leaves + p);
+        let core = NodeId(hosts + leaves + pods);
+        let leaf_uplink = host_bandwidth * hosts_per_leaf as f64 / oversubscription;
+        let agg_uplink = leaf_uplink * leaves_per_pod as f64 / oversubscription;
+        for h in 0..hosts {
+            t.add_duplex(NodeId(h), leaf(h / hosts_per_leaf), host_bandwidth, latency);
+        }
+        for l in 0..leaves {
+            t.add_duplex(leaf(l), agg(l / leaves_per_pod), leaf_uplink, latency);
+        }
+        for p in 0..pods {
+            t.add_duplex(agg(p), core, agg_uplink, latency);
+        }
+        t
+    }
+
     /// The Hop case study's ring-based graph: a bidirectional ring plus a
     /// chord from each node to its most distant node.
     pub fn hop_ring(n: usize, bandwidth: f64, latency: f64) -> Self {
@@ -726,6 +776,25 @@ mod tests {
         // Uplink bandwidth: 4 hosts x 10 / 2 oversubscription = 20 GB/s.
         let uplink = cross[1];
         assert!((t.bandwidth(uplink) - 20e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_pods_thins_every_tier() {
+        // 2 pods x 2 leaves x 2 hosts = 8 hosts; leaves at 8..12, aggs
+        // at 12..14, core at 14.
+        let t = Topology::oversubscribed_pods(2, 2, 2, 10e9, 1e-6, 2.0);
+        assert_eq!(t.node_count(), 15);
+        // Same leaf: host -> leaf -> host.
+        assert_eq!(t.route(NodeId(0), NodeId(1)).unwrap().len(), 2);
+        // Same pod, cross leaf: host -> leaf -> agg -> leaf -> host.
+        assert_eq!(t.route(NodeId(0), NodeId(2)).unwrap().len(), 4);
+        // Cross pod: up to the core and back down, 6 hops.
+        let cross = t.route(NodeId(0), NodeId(7)).unwrap();
+        assert_eq!(cross.len(), 6);
+        // Leaf uplink: 2 hosts x 10 / 2 = 10 GB/s; agg uplink: 10 x 2
+        // leaves / 2 = 10 GB/s — each tier funnels 2:1.
+        assert!((t.bandwidth(cross[1]) - 10e9).abs() < 1.0);
+        assert!((t.bandwidth(cross[2]) - 10e9).abs() < 1.0);
     }
 
     #[test]

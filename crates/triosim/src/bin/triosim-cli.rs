@@ -44,14 +44,19 @@ COMMANDS:
         --trace <file>
     simulate                    predict a multi-GPU iteration
         --trace <file>
-        --platform <p1|p2:N|p3|ring:GPU:N|pcie:GPU:N>   (default p2:4)
+        --platform <p1|p2:N|p3|ring:GPU:N|pcie:GPU:N|fat:GPU:N[:O]>
+                                (default p2:4; fat = oversubscribed
+                                fat tree, O = oversubscription, default 4)
         --parallelism <dp|ddp|tp|pp[:chunks]|hp:groups[:chunks]>  (default ddp)
         --batch <n>             global batch (default: weak scaling)
         --iterations <n>        back-to-back training iterations (default 1)
         --shards <n>            worker threads for iteration-axis sharding
                                 (default 1; output is byte-identical at any
                                 shard count — sharding only changes speed)
-        --reference             run the ground-truth reference instead
+        --fidelity <tier>       triosim (default), reference, or packet
+                                (packet-level network: switch queues,
+                                ECN/DCTCP, drops and retransmits)
+        --reference             alias for --fidelity reference
         --timeline <file>       write the Chrome-trace timeline
         --html <file>           write a self-contained HTML timeline view
         --events <file>         write structured observability events (JSONL)
@@ -82,8 +87,9 @@ COMMANDS:
                                 compute/overlap/exposed-comm/idle buckets,
                                 top critical ops, stragglers, hot links
         --trace <file>          plus the same --platform/--parallelism/
-                                --batch/--iterations/--shards/--reference/
-                                --faults/--fault-seed flags as `simulate`
+                                --batch/--iterations/--shards/--fidelity/
+                                --reference/--faults/--fault-seed flags
+                                as `simulate`
         --top <k>               critical ops / links to list (default 8)
         --profile               also print the wall-clock self-profile
     memory                      estimate the per-GPU memory footprint
@@ -167,6 +173,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "batch",
             "iterations",
             "shards",
+            "fidelity",
             "reference",
             "timeline",
             "html",
@@ -190,6 +197,7 @@ fn validate_flags(command: &str, opts: &HashMap<String, String>) -> Result<(), S
             "batch",
             "iterations",
             "shards",
+            "fidelity",
             "reference",
             "faults",
             "fault-seed",
@@ -360,8 +368,14 @@ fn apply_sim_flags<'a>(
         }
         builder = builder.shards(shards);
     }
-    if opts.contains_key("reference") {
-        builder = builder.fidelity(Fidelity::Reference);
+    match (opts.get("fidelity"), opts.contains_key("reference")) {
+        (Some(_), true) => {
+            return Err("--fidelity and --reference are mutually exclusive".into());
+        }
+        (Some(spec), false) => builder = builder.fidelity(Fidelity::from_str(spec)?),
+        // `--reference` predates `--fidelity` and stays as an alias.
+        (None, true) => builder = builder.fidelity(Fidelity::Reference),
+        (None, false) => {}
     }
     if let Some(path) = opts.get("faults") {
         let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;

@@ -26,6 +26,12 @@ pub enum Fidelity {
     /// operator times with multi-GPU context jitter, protocol-aware
     /// network.
     Reference,
+    /// TrioSim compute with the packet-level network tier: MTU
+    /// packetization, switch queues, ECN/DCTCP congestion control, and
+    /// retransmission. Use where protocol effects matter (incast,
+    /// oversubscribed fabrics); `tests/fidelity.rs` cross-validates it
+    /// against the flow tier.
+    Packet,
 }
 
 /// The operator-time policy of one simulation.
@@ -123,7 +129,9 @@ impl ComputeModel {
         calibrate: &mut dyn FnMut(GpuModel) -> LisModel,
     ) -> Self {
         match fidelity {
-            Fidelity::TrioSim => {
+            // The packet tier changes only the network; compute stays
+            // on TrioSim's Li's-Model policy.
+            Fidelity::TrioSim | Fidelity::Packet => {
                 let source = calibrate(source_gpu);
                 if source_gpu == platform.gpu() {
                     ComputeModel::lis(source)
@@ -209,8 +217,9 @@ impl std::str::FromStr for Fidelity {
         match spec {
             "triosim" | "prediction" => Ok(Fidelity::TrioSim),
             "reference" | "truth" => Ok(Fidelity::Reference),
+            "packet" => Ok(Fidelity::Packet),
             _ => Err(format!(
-                "unknown fidelity `{spec}` (try triosim or reference)"
+                "unknown fidelity `{spec}` (try triosim, reference, or packet)"
             )),
         }
     }

@@ -1085,6 +1085,11 @@ impl<'a> Executor<'a> {
                 lost_compute_s: fr.lost_compute.clone(),
             });
         }
+        // Packet counters exist only on packet-fidelity runs, so
+        // flow-tier reports stay byte-identical to pre-packet builds.
+        if let Some(ps) = self.network.observe_packets() {
+            report.set_packet_stats(ps);
+        }
         Ok(report)
     }
 
@@ -1207,6 +1212,20 @@ impl<'a> Executor<'a> {
             net.reallocations as f64,
         );
         r.counter_add("triosim_net_reschedules_total", &[], net.reschedules as f64);
+        // Packet metrics exist only on packet-fidelity runs, so observed
+        // flow-tier output stays byte-identical to pre-packet builds.
+        if let Some(ps) = self.network.observe_packets() {
+            r.counter_add("triosim_pkt_packets_total", &[], ps.packets_sent as f64);
+            r.counter_add("triosim_pkt_retransmits_total", &[], ps.retransmits as f64);
+            r.counter_add("triosim_pkt_drops_total", &[], ps.drops as f64);
+            r.counter_add("triosim_pkt_ecn_marks_total", &[], ps.ecn_marks as f64);
+            r.gauge_set(
+                now,
+                "triosim_pkt_queue_depth_max",
+                &[],
+                ps.max_queue_depth as f64,
+            );
+        }
         for l in &links {
             r.counter_add("triosim_link_bytes_total", &[("link", &l.label)], l.bytes);
             r.counter_add(

@@ -201,6 +201,67 @@ impl Platform {
         }
     }
 
+    /// A leaf/spine fat-tree cluster: GPUs in groups of `gpus_per_leaf`
+    /// under leaf switches, all leaves under one spine, plus host PCIe
+    /// uplinks to every GPU. GPU-to-leaf links run at `link_bandwidth`
+    /// bytes/s with `link_latency_s` propagation; leaf-to-spine uplinks
+    /// at `link_bandwidth * gpus_per_leaf / oversubscription` (set
+    /// `oversubscription = 1.0` for non-blocking). Node layout: host 0,
+    /// GPUs `1..=gpus`, then leaves, then the spine.
+    ///
+    /// An oversubscribed fat tree is where the packet fidelity tier
+    /// earns its keep: cross-leaf collectives funnel into thin uplinks,
+    /// queues build, and flow-vs-packet divergence becomes measurable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is not a positive multiple of `gpus_per_leaf`
+    /// or `oversubscription < 1`.
+    pub fn fat_tree(
+        gpu: GpuModel,
+        gpus: usize,
+        gpus_per_leaf: usize,
+        link_bandwidth: f64,
+        link_latency_s: f64,
+        oversubscription: f64,
+        name: impl Into<String>,
+    ) -> Self {
+        assert!(
+            gpus > 0 && gpus_per_leaf > 0 && gpus.is_multiple_of(gpus_per_leaf),
+            "gpus must be a positive multiple of gpus_per_leaf"
+        );
+        assert!(oversubscription >= 1.0, "oversubscription must be >= 1");
+        let leaves = gpus / gpus_per_leaf;
+        let leaf = |i: usize| NodeId(1 + gpus + i);
+        let spine = NodeId(1 + gpus + leaves);
+        let uplink = link_bandwidth * gpus_per_leaf as f64 / oversubscription;
+        let mut topology = Topology::new(1 + gpus + leaves + 1);
+        for i in 1..=gpus {
+            topology.add_duplex(
+                NodeId(0),
+                NodeId(i),
+                LinkKind::HostPcie.achieved_bandwidth(),
+                LinkKind::HostPcie.latency_s(),
+            );
+            topology.add_duplex(
+                NodeId(i),
+                leaf((i - 1) / gpus_per_leaf),
+                link_bandwidth,
+                link_latency_s,
+            );
+        }
+        for l in 0..leaves {
+            topology.add_duplex(leaf(l), spine, uplink, link_latency_s);
+        }
+        topology.set_transit(NodeId(0), false);
+        Platform {
+            name: name.into(),
+            gpu,
+            gpu_count: gpus,
+            topology,
+        }
+    }
+
     /// Wraps an arbitrary topology. The topology must follow the node
     /// convention (node 0 = host, nodes `1..=gpus` = GPUs; extra nodes may
     /// be switches).
@@ -285,7 +346,10 @@ impl std::str::FromStr for Platform {
     type Err = String;
 
     /// Parses the CLI/sweep-spec syntax:
-    /// `p1 | p2[:N] | p3 | ring:GPU:N | pcie:GPU:N`.
+    /// `p1 | p2[:N] | p3 | ring:GPU:N | pcie:GPU:N | fat:GPU:N[:O]`.
+    ///
+    /// `fat` builds a 2-GPUs-per-leaf fat tree with 25 GB/s links, 5 µs
+    /// latency, and oversubscription `O` (default 4).
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
         let num = |s: &str| -> Result<usize, String> {
             s.parse()
@@ -308,8 +372,25 @@ impl std::str::FromStr for Platform {
                 num(n)?,
                 format!("pcie-{n}"),
             )),
+            ["fat", gpu, n] | ["fat", gpu, n, _] => {
+                let oversub = match parts.as_slice() {
+                    ["fat", _, _, o] => o
+                        .parse::<f64>()
+                        .map_err(|e| format!("invalid oversubscription `{o}`: {e}"))?,
+                    _ => 4.0,
+                };
+                Ok(Platform::fat_tree(
+                    GpuModel::from_str(gpu)?,
+                    num(n)?,
+                    2,
+                    25e9,
+                    5e-6,
+                    oversub,
+                    format!("fat-{n}"),
+                ))
+            }
             _ => Err(format!(
-                "unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2)"
+                "unknown platform `{spec}` (try p1, p2:4, p3, ring:A100:8, pcie:A40:2, fat:A100:4)"
             )),
         }
     }
@@ -415,5 +496,39 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn gpu_node_bounds_checked() {
         Platform::p1().gpu_node(2);
+    }
+
+    #[test]
+    fn fat_tree_oversubscribes_uplinks() {
+        let p = Platform::fat_tree(GpuModel::A100, 4, 2, 25e9, 5e-6, 4.0, "fat4");
+        assert_eq!(p.gpu_count(), 4);
+        // Same leaf: gpu -> leaf -> gpu.
+        let same = p.topology().route(p.gpu_node(0), p.gpu_node(1)).unwrap();
+        assert_eq!(same.len(), 2);
+        // Cross leaf: gpu -> leaf -> spine -> leaf -> gpu, through a
+        // 2 x 25 / 4 = 12.5 GB/s uplink.
+        let cross = p.topology().route(p.gpu_node(0), p.gpu_node(3)).unwrap();
+        assert_eq!(cross.len(), 4);
+        assert!((p.topology().bandwidth(cross[0]) - 25e9).abs() < 1.0);
+        assert!((p.topology().bandwidth(cross[1]) - 12.5e9).abs() < 1.0);
+        // The host never transits GPU traffic.
+        assert!(!cross
+            .iter()
+            .any(|&l| { matches!(p.topology().endpoints(l), (NodeId(0), _) | (_, NodeId(0))) }));
+    }
+
+    #[test]
+    fn fat_spec_parses_with_default_oversubscription() {
+        use std::str::FromStr;
+        let p = Platform::from_str("fat:A100:4").unwrap();
+        assert_eq!(p.gpu_count(), 4);
+        assert_eq!(p.gpu(), GpuModel::A100);
+        let cross = p.topology().route(p.gpu_node(0), p.gpu_node(3)).unwrap();
+        // Default oversubscription 4: uplink = 2 x 25 / 4 GB/s.
+        assert!((p.topology().bandwidth(cross[1]) - 12.5e9).abs() < 1.0);
+        let p2 = Platform::from_str("fat:A100:4:1").unwrap();
+        let cross2 = p2.topology().route(p2.gpu_node(0), p2.gpu_node(3)).unwrap();
+        assert!((p2.topology().bandwidth(cross2[1]) - 50e9).abs() < 1.0);
+        assert!(Platform::from_str("fat:A100").is_err());
     }
 }

@@ -9,7 +9,7 @@
 
 use serde::Value;
 use triosim_des::{QueueStats, TimeSpan, VirtualTime};
-use triosim_network::NetObservation;
+use triosim_network::{NetObservation, PacketObservation};
 use triosim_obs::{AttrValue, BottleneckReport, ChromeTraceSink, Recorder};
 
 /// Which resource a timeline record occupied.
@@ -75,6 +75,7 @@ pub struct SimReport {
     /// in `timeline`). `None` on plain runs, which fold at report time.
     timeline_digest: Option<(u64, u64)>,
     fault_stats: Option<FaultStats>,
+    packet_stats: Option<PacketObservation>,
     bottleneck: BottleneckReport,
 }
 
@@ -101,12 +102,17 @@ impl SimReport {
             timeline,
             timeline_digest: None,
             fault_stats: None,
+            packet_stats: None,
             bottleneck: BottleneckReport::default(),
         }
     }
 
     pub(crate) fn set_fault_stats(&mut self, stats: FaultStats) {
         self.fault_stats = Some(stats);
+    }
+
+    pub(crate) fn set_packet_stats(&mut self, stats: PacketObservation) {
+        self.packet_stats = Some(stats);
     }
 
     /// Installs the incrementally-folded timeline digest: `count`
@@ -133,6 +139,14 @@ impl SimReport {
     /// fault-free runs (including runs with an empty fault plan).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault_stats.as_ref()
+    }
+
+    /// Packet-level counters (drops, ECN marks, retransmits, queue-depth
+    /// histogram) of a packet-fidelity run; `None` on the flow tiers, so
+    /// their canonical reports stay byte-identical to builds that
+    /// predate the packet tier.
+    pub fn packet_stats(&self) -> Option<&PacketObservation> {
+        self.packet_stats.as_ref()
     }
 
     /// End-to-end predicted time of the iteration.
@@ -347,6 +361,22 @@ impl SimReport {
                     (
                         "lost_compute_s".to_string(),
                         Value::Array(fs.lost_compute_s.iter().map(|&s| f(s)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(ps) = &self.packet_stats {
+            fields.push((
+                "packet".to_string(),
+                Value::Object(vec![
+                    ("packets_sent".to_string(), u(ps.packets_sent)),
+                    ("retransmits".to_string(), u(ps.retransmits)),
+                    ("drops".to_string(), u(ps.drops)),
+                    ("ecn_marks".to_string(), u(ps.ecn_marks)),
+                    ("max_queue_depth".to_string(), u(ps.max_queue_depth)),
+                    (
+                        "queue_depth_hist".to_string(),
+                        Value::Array(ps.queue_depth_hist.iter().map(|&n| u(n)).collect()),
                     ),
                 ]),
             ));

@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 use triosim_des::{RunBudget, TimeSpan};
 use triosim_faults::FaultPlan;
-use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId};
+use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, NodeId, PacketNetwork};
 use triosim_obs::{ProgressMonitor, Recorder, SelfProfiler};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace};
@@ -315,6 +315,7 @@ impl<'a> SimBuilder<'a> {
                 topo,
                 FlowNetworkConfig::reference(),
             )),
+            Fidelity::Packet => Box::new(PacketNetwork::new(topo)),
         }
     }
 

@@ -53,7 +53,9 @@ use std::time::Instant;
 
 use serde::Value;
 use triosim_des::RunBudget;
-use triosim_network::{FlowNetwork, FlowNetworkConfig, NetworkModel, ReallocationMode};
+use triosim_network::{
+    FlowNetwork, FlowNetworkConfig, NetworkModel, PacketNetwork, ReallocationMode,
+};
 use triosim_obs::{SelfProfile, SelfProfiler};
 use triosim_perfmodel::LisModel;
 use triosim_trace::{GpuModel, Trace, Tracer};
@@ -401,11 +403,21 @@ fn run_scenario(
     // whole configuration (network state included) from the same inputs.
     let mk = || {
         let topo = e.platform.topology().clone();
-        let mut network = match e.fidelity {
-            Fidelity::TrioSim => FlowNetwork::new(topo),
-            Fidelity::Reference => FlowNetwork::with_config(topo, FlowNetworkConfig::reference()),
+        // The reallocation-mode knob only exists on the flow tiers; the
+        // packet tier re-simulates its busy period instead.
+        let network: Box<dyn NetworkModel> = match e.fidelity {
+            Fidelity::TrioSim => {
+                let mut n = FlowNetwork::new(topo);
+                n.set_reallocation_mode(e.realloc);
+                Box::new(n)
+            }
+            Fidelity::Reference => {
+                let mut n = FlowNetwork::with_config(topo, FlowNetworkConfig::reference());
+                n.set_reallocation_mode(e.realloc);
+                Box::new(n)
+            }
+            Fidelity::Packet => Box::new(PacketNetwork::new(topo)),
         };
-        network.set_reallocation_mode(e.realloc);
         let mut builder = SimBuilder::new(&e.trace, &e.platform)
             .parallelism(e.parallelism)
             .fidelity(e.fidelity)
@@ -417,7 +429,7 @@ fn run_scenario(
             // the cap divides the cores among the pool workers. Shard count
             // is gated on byte-identity, so clamping cannot change output.
             .shards(e.shards.min(shard_cap).max(1))
-            .network(Box::new(network) as Box<dyn NetworkModel>);
+            .network(network);
         if let Some(batch) = e.global_batch {
             builder = builder.global_batch(batch);
         }
